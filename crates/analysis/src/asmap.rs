@@ -1,0 +1,99 @@
+//! IP→ASN resolution — the PyASN / Team Cymru step of §3.3.
+//!
+//! "We use PyASN to resolve IP-level traceroutes to AS-level paths. For any
+//! unresolved router hops (excluding those with private IP addresses) we use
+//! Team Cymru." Our resolver wraps the longest-prefix table and gives
+//! private and CGN space the special handling the paper's pipeline needs
+//! (private first hops drive the home/cell classifier; CGN addresses are
+//! the documented false-positive source).
+
+use cloudy_topology::prefix::{is_cgn, is_private};
+use cloudy_topology::{Asn, PrefixTable};
+use std::net::Ipv4Addr;
+
+/// Outcome of resolving one hop address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Originated by this AS.
+    As(Asn),
+    /// RFC1918 private space (home routers).
+    Private,
+    /// RFC6598 carrier-grade NAT space.
+    Cgn,
+    /// Public space with no covering announcement (IXP fabrics land here —
+    /// they are deliberately unannounced).
+    Unknown,
+}
+
+impl Resolution {
+    pub fn asn(&self) -> Option<Asn> {
+        match self {
+            Resolution::As(a) => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+/// The resolver.
+#[derive(Clone)]
+pub struct Resolver<'a> {
+    table: &'a PrefixTable,
+}
+
+impl<'a> Resolver<'a> {
+    pub fn new(table: &'a PrefixTable) -> Self {
+        Resolver { table }
+    }
+
+    /// Resolve one address.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Resolution {
+        if is_private(ip) {
+            return Resolution::Private;
+        }
+        if is_cgn(ip) {
+            return Resolution::Cgn;
+        }
+        match self.table.lookup(ip) {
+            Some(asn) => Resolution::As(asn),
+            None => Resolution::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_topology::IpPrefix;
+
+    fn table() -> PrefixTable {
+        let mut t = PrefixTable::new();
+        t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(100));
+        t.announce(IpPrefix::new(Ipv4Addr::new(20, 5, 0, 0), 16), Asn(200));
+        t
+    }
+
+    #[test]
+    fn resolves_announced_space() {
+        let t = table();
+        let r = Resolver::new(&t);
+        assert_eq!(r.resolve(Ipv4Addr::new(11, 0, 7, 7)), Resolution::As(Asn(100)));
+        assert_eq!(r.resolve(Ipv4Addr::new(20, 5, 1, 1)), Resolution::As(Asn(200)));
+    }
+
+    #[test]
+    fn special_spaces() {
+        let t = table();
+        let r = Resolver::new(&t);
+        assert_eq!(r.resolve(Ipv4Addr::new(192, 168, 1, 1)), Resolution::Private);
+        assert_eq!(r.resolve(Ipv4Addr::new(10, 1, 2, 3)), Resolution::Private);
+        assert_eq!(r.resolve(Ipv4Addr::new(100, 77, 0, 1)), Resolution::Cgn);
+        assert_eq!(r.resolve(Ipv4Addr::new(55, 0, 0, 1)), Resolution::Unknown);
+    }
+
+    #[test]
+    fn resolution_asn_accessor() {
+        assert_eq!(Resolution::As(Asn(7)).asn(), Some(Asn(7)));
+        assert_eq!(Resolution::Private.asn(), None);
+        assert_eq!(Resolution::Unknown.asn(), None);
+    }
+}

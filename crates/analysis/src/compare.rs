@@ -1,0 +1,137 @@
+//! §4.2's platform comparison.
+//!
+//! Fig. 5 plots "the cumulative distribution of differences in latencies
+//! recorded from all probes on the two platforms to the nearest datacenter"
+//! per continent; we realise it as the quantile-wise difference between the
+//! two platforms' nearest-DC latency distributions (negative = Speedchecker
+//! faster). Fig. 16 repeats the comparison on the `<city, ASN>`-matched
+//! probe subset for an apples-to-apples view.
+
+use crate::stats::Cdf;
+use cloudy_cloud::RegionId;
+use cloudy_measure::PingRecord;
+use std::collections::HashMap;
+
+/// Quantile-wise differences `a_q − b_q` over `n` evenly spaced quantiles.
+/// Negative values mean `a` is faster at that quantile.
+pub fn quantile_differences(a: &Cdf, b: &Cdf, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two quantiles");
+    assert!(!a.is_empty() && !b.is_empty(), "empty distribution");
+    (0..n)
+        .map(|i| {
+            let q = i as f64 / (n - 1) as f64;
+            a.quantile(q) - b.quantile(q)
+        })
+        .collect()
+}
+
+/// Fraction of quantiles where `a` is faster (the Fig. 5 reading "nearly
+/// 70 % of the Speedchecker samples from South America are faster").
+pub fn fraction_a_faster(a: &Cdf, b: &Cdf, n: usize) -> f64 {
+    let diffs = quantile_differences(a, b, n);
+    diffs.iter().filter(|d| **d < 0.0).count() as f64 / diffs.len() as f64
+}
+
+/// Matching key for Fig. 16: same city, same serving AS, same target region.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatchKey {
+    pub city: String,
+    pub isp: cloudy_topology::Asn,
+    pub region: RegionId,
+}
+
+/// Per-matched-key median differences `a − b`. Keys present on only one
+/// platform are dropped (the paper excludes continents without enough
+/// intersections).
+pub fn matched_median_differences(a: &[&PingRecord], b: &[&PingRecord]) -> Vec<f64> {
+    let group = |records: &[&PingRecord]| -> HashMap<MatchKey, Vec<f64>> {
+        let mut m: HashMap<MatchKey, Vec<f64>> = HashMap::new();
+        for r in records {
+            m.entry(MatchKey { city: r.city.clone(), isp: r.isp, region: r.region })
+                .or_default()
+                .push(r.rtt_ms);
+        }
+        m
+    };
+    let ga = group(a);
+    let gb = group(b);
+    let mut keys: Vec<&MatchKey> = ga.keys().filter(|k| gb.contains_key(*k)).collect();
+    keys.sort_by(|x, y| (&x.city, x.isp, x.region).cmp(&(&y.city, y.isp, y.region)));
+    keys.into_iter()
+        .map(|k| {
+            let ma = Cdf::new(ga[k].clone()).median();
+            let mb = Cdf::new(gb[k].clone()).median();
+            ma - mb
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::Provider;
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+    use cloudy_topology::Asn;
+
+    #[test]
+    fn quantile_differences_signs() {
+        let fast = Cdf::new((0..100).map(|i| 10.0 + i as f64 * 0.1).collect());
+        let slow = Cdf::new((0..100).map(|i| 30.0 + i as f64 * 0.1).collect());
+        let d = quantile_differences(&fast, &slow, 21);
+        assert!(d.iter().all(|x| *x < 0.0));
+        assert!((fraction_a_faster(&fast, &slow, 21) - 1.0).abs() < 1e-12);
+        assert!((fraction_a_faster(&slow, &fast, 21) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_diff_zero() {
+        let a = Cdf::new(vec![1.0, 2.0, 3.0]);
+        let d = quantile_differences(&a, &a, 5);
+        assert!(d.iter().all(|x| x.abs() < 1e-12));
+    }
+
+    fn ping(platform: Platform, city: &str, isp: u32, region: u16, rtt: f64) -> PingRecord {
+        PingRecord {
+            probe: ProbeId(1),
+            platform,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: city.into(),
+            isp: Asn(isp),
+            access: AccessType::WifiHome,
+            region: RegionId(region),
+            provider: Provider::Google,
+            proto: Protocol::Tcp,
+            rtt_ms: rtt,
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn matched_differences_only_on_intersection() {
+        let sc = vec![
+            ping(Platform::Speedchecker, "Munich", 10, 0, 40.0),
+            ping(Platform::Speedchecker, "Munich", 10, 0, 44.0),
+            ping(Platform::Speedchecker, "Berlin", 11, 0, 99.0), // unmatched
+        ];
+        let at = vec![
+            ping(Platform::RipeAtlas, "Munich", 10, 0, 30.0),
+            ping(Platform::RipeAtlas, "Hamburg", 12, 0, 10.0), // unmatched
+        ];
+        let sc_refs: Vec<&PingRecord> = sc.iter().collect();
+        let at_refs: Vec<&PingRecord> = at.iter().collect();
+        let d = matched_median_differences(&sc_refs, &at_refs);
+        assert_eq!(d.len(), 1);
+        // Nearest-rank median of [40,44] is 44; 44 − 30 = 14.
+        assert!((d[0] - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty distribution")]
+    fn empty_cdf_panics() {
+        quantile_differences(&Cdf::new(vec![]), &Cdf::new(vec![1.0]), 5);
+    }
+}

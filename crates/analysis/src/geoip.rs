@@ -1,0 +1,254 @@
+//! Router geolocation and path-geometry analysis — the paper's deferred
+//! future work.
+//!
+//! §3.3: "We use GeoIPLookup to geolocate all on-path router hops. However,
+//! since such geolocation databases are known to be quite inaccurate
+//! \[50, 73\], we refrain from making any geographical ISP-to-cloud traffic
+//! routing assessments in this study and leave that analysis for future
+//! work." This module supplies both halves of that future work:
+//!
+//! * [`GeoDb`] — a GeoIP-style database with the *documented* failure mode
+//!   of real ones: prefixes geolocate to the owning network's registration
+//!   anchor, so backbone router addresses resolve to carrier headquarters
+//!   rather than the router's physical city.
+//! * [`path_geometry`] — hop-chain geometry of a traceroute: located
+//!   distance vs. great circle, the detour ("trombone") factor, and
+//!   coverage, enabling the geographic routing assessment the paper
+//!   deferred. Tests in `cloudy-core` compare GeoIP-derived detours against
+//!   simulator ground truth to quantify exactly how wrong the database
+//!   makes them.
+
+use cloudy_geo::{city, GeoPoint};
+use cloudy_measure::TracerouteRecord;
+use cloudy_netsim::Network;
+use cloudy_topology::{Asn, PrefixTable};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A GeoIP-style database: prefix → registration location.
+pub struct GeoDb {
+    table: PrefixTable,
+    locations: HashMap<Asn, GeoPoint>,
+}
+
+impl GeoDb {
+    /// Build the database the way commercial ones effectively are: every
+    /// announced prefix geolocates to the owning organisation's anchor.
+    pub fn from_network(net: &Network) -> GeoDb {
+        let mut table = PrefixTable::new();
+        let mut locations = HashMap::new();
+        for (asn, prefixes) in &net.as_prefixes {
+            for p in prefixes {
+                table.announce(*p, *asn);
+            }
+            if let Some(info) = net.graph.info(*asn) {
+                locations.insert(*asn, info.location);
+            }
+        }
+        GeoDb { table, locations }
+    }
+
+    /// Geolocate an address. Private/CGN/unannounced space is unlocatable.
+    pub fn locate(&self, ip: Ipv4Addr) -> Option<GeoPoint> {
+        self.locate_asn(ip).map(|(_, p)| p)
+    }
+
+    /// Geolocate and return the owning AS as well.
+    pub fn locate_asn(&self, ip: Ipv4Addr) -> Option<(Asn, GeoPoint)> {
+        let asn = self.table.lookup(ip)?;
+        self.locations.get(&asn).map(|p| (asn, *p))
+    }
+}
+
+/// Geometry of one traceroute's located hop chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathGeometry {
+    /// Sum of great-circle legs src → located hops → dst (km).
+    pub located_km: f64,
+    /// Direct great-circle distance src → dst (km).
+    pub direct_km: f64,
+    /// How many responding hops geolocated.
+    pub located_hops: usize,
+    /// Responding hops that could not be located.
+    pub unlocated_hops: usize,
+}
+
+impl PathGeometry {
+    /// The trombone indicator: located path length over the great circle.
+    /// 1.0 = straight; the classic Africa-via-Europe trombone shows up as
+    /// factors well above 2.
+    pub fn detour_factor(&self) -> f64 {
+        if self.direct_km < 1.0 {
+            1.0
+        } else {
+            (self.located_km / self.direct_km).max(1.0)
+        }
+    }
+}
+
+/// Compute the located geometry of a traceroute between known endpoints.
+/// Returns `None` when no hop geolocates (nothing to say).
+///
+/// `pin_to_endpoints` lists ASes whose hops are pinned to the known
+/// endpoints instead of their registration anchor — the standard correction
+/// for the measured endpoints' own networks (we *know* the VM's location;
+/// geolocating its network to the provider's HQ is pure database error).
+pub fn path_geometry(
+    trace: &TracerouteRecord,
+    db: &GeoDb,
+    src: GeoPoint,
+    dst: GeoPoint,
+    pin_to_endpoints: &[Asn],
+) -> Option<PathGeometry> {
+    let mut points: Vec<GeoPoint> = vec![src];
+    let mut located = 0usize;
+    let mut unlocated = 0usize;
+    for hop in trace.responding() {
+        let ip = hop.ip.expect("responding");
+        match db.locate_asn(ip) {
+            Some((asn, _)) if pin_to_endpoints.contains(&asn) => {
+                // Counted as located at the (known) destination; no leg
+                // added here — the final src→…→dst leg covers it.
+                located += 1;
+            }
+            Some((_, p)) => {
+                // Skip zero-length repeats (several routers of one AS
+                // geolocate to the same anchor).
+                if points.last().map(|q| q.haversine_km(&p) > 1.0).unwrap_or(true) {
+                    points.push(p);
+                }
+                located += 1;
+            }
+            None => unlocated += 1,
+        }
+    }
+    if located == 0 {
+        return None;
+    }
+    points.push(dst);
+    let located_km: f64 = points.windows(2).map(|w| w[0].haversine_km(&w[1])).sum();
+    Some(PathGeometry {
+        located_km,
+        direct_km: src.haversine_km(&dst),
+        located_hops: located,
+        unlocated_hops: unlocated,
+    })
+}
+
+/// Resolve a record's probe location from its registry city (the analysis
+/// side's view; falls back to `None` for unknown city strings).
+pub fn probe_location(trace: &TracerouteRecord) -> Option<GeoPoint> {
+    city::by_name(&trace.city).map(|(_, c)| c.location())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_measure::HopRecord;
+    use cloudy_netsim::build::{build, WorldConfig};
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+
+    fn net() -> cloudy_netsim::Network {
+        build(&WorldConfig {
+            seed: 3,
+            isps_per_country: 2,
+            countries: Some(vec![CountryCode::new("DE"), CountryCode::new("KE")]),
+        })
+        .net
+    }
+
+    fn trace_with(hops: Vec<Option<Ipv4Addr>>, city: &str) -> TracerouteRecord {
+        TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: city.into(),
+            isp: Asn(10),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::Google,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 0, 2),
+            hops: hops
+                .into_iter()
+                .enumerate()
+                .map(|(i, ip)| HopRecord { ttl: (i + 1) as u8, ip, rtt_ms: ip.map(|_| 5.0) })
+                .collect(),
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn geodb_locates_announced_space_only() {
+        let net = net();
+        let db = GeoDb::from_network(&net);
+        let google = Provider::Google.asn();
+        let ip = net.router_ip(google, 7);
+        let loc = db.locate(ip).expect("cloud space locates");
+        let anchor = net.graph.info(google).unwrap().location;
+        assert!(loc.haversine_km(&anchor) < 1.0);
+        assert!(db.locate(Ipv4Addr::new(192, 168, 1, 1)).is_none());
+        assert!(db.locate(Ipv4Addr::new(203, 0, 113, 1)).is_none());
+    }
+
+    #[test]
+    fn straight_path_has_low_detour() {
+        let net = net();
+        let db = GeoDb::from_network(&net);
+        // One located hop at the destination AS anchor.
+        let dst_asn = Provider::Google.asn();
+        let hop = net.router_ip(dst_asn, 1);
+        let trace = trace_with(vec![Some(hop)], "Berlin");
+        let src = city::by_name("Berlin").unwrap().1.location();
+        let dst = net.graph.info(dst_asn).unwrap().location;
+        let g = path_geometry(&trace, &db, src, dst, &[]).unwrap();
+        assert!(g.detour_factor() < 1.2, "detour {}", g.detour_factor());
+        assert_eq!(g.located_hops, 1);
+    }
+
+    #[test]
+    fn unlocatable_hops_counted_and_skipped() {
+        let net = net();
+        let db = GeoDb::from_network(&net);
+        let hop = net.router_ip(Provider::Google.asn(), 1);
+        let trace = trace_with(
+            vec![Some(Ipv4Addr::new(192, 168, 0, 1)), None, Some(hop)],
+            "Berlin",
+        );
+        let src = city::by_name("Berlin").unwrap().1.location();
+        let dst = net.graph.info(Provider::Google.asn()).unwrap().location;
+        let g = path_geometry(&trace, &db, src, dst, &[]).unwrap();
+        assert_eq!(g.located_hops, 1);
+        assert_eq!(g.unlocated_hops, 1);
+    }
+
+    #[test]
+    fn no_locatable_hops_is_none() {
+        let net = net();
+        let db = GeoDb::from_network(&net);
+        let trace = trace_with(vec![Some(Ipv4Addr::new(192, 168, 0, 1)), None], "Berlin");
+        let p = GeoPoint::new(50.0, 8.0);
+        assert!(path_geometry(&trace, &db, p, p, &[]).is_none());
+    }
+
+    #[test]
+    fn detour_factor_floors_at_one() {
+        let g = PathGeometry { located_km: 10.0, direct_km: 100.0, located_hops: 1, unlocated_hops: 0 };
+        assert_eq!(g.detour_factor(), 1.0);
+        let g = PathGeometry { located_km: 10.0, direct_km: 0.0, located_hops: 1, unlocated_hops: 0 };
+        assert_eq!(g.detour_factor(), 1.0);
+    }
+
+    #[test]
+    fn probe_location_resolves_gazetteer_cities() {
+        let t = trace_with(vec![], "Nairobi");
+        assert!(probe_location(&t).is_some());
+        let t = trace_with(vec![], "Atlantis");
+        assert!(probe_location(&t).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! "Closest datacenter" estimation.
+//!
+//! Fig. 3's footnote: "Datacenter with lowest mean latency over time is
+//! estimated to be closest to a probe." The estimate is per probe, from ping
+//! data only — no geography involved, exactly as the paper does it.
+
+use cloudy_cloud::RegionId;
+use cloudy_measure::PingRecord;
+use cloudy_probes::ProbeId;
+use std::collections::HashMap;
+
+/// Per-probe nearest region and its mean latency, restricted to pings that
+/// pass `filter` (callers restrict to same-continent regions for Fig. 3/4).
+pub fn nearest_by_mean<F>(pings: &[PingRecord], filter: F) -> HashMap<ProbeId, (RegionId, f64)>
+where
+    F: Fn(&PingRecord) -> bool,
+{
+    // (probe, region) -> (sum, count)
+    let mut acc: HashMap<(ProbeId, RegionId), (f64, u64)> = HashMap::new();
+    for p in pings.iter().filter(|p| filter(p)) {
+        let e = acc.entry((p.probe, p.region)).or_insert((0.0, 0));
+        e.0 += p.rtt_ms;
+        e.1 += 1;
+    }
+    let mut best: HashMap<ProbeId, (RegionId, f64)> = HashMap::new();
+    let mut keys: Vec<_> = acc.keys().copied().collect();
+    keys.sort(); // deterministic tie-breaking
+    for (probe, region) in keys {
+        let (sum, n) = acc[&(probe, region)];
+        let mean = sum / n as f64;
+        match best.get(&probe) {
+            Some((_, m)) if *m <= mean => {}
+            _ => {
+                best.insert(probe, (region, mean));
+            }
+        }
+    }
+    best
+}
+
+/// All ping samples from each probe to its nearest region.
+pub fn samples_to_nearest<'a>(
+    pings: &'a [PingRecord],
+    nearest: &HashMap<ProbeId, (RegionId, f64)>,
+) -> Vec<&'a PingRecord> {
+    pings
+        .iter()
+        .filter(|p| nearest.get(&p.probe).map(|(r, _)| *r == p.region).unwrap_or(false))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::Provider;
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::Platform;
+    use cloudy_topology::Asn;
+
+    fn ping(probe: u64, region: u16, rtt: f64) -> PingRecord {
+        PingRecord {
+            probe: ProbeId(probe),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(10),
+            access: AccessType::WifiHome,
+            region: RegionId(region),
+            provider: Provider::Google,
+            proto: Protocol::Tcp,
+            rtt_ms: rtt,
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn picks_lowest_mean_not_lowest_sample() {
+        let pings = vec![
+            // Region 0: mean 30 with one outlier-free distribution.
+            ping(1, 0, 29.0),
+            ping(1, 0, 31.0),
+            // Region 1: one lucky 10ms sample but mean 55.
+            ping(1, 1, 10.0),
+            ping(1, 1, 100.0),
+        ];
+        let nearest = nearest_by_mean(&pings, |_| true);
+        assert_eq!(nearest[&ProbeId(1)].0, RegionId(0));
+        assert!((nearest[&ProbeId(1)].1 - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_restricts_candidates() {
+        let pings = vec![ping(1, 0, 10.0), ping(1, 1, 50.0)];
+        let nearest = nearest_by_mean(&pings, |p| p.region == RegionId(1));
+        assert_eq!(nearest[&ProbeId(1)].0, RegionId(1));
+    }
+
+    #[test]
+    fn samples_to_nearest_filters_per_probe() {
+        let pings = vec![
+            ping(1, 0, 20.0),
+            ping(1, 0, 22.0),
+            ping(1, 1, 80.0),
+            ping(2, 1, 15.0),
+            ping(2, 0, 90.0),
+        ];
+        let nearest = nearest_by_mean(&pings, |_| true);
+        let samples = samples_to_nearest(&pings, &nearest);
+        assert_eq!(samples.len(), 3);
+        assert!(samples
+            .iter()
+            .all(|p| (p.probe == ProbeId(1) && p.region == RegionId(0))
+                || (p.probe == ProbeId(2) && p.region == RegionId(1))));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let nearest = nearest_by_mean(&[], |_| true);
+        assert!(nearest.is_empty());
+        assert!(samples_to_nearest(&[], &nearest).is_empty());
+    }
+}

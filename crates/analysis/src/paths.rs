@@ -1,0 +1,215 @@
+//! Traceroute → AS-level path (§3.3 / §6.1).
+//!
+//! "We remove any unresponsive IP addresses and map the remaining to their
+//! respective ASes [...] We identify and tag any IXPs on a path using CAIDA
+//! and PeeringDB datasets, and remove them from AS-level topology as they
+//! only act as points of traffic exchange."
+
+use crate::asmap::{Resolution, Resolver};
+use cloudy_measure::TracerouteRecord;
+use cloudy_topology::ixp::IxpDirectory;
+use cloudy_topology::{Asn, IxpId};
+
+/// The AS-level view of one traceroute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsLevelPath {
+    /// Consecutive-duplicate-collapsed AS sequence (first = serving ISP side).
+    pub ases: Vec<Asn>,
+    /// IXPs whose fabric appeared on the path (tagged then stripped).
+    pub ixps: Vec<IxpId>,
+    /// Responding public hops that resolved to no AS and no IXP.
+    pub unresolved: usize,
+    /// Responding hops in RFC1918 space (home router side).
+    pub private_hops: usize,
+    /// Responding hops in CGN space.
+    pub cgn_hops: usize,
+}
+
+impl AsLevelPath {
+    /// Build from a traceroute record.
+    pub fn from_trace(trace: &TracerouteRecord, resolver: &Resolver, ixps: &IxpDirectory) -> AsLevelPath {
+        let mut ases: Vec<Asn> = Vec::new();
+        let mut seen_ixps: Vec<IxpId> = Vec::new();
+        let mut unresolved = 0usize;
+        let mut private_hops = 0usize;
+        let mut cgn_hops = 0usize;
+        for hop in trace.responding() {
+            let ip = hop.ip.expect("responding hop has ip");
+            match resolver.resolve(ip) {
+                Resolution::As(asn) => {
+                    if ases.last() != Some(&asn) {
+                        ases.push(asn);
+                    }
+                }
+                Resolution::Private => private_hops += 1,
+                Resolution::Cgn => cgn_hops += 1,
+                Resolution::Unknown => {
+                    // Maybe an exchange fabric.
+                    if let Some(id) = ixps.tag(ip) {
+                        if !seen_ixps.contains(&id) {
+                            seen_ixps.push(id);
+                        }
+                    } else {
+                        unresolved += 1;
+                    }
+                }
+            }
+        }
+        AsLevelPath { ases, ixps: seen_ixps, unresolved, private_hops, cgn_hops }
+    }
+
+    /// Number of ASes strictly between the first (serving ISP) and last
+    /// (cloud) AS.
+    pub fn intermediate_count(&self) -> usize {
+        self.ases.len().saturating_sub(2)
+    }
+
+    /// Whether the path crossed any exchange fabric.
+    pub fn via_ixp(&self) -> bool {
+        !self.ixps.is_empty()
+    }
+
+    /// The terminating AS (should be the cloud network).
+    pub fn last_as(&self) -> Option<Asn> {
+        self.ases.last().copied()
+    }
+
+    /// The first AS (should be the serving ISP).
+    pub fn first_as(&self) -> Option<Asn> {
+        self.ases.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_measure::HopRecord;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+    use cloudy_topology::{IpPrefix, Ixp, PrefixTable};
+    use std::net::Ipv4Addr;
+
+    fn trace_with(hops: Vec<(Option<[u8; 4]>, f64)>) -> TracerouteRecord {
+        TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(10),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::Google,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 0, 2),
+            hops: hops
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ip, rtt))| HopRecord {
+                    ttl: (i + 1) as u8,
+                    ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
+                    rtt_ms: ip.map(|_| rtt),
+                })
+                .collect(),
+            hour: 0,
+        }
+    }
+
+    fn world() -> (PrefixTable, IxpDirectory) {
+        let mut t = PrefixTable::new();
+        t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(10)); // ISP
+        t.announce(IpPrefix::new(Ipv4Addr::new(12, 0, 0, 0), 16), Asn(1299)); // carrier
+        t.announce(IpPrefix::new(Ipv4Addr::new(13, 0, 0, 0), 16), Asn(15169)); // cloud
+        let mut ixps = IxpDirectory::new();
+        ixps.add(Ixp::new(
+            IxpId(0),
+            "DE-CIX",
+            cloudy_geo::GeoPoint::new(50.11, 8.68),
+            IpPrefix::new(Ipv4Addr::new(80, 81, 0, 0), 16),
+        ));
+        (t, ixps)
+    }
+
+    #[test]
+    fn direct_path_collapses_to_two_ases() {
+        let (t, ixps) = world();
+        let r = Resolver::new(&t);
+        let trace = trace_with(vec![
+            (Some([192, 168, 0, 1]), 10.0),
+            (Some([11, 0, 0, 1]), 22.0),
+            (Some([11, 0, 9, 1]), 25.0),
+            (Some([13, 0, 0, 1]), 30.0),
+            (Some([13, 0, 0, 99]), 31.0),
+        ]);
+        let p = AsLevelPath::from_trace(&trace, &r, &ixps);
+        assert_eq!(p.ases, vec![Asn(10), Asn(15169)]);
+        assert_eq!(p.intermediate_count(), 0);
+        assert_eq!(p.private_hops, 1);
+        assert!(!p.via_ixp());
+    }
+
+    #[test]
+    fn transit_path_counts_intermediates() {
+        let (t, ixps) = world();
+        let r = Resolver::new(&t);
+        let trace = trace_with(vec![
+            (Some([11, 0, 0, 1]), 22.0),
+            (Some([12, 0, 0, 1]), 30.0),
+            (Some([12, 0, 1, 1]), 35.0),
+            (Some([13, 0, 0, 1]), 44.0),
+        ]);
+        let p = AsLevelPath::from_trace(&trace, &r, &ixps);
+        assert_eq!(p.ases, vec![Asn(10), Asn(1299), Asn(15169)]);
+        assert_eq!(p.intermediate_count(), 1);
+    }
+
+    #[test]
+    fn ixp_fabric_is_tagged_and_stripped() {
+        let (t, ixps) = world();
+        let r = Resolver::new(&t);
+        let trace = trace_with(vec![
+            (Some([11, 0, 0, 1]), 22.0),
+            (Some([80, 81, 3, 3]), 26.0), // fabric
+            (Some([13, 0, 0, 1]), 30.0),
+        ]);
+        let p = AsLevelPath::from_trace(&trace, &r, &ixps);
+        assert_eq!(p.ases, vec![Asn(10), Asn(15169)]);
+        assert!(p.via_ixp());
+        assert_eq!(p.ixps, vec![IxpId(0)]);
+        assert_eq!(p.unresolved, 0);
+    }
+
+    #[test]
+    fn unresponsive_and_unknown_hops_handled() {
+        let (t, ixps) = world();
+        let r = Resolver::new(&t);
+        let trace = trace_with(vec![
+            (Some([11, 0, 0, 1]), 22.0),
+            (None, 0.0),
+            (Some([55, 5, 5, 5]), 28.0), // unannounced, not fabric
+            (Some([13, 0, 0, 1]), 30.0),
+        ]);
+        let p = AsLevelPath::from_trace(&trace, &r, &ixps);
+        assert_eq!(p.ases, vec![Asn(10), Asn(15169)]);
+        assert_eq!(p.unresolved, 1);
+    }
+
+    #[test]
+    fn cgn_hops_counted() {
+        let (t, ixps) = world();
+        let r = Resolver::new(&t);
+        let trace = trace_with(vec![
+            (Some([100, 70, 0, 1]), 15.0),
+            (Some([11, 0, 0, 1]), 22.0),
+            (Some([13, 0, 0, 1]), 30.0),
+        ]);
+        let p = AsLevelPath::from_trace(&trace, &r, &ixps);
+        assert_eq!(p.cgn_hops, 1);
+        assert_eq!(p.private_hops, 0);
+        assert_eq!(p.first_as(), Some(Asn(10)));
+        assert_eq!(p.last_as(), Some(Asn(15169)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig. 11's pervasiveness metric.
+//!
+//! "We define pervasiveness as the ratio between the number of routers owned
+//! by the cloud providers to the overall path length to the cloud." Router
+//! ownership comes from resolving hop addresses and checking the registry's
+//! network type — exactly the PeeringDB-backed method of §3.3, not simulator
+//! ground truth.
+
+use crate::asmap::{Resolution, Resolver};
+use cloudy_measure::TracerouteRecord;
+use cloudy_topology::{Asn, Registry};
+
+/// Pervasiveness of one traceroute: cloud-owned responding routers over all
+/// responding routers. Returns `None` when nothing responded.
+pub fn pervasiveness(
+    trace: &TracerouteRecord,
+    resolver: &Resolver,
+    registry: &Registry,
+) -> Option<f64> {
+    let mut total = 0usize;
+    let mut cloud = 0usize;
+    for hop in trace.responding() {
+        let ip = hop.ip.expect("responding");
+        total += 1;
+        if let Resolution::As(asn) = resolver.resolve(ip) {
+            if registry.is_cloud(asn) {
+                cloud += 1;
+            }
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(cloud as f64 / total as f64)
+    }
+}
+
+/// Pervasiveness restricted to a specific cloud AS (used when a path might
+/// cross *another* provider's network en route).
+pub fn pervasiveness_of(
+    trace: &TracerouteRecord,
+    resolver: &Resolver,
+    cloud_asn: Asn,
+) -> Option<f64> {
+    let mut total = 0usize;
+    let mut cloud = 0usize;
+    for hop in trace.responding() {
+        let ip = hop.ip.expect("responding");
+        total += 1;
+        if resolver.resolve(ip) == Resolution::As(cloud_asn) {
+            cloud += 1;
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(cloud as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_measure::HopRecord;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+    use cloudy_topology::registry::RegistryEntry;
+    use cloudy_topology::{AsKind, IpPrefix, PrefixTable};
+    use std::net::Ipv4Addr;
+
+    fn setup() -> (PrefixTable, Registry) {
+        let mut t = PrefixTable::new();
+        t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(10));
+        t.announce(IpPrefix::new(Ipv4Addr::new(13, 0, 0, 0), 16), Asn(15169));
+        let mut reg = Registry::new();
+        reg.insert(RegistryEntry {
+            asn: Asn(10),
+            org_name: "ISP".into(),
+            kind: AsKind::AccessIsp,
+            country: CountryCode::new("DE"),
+            ixps: vec![],
+        });
+        reg.insert(RegistryEntry {
+            asn: Asn(15169),
+            org_name: "Google".into(),
+            kind: AsKind::Cloud,
+            country: CountryCode::new("US"),
+            ixps: vec![],
+        });
+        (t, reg)
+    }
+
+    fn trace(hops: Vec<Option<[u8; 4]>>) -> TracerouteRecord {
+        TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(10),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::Google,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 0, 2),
+            hops: hops
+                .into_iter()
+                .enumerate()
+                .map(|(i, ip)| HopRecord {
+                    ttl: (i + 1) as u8,
+                    ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
+                    rtt_ms: ip.map(|_| 10.0),
+                })
+                .collect(),
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn ratio_counts_cloud_hops() {
+        let (t, reg) = setup();
+        let r = Resolver::new(&t);
+        let tr = trace(vec![
+            Some([11, 0, 0, 1]),
+            Some([11, 0, 1, 1]),
+            Some([13, 0, 0, 1]),
+            Some([13, 0, 0, 2]),
+        ]);
+        assert_eq!(pervasiveness(&tr, &r, &reg), Some(0.5));
+        assert_eq!(pervasiveness_of(&tr, &r, Asn(15169)), Some(0.5));
+        assert_eq!(pervasiveness_of(&tr, &r, Asn(10)), Some(0.5));
+    }
+
+    #[test]
+    fn unresponsive_hops_excluded() {
+        let (t, reg) = setup();
+        let r = Resolver::new(&t);
+        let tr = trace(vec![Some([11, 0, 0, 1]), None, Some([13, 0, 0, 1])]);
+        assert_eq!(pervasiveness(&tr, &r, &reg), Some(0.5));
+    }
+
+    #[test]
+    fn all_silent_is_none() {
+        let (t, reg) = setup();
+        let r = Resolver::new(&t);
+        assert_eq!(pervasiveness(&trace(vec![None, None]), &r, &reg), None);
+    }
+
+    #[test]
+    fn private_hops_count_toward_length_not_cloud() {
+        let (t, reg) = setup();
+        let r = Resolver::new(&t);
+        let tr = trace(vec![Some([192, 168, 0, 1]), Some([13, 0, 0, 1])]);
+        assert_eq!(pervasiveness(&tr, &r, &reg), Some(0.5));
+    }
+}

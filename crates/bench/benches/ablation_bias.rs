@@ -1,0 +1,113 @@
+//! Ablation 3 (DESIGN.md §5): probe-deployment bias.
+//!
+//! Re-run the Atlas campaign with a *counterfactual* population: probes
+//! placed exactly like Speedchecker's (same countries, cities, ISPs) but
+//! wired and managed like Atlas. Under this population, the Fig. 5 platform
+//! gap should collapse to the last-mile difference only — separating the
+//! paper's two explanations (placement bias vs. access technology).
+
+use cloudy_analysis::report::{ms, pct, Table};
+use cloudy_analysis::{compare, nearest, Cdf};
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::util;
+use cloudy_geo::Continent;
+use cloudy_lastmile::AccessType;
+use cloudy_measure::campaign::{run_campaign, CampaignConfig};
+use cloudy_measure::plan::PlanConfig;
+use cloudy_netsim::build::{build, WorldConfig};
+use cloudy_probes::{Platform, Population};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn counterfactual_population() -> Population {
+    let s = study();
+    let world = build(&WorldConfig {
+        seed: s.config.seed,
+        isps_per_country: s.config.isps_per_country,
+        countries: None,
+    });
+    // Speedchecker placement (same fraction and seed as the shared study's
+    // SC population), Atlas hardware.
+    let sc = cloudy_probes::speedchecker::population(&world, s.config.sc_fraction, s.config.seed ^ 0x5C);
+    let probes = sc
+        .probes
+        .into_iter()
+        .map(|mut p| {
+            p.platform = Platform::RipeAtlas;
+            p.access = AccessType::Wired;
+            p.quality = 0.9;
+            p
+        })
+        .collect();
+    Population { platform: Platform::RipeAtlas, probes }
+}
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let pop = counterfactual_population();
+    let cfg = CampaignConfig {
+        plan: PlanConfig {
+            seed: s.config.seed,
+            duration_days: s.config.duration_days,
+            cycle_days: s.config.duration_days.min(14).max(1),
+            min_probes_per_country: 2,
+            probes_per_country_day: s.config.probes_per_country_day,
+            regions_per_probe: s.config.regions_per_probe,
+            samples_per_measurement: 4,
+            quota_per_day: 1440,
+            census_reserve: 6,
+        },
+        artifacts: s.config.artifacts,
+        threads: 4,
+    };
+    let counterfactual = run_campaign(&cfg, &s.sim, &pop);
+
+    // Fig. 5 with the real Atlas vs. with the re-scattered Atlas.
+    let sc_nearest = util::samples_to_nearest(&s.sc);
+    let real_at = util::samples_to_nearest(&s.atlas);
+    let cf_nearest_map = nearest::nearest_by_mean(&counterfactual.pings, |p| {
+        cloudy_cloud::region::by_id(p.region)
+            .map(|r| r.continent() == p.continent)
+            .unwrap_or(false)
+    });
+    let cf_at = nearest::samples_to_nearest(&counterfactual.pings, &cf_nearest_map);
+
+    let mut t = Table::new(vec![
+        "Continent",
+        "SC faster vs real Atlas",
+        "median gap [ms]",
+        "SC faster vs re-scattered Atlas",
+        "median gap [ms]",
+    ]);
+    for cont in Continent::ALL {
+        let sc: Vec<f64> =
+            sc_nearest.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
+        let real: Vec<f64> =
+            real_at.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
+        let cf: Vec<f64> = cf_at.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
+        if sc.len() < 20 || real.len() < 20 || cf.len() < 20 {
+            continue;
+        }
+        let sc_cdf = Cdf::new(sc);
+        let real_cdf = Cdf::new(real);
+        let cf_cdf = Cdf::new(cf);
+        t.add_row(vec![
+            cont.code().to_string(),
+            pct(compare::fraction_a_faster(&sc_cdf, &real_cdf, 101)),
+            ms(sc_cdf.median() - real_cdf.median()),
+            pct(compare::fraction_a_faster(&sc_cdf, &cf_cdf, 101)),
+            ms(sc_cdf.median() - cf_cdf.median()),
+        ]);
+    }
+    banner(
+        "Ablation: deployment bias (real Atlas vs Atlas re-scattered like Speedchecker)",
+        &t.render(),
+    );
+
+    let mut g = c.benchmark_group("ablation_bias");
+    g.sample_size(10);
+    g.bench_function("counterfactual_population", |b| b.iter(counterfactual_population));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation 4 (DESIGN.md §5): the last-mile distribution family.
+//!
+//! §5's results (median ≈ 20–25 ms, Cv ≈ 0.5, spiky tails) come from a
+//! log-normal-with-spikes process. Here we swap the family — pure
+//! log-normal, heavier spikes, and a shifted-exponential-like tail (high-Cv
+//! log-normal) — and report the observables the paper measures (median,
+//! Cv, p95, last-mile share at an EU-scale path), showing which families
+//! stay consistent with Figs. 7/8.
+
+use cloudy_analysis::report::Table;
+use cloudy_bench::banner;
+use cloudy_lastmile::stats_math::{sample_cv, sample_median};
+use cloudy_lastmile::LatencyProcess;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// EU-scale non-last-mile RTT (propagation + queueing + processing, ms).
+const EU_REST_MS: f64 = 22.0;
+
+fn observe(name: &str, p: &LatencyProcess, t: &mut Table) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 60_000;
+    let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+    let median = sample_median(&samples);
+    let cv = sample_cv(&samples);
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p95 = sorted[(n as f64 * 0.95) as usize];
+    let share = median / (median + EU_REST_MS);
+    let consistent = (18.0..=28.0).contains(&median) && (0.35..=0.75).contains(&cv);
+    t.add_row(vec![
+        name.to_string(),
+        format!("{median:.1}"),
+        format!("{cv:.2}"),
+        format!("{p95:.1}"),
+        format!("{:.0}%", share * 100.0),
+        if consistent { "yes" } else { "no" }.to_string(),
+    ]);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut t = Table::new(vec![
+        "family",
+        "median [ms]",
+        "Cv",
+        "p95 [ms]",
+        "EU share",
+        "matches Figs. 7/8?",
+    ]);
+    observe("lognormal+spikes (model)", &LatencyProcess::spiky(5.0, 17.0, 0.50, 0.06, 4.0), &mut t);
+    observe("pure lognormal", &LatencyProcess::smooth(5.0, 17.0, 0.50), &mut t);
+    observe("heavy spikes", &LatencyProcess::spiky(5.0, 17.0, 0.50, 0.20, 6.0), &mut t);
+    observe("exponential-like tail", &LatencyProcess::smooth(5.0, 14.0, 1.40), &mut t);
+    observe("near-deterministic", &LatencyProcess::smooth(18.0, 4.0, 0.10), &mut t);
+    banner("Ablation: last-mile distribution family", &t.render());
+
+    let model = LatencyProcess::spiky(5.0, 17.0, 0.50, 0.06, 4.0);
+    let mut g = c.benchmark_group("ablation_lastmile");
+    g.bench_function("sample_model_family", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| model.sample(&mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

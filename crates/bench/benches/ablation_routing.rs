@@ -1,0 +1,96 @@
+//! Ablation 1 (DESIGN.md §5): valley-free routing vs. a naive
+//! shortest-AS-path router.
+//!
+//! The question: does the Fig. 10 interconnection classification survive a
+//! router that ignores business relationships? We compare AS-path lengths
+//! from every case-study ISP to every provider under both routers, and time
+//! them. The naive router systematically shortens transit paths (it happily
+//! crosses two peering edges), compressing the "2+ AS" class the paper
+//! depends on.
+
+use cloudy_bench::{banner, study};
+use cloudy_analysis::report::Table;
+use cloudy_cloud::Provider;
+use cloudy_topology::bgp;
+use cloudy_topology::routing::{select_route, shortest_unrestricted};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    let graph = &s.sim.net.graph;
+
+    // Collect one ISP per country for the comparison sweep.
+    let mut isps: Vec<_> = s.isps_by_country.values().filter_map(|v| v.first().copied()).collect();
+    isps.sort();
+
+    let mut vf_longer = 0usize;
+    let mut equal = 0usize;
+    let mut total = 0usize;
+    let mut vf_hops = 0usize;
+    let mut naive_hops = 0usize;
+    for isp in &isps {
+        for p in Provider::ALL {
+            let (Some(vf), Some(naive)) = (
+                select_route(graph, *isp, p.asn()),
+                shortest_unrestricted(graph, *isp, p.asn()),
+            ) else {
+                continue;
+            };
+            total += 1;
+            vf_hops += vf.hop_count();
+            naive_hops += naive.len() - 1;
+            match vf.hop_count().cmp(&(naive.len() - 1)) {
+                std::cmp::Ordering::Greater => vf_longer += 1,
+                std::cmp::Ordering::Equal => equal += 1,
+                std::cmp::Ordering::Less => unreachable!("naive is a lower bound"),
+            }
+        }
+    }
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.add_row(vec!["(ISP, provider) pairs".to_string(), total.to_string()]);
+    t.add_row(vec!["valley-free longer than naive".to_string(), vf_longer.to_string()]);
+    t.add_row(vec!["equal length".to_string(), equal.to_string()]);
+    t.add_row(vec![
+        "mean hops: valley-free".to_string(),
+        format!("{:.2}", vf_hops as f64 / total as f64),
+    ]);
+    t.add_row(vec![
+        "mean hops: naive".to_string(),
+        format!("{:.2}", naive_hops as f64 / total as f64),
+    ]);
+    banner("Ablation: valley-free vs naive routing", &t.render());
+
+    // BGP propagation computes the whole Internet's routes to one
+    // destination at once; report its agreement with per-source selection.
+    let routes = bgp::routes_to(graph, Provider::Oracle.asn());
+    let mut kind_agree = 0usize;
+    let mut checked = 0usize;
+    for isp in &isps {
+        if let (Some(b), Some(s)) = (routes.get(isp), select_route(graph, *isp, Provider::Oracle.asn())) {
+            checked += 1;
+            if b.kind == s.kind {
+                kind_agree += 1;
+            }
+        }
+    }
+    println!(
+        "BGP propagation vs per-source selection: {kind_agree}/{checked} preference classes agree"
+    );
+
+    let isp = isps[isps.len() / 2];
+    let mut g = c.benchmark_group("ablation_routing");
+    g.bench_function("valley_free", |b| {
+        b.iter(|| select_route(graph, black_box(isp), Provider::Oracle.asn()))
+    });
+    g.bench_function("naive_shortest", |b| {
+        b.iter(|| shortest_unrestricted(graph, black_box(isp), Provider::Oracle.asn()))
+    });
+    g.sample_size(10);
+    g.bench_function("bgp_propagate_whole_internet", |b| {
+        b.iter(|| bgp::routes_to(graph, black_box(Provider::Oracle.asn())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

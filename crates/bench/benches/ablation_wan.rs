@@ -1,0 +1,71 @@
+//! Ablation 2 (DESIGN.md §5): sweep the cloud-WAN queueing engineering and
+//! watch the Fig. 13b variance-reduction result appear and disappear.
+//!
+//! At JP→IN propagation (~90 ms RTT), we sweep the WAN's
+//! queueing-vs-propagation fraction from "as engineered" (2%) up to
+//! public-Internet levels (18%) and report the IQR of the resulting RTT
+//! distribution. The paper's result — direct peering gives *consistent*
+//! latency over long distances — only holds while the WAN fraction stays
+//! well below the public one.
+
+use cloudy_analysis::report::Table;
+use cloudy_analysis::BoxStats;
+use cloudy_bench::banner;
+use cloudy_lastmile::LatencyProcess;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// JP→IN-scale propagation RTT (ms).
+const PROP_RTT: f64 = 90.0;
+
+fn rtt_iqr(prop_fraction: f64, spike_prob: f64, n: usize) -> BoxStats {
+    let queue = LatencyProcess::spiky(
+        0.0,
+        (0.5 + prop_fraction * PROP_RTT).max(0.05),
+        1.0,
+        spike_prob,
+        4.0,
+    );
+    let lastmile = LatencyProcess::spiky(5.0, 17.0, 0.5, 0.06, 4.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let samples: Vec<f64> =
+        (0..n).map(|_| PROP_RTT + queue.sample(&mut rng) + lastmile.sample(&mut rng)).collect();
+    BoxStats::from_samples(&samples).expect("nonempty")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut t = Table::new(vec![
+        "WAN queue fraction",
+        "median [ms]",
+        "IQR [ms]",
+        "p95 [ms]",
+        "consistent?",
+    ]);
+    let public = rtt_iqr(0.18, 0.05, 40_000);
+    for frac in [0.02, 0.04, 0.08, 0.12, 0.18] {
+        let s = rtt_iqr(frac, 0.005 + frac / 4.0, 40_000);
+        t.add_row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.1}", s.median),
+            format!("{:.1}", s.iqr()),
+            format!("{:.1}", s.p95),
+            if s.iqr() < public.iqr() * 0.6 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t.add_row(vec![
+        "public Internet (reference)".to_string(),
+        format!("{:.1}", public.median),
+        format!("{:.1}", public.iqr()),
+        format!("{:.1}", public.p95),
+        "-".to_string(),
+    ]);
+    banner("Ablation: WAN queueing engineering sweep (JP->IN scale)", &t.render());
+
+    let mut g = c.benchmark_group("ablation_wan");
+    g.bench_function("sweep_point_40k_samples", |b| b.iter(|| rtt_iqr(0.02, 0.01, 40_000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Fig. 3: median latency to the closest DC per country.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{country_map, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 3", &country_map::run(s).render());
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    g.bench_function("country_map", |b| b.iter(|| country_map::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Fig. 4: continent RTT distributions vs MTP/HPL/HRT.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{continent_cdf, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 4", &continent_cdf::run(s).render());
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("continent_cdf", |b| b.iter(|| continent_cdf::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 5 + Fig. 16: Speedchecker vs RIPE Atlas.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{platform_diff, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 5", &platform_diff::run(s).render());
+    banner("Fig 16", &platform_diff::run_matched(s).render());
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    g.bench_function("platform_diff", |b| b.iter(|| platform_diff::run(s)));
+    g.bench_function("matched_city_asn", |b| b.iter(|| platform_diff::run_matched(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

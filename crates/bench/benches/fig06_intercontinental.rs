@@ -1,0 +1,17 @@
+//! Fig. 6: intra- vs inter-continental access for Africa and South America.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{intercontinental, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 6", &intercontinental::run(s).render());
+    let mut g = c.benchmark_group("fig06");
+    g.sample_size(10);
+    g.bench_function("intercontinental", |b| b.iter(|| intercontinental::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 7 + Fig. 19: wireless last-mile share and absolute latency.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{lastmile_share, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 7", &lastmile_share::run(s).render());
+    banner("Fig 19", &lastmile_share::run_nearest(s).render());
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    g.bench_function("lastmile_share", |b| b.iter(|| lastmile_share::run(s)));
+    g.bench_function("lastmile_share_nearest", |b| b.iter(|| lastmile_share::run_nearest(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figs. 8/9: last-mile consistency (coefficient of variation).
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{lastmile_cv, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 8", &lastmile_cv::run_continents(s).render());
+    banner("Fig 9", &lastmile_cv::run_countries(s).render());
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("cv_continents", |b| b.iter(|| lastmile_cv::run_continents(s)));
+    g.bench_function("cv_countries", |b| b.iter(|| lastmile_cv::run_countries(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

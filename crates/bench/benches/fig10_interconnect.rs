@@ -1,0 +1,17 @@
+//! Fig. 10: interconnection breakdown per provider.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{interconnect, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 10", &interconnect::run(s).render());
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("interconnect_classification", |b| b.iter(|| interconnect::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Fig. 11: provider pervasiveness.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{pervasiveness, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 11", &pervasiveness::run(s).render());
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("pervasiveness", |b| b.iter(|| pervasiveness::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 12 + Fig. 17: the European peering case studies (DE→UK, UA→UK).
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::peering_case::{self, CaseStudy};
+use cloudy_core::experiments::Render;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 12", &peering_case::run(s, CaseStudy::GermanyToUk).render());
+    banner("Fig 17", &peering_case::run(s, CaseStudy::UkraineToUk).render());
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("de_to_uk", |b| b.iter(|| peering_case::run(s, CaseStudy::GermanyToUk)));
+    g.bench_function("ua_to_uk", |b| b.iter(|| peering_case::run(s, CaseStudy::UkraineToUk)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 13 + Fig. 18: the Asian peering case studies (JP→IN, BH→IN).
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::peering_case::{self, CaseStudy};
+use cloudy_core::experiments::Render;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 13", &peering_case::run(s, CaseStudy::JapanToIndia).render());
+    banner("Fig 18", &peering_case::run(s, CaseStudy::BahrainToIndia).render());
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("jp_to_in", |b| b.iter(|| peering_case::run(s, CaseStudy::JapanToIndia)));
+    g.bench_function("bh_to_in", |b| b.iter(|| peering_case::run(s, CaseStudy::BahrainToIndia)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Fig. 15 (A.2): ICMP vs TCP end-to-end latency.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{protocol_compare, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Fig 15", &protocol_compare::run(s).render());
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("protocol_compare", |b| b.iter(|| protocol_compare::run(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Pipeline micro-benchmarks: the building blocks every figure runs on —
+//! world construction, route building, RTT sampling, traceroute execution,
+//! IP→ASN resolution, and valley-free routing.
+
+use cloudy_bench::study;
+use cloudy_geo::CountryCode;
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_netsim::build::{build, WorldConfig};
+use cloudy_netsim::Protocol;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // World construction at two scales.
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    g.bench_function("build_10_countries", |b| {
+        b.iter(|| {
+            build(&WorldConfig {
+                seed: 1,
+                isps_per_country: 3,
+                countries: Some(
+                    ["DE", "GB", "JP", "IN", "BH", "US", "BR", "ZA", "EG", "KE"]
+                        .iter()
+                        .map(|c| CountryCode::new(c))
+                        .collect(),
+                ),
+            })
+        })
+    });
+    g.bench_function("build_global", |b| {
+        b.iter(|| build(&WorldConfig { seed: 1, isps_per_country: 3, countries: None }))
+    });
+    g.finish();
+
+    // Route construction + sampling on the shared study's simulator.
+    let s = study();
+    let probe = s
+        .sc
+        .pings
+        .first()
+        .expect("study has data");
+    // Rebuild a client like the campaign does.
+    let world = build(&WorldConfig {
+        seed: s.config.seed,
+        isps_per_country: s.config.isps_per_country,
+        countries: None,
+    });
+    let pop = cloudy_probes::speedchecker::population(&world, s.config.sc_fraction, s.config.seed ^ 0x5C);
+    let p = pop.probes.iter().find(|p| p.id == probe.probe).expect("probe exists");
+    let client = p.client_ctx(&s.sim.net, &ArtifactConfig::realistic());
+    let rid = probe.region;
+
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("route_cached", |b| b.iter(|| s.sim.route(black_box(&client), rid)));
+    let path = s.sim.route(&client, rid);
+    g.bench_function("sample_rtt", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            s.sim.sample_rtt(black_box(&client), &path, Protocol::Tcp, seq)
+        })
+    });
+    g.bench_function("traceroute", |b| {
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            s.sim.traceroute(black_box(&client), &path, Protocol::Icmp, seq)
+        })
+    });
+    g.finish();
+
+    // Analysis primitives.
+    let mut g = c.benchmark_group("analysis");
+    let resolver = cloudy_analysis::Resolver::new(&s.sim.net.prefixes);
+    let trace = s.sc.traces.first().expect("study has traces");
+    g.bench_function("ip_to_asn_lpm", |b| {
+        b.iter(|| resolver.resolve(black_box(trace.src_ip)))
+    });
+    g.bench_function("as_level_path", |b| {
+        b.iter(|| cloudy_analysis::AsLevelPath::from_trace(black_box(trace), &resolver, &s.sim.net.ixps))
+    });
+    g.bench_function("lastmile_inference", |b| {
+        b.iter(|| cloudy_analysis::lastmile::infer(black_box(trace), &resolver))
+    });
+    g.finish();
+
+    // Valley-free routing on the global graph.
+    let isp = *s.isps_by_country[&CountryCode::new("KE")].first().expect("KE ISPs");
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("valley_free_select", |b| {
+        b.iter(|| {
+            cloudy_topology::routing::select_route(
+                &s.sim.net.graph,
+                black_box(isp),
+                cloudy_cloud::Provider::Vultr.asn(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 1 + Figs. 1/2: the measurement setup tables.
+
+use cloudy_bench::{banner, study};
+use cloudy_core::experiments::{deployment, Render};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = study();
+    banner("Table 1", &deployment::table1().render());
+    banner("Fig 1", &deployment::fig1(s).render());
+    banner("Fig 2", &deployment::fig2(s).render());
+    c.bench_function("table1_static_deployment", |b| b.iter(deployment::table1));
+    c.bench_function("fig1_probe_distribution", |b| b.iter(|| deployment::fig1(s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared harness for the figure benches: one study, built once per bench
+//! process, at a scale large enough for every figure to have samples yet
+//! small enough for Criterion iteration.
+
+use cloudy_core::{Study, StudyConfig};
+use std::sync::OnceLock;
+
+/// The shared bench study.
+pub fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let mut cfg = StudyConfig::tiny(4242);
+        cfg.sc_fraction = 0.02;
+        cfg.atlas_fraction = 0.25;
+        cfg.duration_days = 10;
+        Study::run(cfg)
+    })
+}
+
+/// Print a rendered artifact under a figure banner (each bench regenerates
+/// its table/figure before timing the pipeline that produces it).
+pub fn banner(name: &str, artifact: &str) {
+    println!("\n================ {name} ================\n{artifact}");
+}

@@ -1,0 +1,107 @@
+//! Private WAN footprints.
+//!
+//! Table 1 classifies each provider's backbone as Private (global WAN), Semi
+//! (private only within home continents) or Public (no WAN). §6 then shows
+//! the consequences: hypergiant traffic rides their WAN from an ingress near
+//! the client all the way to the region, while Vultr/Linode traffic rides
+//! transit end to end. [`WanFootprint`] answers the two questions the
+//! simulator asks: *does the WAN reach this continent?* and *can the WAN
+//! carry traffic between these two continents?*
+
+use crate::provider::{Backbone, Provider};
+use cloudy_geo::Continent;
+
+/// A provider's backbone coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanFootprint {
+    pub provider: Provider,
+}
+
+impl WanFootprint {
+    pub fn new(provider: Provider) -> Self {
+        WanFootprint { provider }
+    }
+
+    /// Continents the provider's private backbone spans.
+    ///
+    /// * Private backbones span every continent the provider serves.
+    /// * Semi backbones span the provider's home continents only: the paper
+    ///   describes DigitalOcean and IBM building out private networks in
+    ///   Europe/North America \[27, 44\] and Alibaba operating non-Chinese
+    ///   regions as "islands" reachable only over public transit (§6.1).
+    /// * Public backbones span nothing.
+    pub fn home_continents(&self) -> &'static [Continent] {
+        use Continent::*;
+        match (self.provider.backbone(), self.provider) {
+            (Backbone::Private, _) => {
+                &[Africa, Asia, Europe, NorthAmerica, Oceania, SouthAmerica]
+            }
+            (Backbone::Semi, Provider::DigitalOcean) => &[Europe, NorthAmerica],
+            (Backbone::Semi, Provider::Ibm) => &[Europe, NorthAmerica],
+            (Backbone::Semi, Provider::Alibaba) => &[Asia],
+            (Backbone::Semi, _) => &[],
+            (Backbone::Public, _) => &[],
+        }
+    }
+
+    /// Whether the private WAN has presence on `continent`.
+    pub fn spans(&self, continent: Continent) -> bool {
+        self.home_continents().contains(&continent)
+    }
+
+    /// Whether the WAN can carry traffic between the two continents without
+    /// touching the public Internet (both endpoints inside the footprint).
+    pub fn wan_connects(&self, a: Continent, b: Continent) -> bool {
+        self.spans(a) && self.spans(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Continent::*;
+
+    #[test]
+    fn private_backbones_are_global() {
+        for p in [
+            Provider::AmazonEc2,
+            Provider::Google,
+            Provider::Microsoft,
+            Provider::AmazonLightsail,
+            Provider::Oracle,
+        ] {
+            let w = WanFootprint::new(p);
+            for c in Continent::ALL {
+                assert!(w.spans(c), "{p} should span {c}");
+            }
+            assert!(w.wan_connects(Europe, Asia));
+        }
+    }
+
+    #[test]
+    fn semi_backbones_are_regional() {
+        let do_wan = WanFootprint::new(Provider::DigitalOcean);
+        assert!(do_wan.spans(Europe) && do_wan.spans(NorthAmerica));
+        assert!(!do_wan.spans(Asia));
+        assert!(do_wan.wan_connects(Europe, NorthAmerica));
+        assert!(!do_wan.wan_connects(Europe, Asia));
+
+        let baba = WanFootprint::new(Provider::Alibaba);
+        assert!(baba.spans(Asia));
+        assert!(!baba.spans(Europe), "Alibaba islands outside Asia (§6.1)");
+
+        let ibm = WanFootprint::new(Provider::Ibm);
+        assert!(ibm.spans(Europe) && ibm.spans(NorthAmerica) && !ibm.spans(Asia));
+    }
+
+    #[test]
+    fn public_backbones_span_nothing() {
+        for p in [Provider::Vultr, Provider::Linode] {
+            let w = WanFootprint::new(p);
+            for c in Continent::ALL {
+                assert!(!w.spans(c), "{p} should not span {c}");
+            }
+            assert!(!w.wan_connects(Europe, Europe));
+        }
+    }
+}

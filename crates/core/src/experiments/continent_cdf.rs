@@ -1,0 +1,79 @@
+//! Fig. 4: distribution of all RTT samples to the nearest datacenter,
+//! grouped by continent, against the MTP/HPL/HRT thresholds.
+
+use super::util;
+use super::Render;
+use crate::Study;
+use cloudy_analysis::latency_groups::{HPL_MS, HRT_MS, MTP_MS};
+use cloudy_analysis::report::{ascii_cdf, cdf_summary, pct, Table};
+use cloudy_analysis::Cdf;
+use cloudy_geo::Continent;
+
+/// One continent's distribution.
+#[derive(Debug, Clone)]
+pub struct ContinentSeries {
+    pub continent: Continent,
+    pub cdf: Cdf,
+    pub below_mtp: f64,
+    pub below_hpl: f64,
+    pub below_hrt: f64,
+}
+
+/// The Fig. 4 result.
+#[derive(Debug, Clone)]
+pub struct ContinentCdf {
+    pub series: Vec<ContinentSeries>,
+}
+
+impl ContinentCdf {
+    pub fn get(&self, c: Continent) -> Option<&ContinentSeries> {
+        self.series.iter().find(|s| s.continent == c)
+    }
+}
+
+pub fn run(study: &Study) -> ContinentCdf {
+    let samples = util::samples_to_nearest(&study.sc);
+    let grouped = util::group_rtts(&samples, |p| p.continent);
+    let mut series: Vec<ContinentSeries> = grouped
+        .into_iter()
+        .filter(|(_, v)| v.len() >= 10)
+        .map(|(continent, v)| {
+            let cdf = Cdf::new(v);
+            ContinentSeries {
+                continent,
+                below_mtp: cdf.fraction_below(MTP_MS),
+                below_hpl: cdf.fraction_below(HPL_MS),
+                below_hrt: cdf.fraction_below(HRT_MS),
+                cdf,
+            }
+        })
+        .collect();
+    series.sort_by_key(|s| s.continent);
+    ContinentCdf { series }
+}
+
+impl Render for ContinentCdf {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec!["Continent", "<MTP 20ms", "<HPL 100ms", "<HRT 250ms", "CDF"]);
+        for s in &self.series {
+            t.add_row(vec![
+                s.continent.code().to_string(),
+                pct(s.below_mtp),
+                pct(s.below_hpl),
+                pct(s.below_hrt),
+                cdf_summary(&s.cdf),
+            ]);
+        }
+        let mut out =
+            format!("Fig 4: RTT distribution to nearest DC per continent\n{}", t.render());
+        // The figure itself: per-continent CDFs against a 0-400 ms axis,
+        // as in the paper's plot.
+        let series: Vec<(&str, &cloudy_analysis::Cdf)> =
+            self.series.iter().map(|s| (s.continent.code(), &s.cdf)).collect();
+        if !series.is_empty() {
+            out.push('\n');
+            out.push_str(&ascii_cdf(&series, 72, 400.0));
+        }
+        out
+    }
+}

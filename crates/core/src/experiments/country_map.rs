@@ -1,0 +1,91 @@
+//! Fig. 3: median latency from Speedchecker probes to the closest
+//! same-continent datacenter, per country, banded into the choropleth's
+//! latency groups.
+
+use super::util;
+use super::Render;
+use crate::Study;
+use cloudy_analysis::latency_groups::{LatencyBand, QoeSupport};
+use cloudy_analysis::report::{ms, Table};
+use cloudy_analysis::stats;
+use cloudy_geo::CountryCode;
+
+/// One country's row.
+#[derive(Debug, Clone)]
+pub struct CountryRow {
+    pub country: CountryCode,
+    pub median_ms: f64,
+    pub band: LatencyBand,
+    pub qoe: QoeSupport,
+    pub samples: usize,
+}
+
+/// The Fig. 3 result.
+#[derive(Debug, Clone)]
+pub struct CountryMap {
+    pub rows: Vec<CountryRow>,
+    /// Counts per QoE class: countries meeting MTP / HPL / HRT.
+    pub mtp_countries: usize,
+    pub hpl_countries: usize,
+    pub hrt_countries: usize,
+}
+
+impl CountryMap {
+    pub fn row(&self, cc: &str) -> Option<&CountryRow> {
+        self.rows.iter().find(|r| r.country.as_str() == cc)
+    }
+}
+
+/// Minimum per-country sample count to publish a median (scaled from the
+/// paper's ≥100-probe gate by campaign volume).
+fn min_samples(study: &Study) -> usize {
+    ((100.0 * study.config.volume_scale()).ceil() as usize).clamp(5, 2401)
+}
+
+pub fn run(study: &Study) -> CountryMap {
+    let samples = util::samples_to_nearest(&study.sc);
+    let by_country = util::group_rtts(&samples, |p| p.country);
+    let gate = min_samples(study);
+    let mut rows: Vec<CountryRow> = by_country
+        .into_iter()
+        .filter(|(_, v)| v.len() >= gate)
+        .map(|(country, v)| {
+            let median = stats::median(&v).expect("nonempty");
+            CountryRow {
+                country,
+                median_ms: median,
+                band: LatencyBand::of(median),
+                qoe: QoeSupport::of(median),
+                samples: v.len(),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.median_ms.partial_cmp(&b.median_ms).unwrap());
+    let mtp = rows.iter().filter(|r| r.qoe.mtp).count();
+    let hpl = rows.iter().filter(|r| r.qoe.hpl).count();
+    let hrt = rows.iter().filter(|r| r.qoe.hrt).count();
+    CountryMap { rows, mtp_countries: mtp, hpl_countries: hpl, hrt_countries: hrt }
+}
+
+impl Render for CountryMap {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec!["Country", "Median [ms]", "Band", "Samples"]);
+        for r in &self.rows {
+            t.add_row(vec![
+                r.country.to_string(),
+                ms(r.median_ms),
+                r.band.label().to_string(),
+                r.samples.to_string(),
+            ]);
+        }
+        format!(
+            "Fig 3: median latency to closest same-continent DC per country\n{}\n\
+             Countries meeting MTP: {}  HPL: {}  HRT: {}  (of {})\n",
+            t.render(),
+            self.mtp_countries,
+            self.hpl_countries,
+            self.hrt_countries,
+            self.rows.len()
+        )
+    }
+}

@@ -1,0 +1,116 @@
+//! Extension experiment: diurnal consistency of cloud access.
+//!
+//! Not a paper figure — the paper's six-month campaign implicitly averages
+//! over the day, and its consistency analyses (Figs. 8/9, 13b) aggregate
+//! time away. With the simulator's diurnal load model the question becomes
+//! answerable: *how much does cloud access latency swing with the probe's
+//! local time of day, and does direct peering flatten the swing?*
+
+use super::util;
+use super::Render;
+use crate::Study;
+use cloudy_analysis::report::{ms, pct, Table};
+use cloudy_analysis::stats;
+use cloudy_geo::{city, Continent};
+use std::collections::HashMap;
+
+/// Number of local-time buckets (3-hour bins).
+pub const BUCKETS: usize = 8;
+
+/// One continent's diurnal profile.
+#[derive(Debug, Clone)]
+pub struct DiurnalRow {
+    pub continent: Continent,
+    /// Median nearest-DC RTT per 3-hour local-time bucket (bucket 0 =
+    /// 00:00–03:00 local). `None` when a bucket lacks samples.
+    pub medians: [Option<f64>; BUCKETS],
+    pub samples: usize,
+}
+
+impl DiurnalRow {
+    /// Peak-to-trough swing relative to the daily median.
+    pub fn swing(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.medians.iter().flatten().copied().collect();
+        if vals.len() < 4 {
+            return None;
+        }
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        let mid = stats::median(&vals)?;
+        Some((max - min) / mid)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    pub rows: Vec<DiurnalRow>,
+}
+
+impl Diurnal {
+    pub fn get(&self, c: Continent) -> Option<&DiurnalRow> {
+        self.rows.iter().find(|r| r.continent == c)
+    }
+}
+
+pub fn run(study: &Study) -> Diurnal {
+    let samples = util::samples_to_nearest(&study.sc);
+    let mut acc: HashMap<(Continent, usize), Vec<f64>> = HashMap::new();
+    let mut counts: HashMap<Continent, usize> = HashMap::new();
+    for p in samples {
+        let Some((_, c)) = city::by_name(&p.city) else { continue };
+        let local =
+            cloudy_netsim::latency::diurnal::local_hour(p.hour, c.location().lon());
+        let bucket = ((local / 24.0 * BUCKETS as f64) as usize).min(BUCKETS - 1);
+        acc.entry((p.continent, bucket)).or_default().push(p.rtt_ms);
+        *counts.entry(p.continent).or_default() += 1;
+    }
+    let mut rows = Vec::new();
+    let mut conts: Vec<Continent> = counts.keys().copied().collect();
+    conts.sort();
+    for continent in conts {
+        if counts[&continent] < 40 {
+            continue;
+        }
+        let mut medians = [None; BUCKETS];
+        for (b, slot) in medians.iter_mut().enumerate() {
+            if let Some(v) = acc.get(&(continent, b)) {
+                if v.len() >= 5 {
+                    *slot = stats::median(v);
+                }
+            }
+        }
+        rows.push(DiurnalRow { continent, medians, samples: counts[&continent] });
+    }
+    Diurnal { rows }
+}
+
+impl Render for Diurnal {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Continent",
+            "00-03",
+            "03-06",
+            "06-09",
+            "09-12",
+            "12-15",
+            "15-18",
+            "18-21",
+            "21-24",
+            "swing",
+            "n",
+        ]);
+        for r in &self.rows {
+            let mut row = vec![r.continent.code().to_string()];
+            for m in &r.medians {
+                row.push(m.map(ms).unwrap_or_else(|| "-".into()));
+            }
+            row.push(r.swing().map(pct).unwrap_or_else(|| "-".into()));
+            row.push(r.samples.to_string());
+            t.add_row(row);
+        }
+        format!(
+            "Extension: diurnal profile of nearest-DC latency (medians per 3h local bucket)\n{}",
+            t.render()
+        )
+    }
+}

@@ -1,0 +1,161 @@
+//! CSV export of the figure series, for external plotting tools — the same
+//! role the paper's published dataset and helper scripts play \[25, 60\].
+//!
+//! Each entry is `(file stem, CSV content)`; `cloudy-repro all --csv DIR`
+//! writes them to disk.
+
+use super::{
+    continent_cdf, country_map, interconnect, lastmile_share, pervasiveness, protocol_compare,
+};
+use crate::Study;
+use cloudy_analysis::report::Table;
+use cloudy_geo::Continent;
+
+/// Build CSV series for the figure families with natural tabular form.
+pub fn export_csv(study: &Study) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+
+    // Fig. 3: per-country medians.
+    let map = country_map::run(study);
+    let mut t = Table::new(vec!["country", "median_ms", "band", "samples"]);
+    for r in &map.rows {
+        t.add_row(vec![
+            r.country.to_string(),
+            format!("{:.3}", r.median_ms),
+            r.band.label().to_string(),
+            r.samples.to_string(),
+        ]);
+    }
+    out.push(("fig03_country_medians", t.to_csv()));
+
+    // Fig. 4: continent CDF points (101 quantiles each).
+    let cdf = continent_cdf::run(study);
+    let mut t = Table::new(vec!["continent", "quantile", "rtt_ms"]);
+    for s in &cdf.series {
+        for (q, v) in s.cdf.points(101) {
+            t.add_row(vec![
+                s.continent.code().to_string(),
+                format!("{q:.2}"),
+                format!("{v:.3}"),
+            ]);
+        }
+    }
+    out.push(("fig04_continent_cdfs", t.to_csv()));
+
+    // Fig. 10: interconnection fractions.
+    let ic = interconnect::run(study);
+    let mut t = Table::new(vec!["provider", "direct", "one_ixp", "one_as", "two_plus", "paths"]);
+    for (p, b) in &ic.per_provider {
+        if let Some(f) = b.fractions() {
+            t.add_row(vec![
+                p.abbrev().to_string(),
+                format!("{:.4}", f[0]),
+                format!("{:.4}", f[1]),
+                format!("{:.4}", f[2]),
+                format!("{:.4}", f[3]),
+                b.classified_total().to_string(),
+            ]);
+        }
+    }
+    out.push(("fig10_interconnect", t.to_csv()));
+
+    // Fig. 11: pervasiveness matrix.
+    let pv = pervasiveness::run(study);
+    let mut t = Table::new(vec!["provider", "continent", "median_pervasiveness", "paths"]);
+    for ((p, c), (m, n)) in &pv.cells {
+        t.add_row(vec![
+            p.abbrev().to_string(),
+            c.code().to_string(),
+            format!("{m:.4}"),
+            n.to_string(),
+        ]);
+    }
+    out.push(("fig11_pervasiveness", t.to_csv()));
+
+    // Fig. 7: last-mile medians.
+    let lm = lastmile_share::run(study);
+    let mut t = Table::new(vec![
+        "continent",
+        "home_share",
+        "cell_share",
+        "home_ms",
+        "cell_ms",
+        "rtr_isp_ms",
+        "atlas_ms",
+    ]);
+    let fmt = |b: &Option<cloudy_analysis::BoxStats>| {
+        b.map(|s| format!("{:.3}", s.median)).unwrap_or_default()
+    };
+    for r in &lm.rows {
+        t.add_row(vec![
+            r.continent.map(|c: Continent| c.code().to_string()).unwrap_or_else(|| "Global".into()),
+            fmt(&r.home_share),
+            fmt(&r.cell_share),
+            fmt(&r.home_abs),
+            fmt(&r.cell_abs),
+            fmt(&r.rtr_abs),
+            fmt(&r.atlas_abs),
+        ]);
+    }
+    out.push(("fig07_lastmile", t.to_csv()));
+
+    // Fig. 15: protocol comparison.
+    let pc = protocol_compare::run(study);
+    let mut t = Table::new(vec!["continent", "tcp_median_ms", "icmp_median_ms", "pairs"]);
+    for r in &pc.rows {
+        t.add_row(vec![
+            r.continent.code().to_string(),
+            format!("{:.3}", r.tcp.median),
+            format!("{:.3}", r.icmp.median),
+            r.pairs.to_string(),
+        ]);
+    }
+    out.push(("fig15_icmp_tcp", t.to_csv()));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StudyConfig;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static Study {
+        static S: OnceLock<Study> = OnceLock::new();
+        S.get_or_init(|| {
+            let mut cfg = StudyConfig::tiny(33);
+            cfg.duration_days = 5;
+            Study::run(cfg)
+        })
+    }
+
+    #[test]
+    fn exports_have_headers_and_rows() {
+        let files = export_csv(study());
+        assert_eq!(files.len(), 6);
+        for (name, csv) in &files {
+            let lines: Vec<&str> = csv.lines().collect();
+            assert!(lines.len() >= 2, "{name}: no data rows");
+            let cols = lines[0].split(',').count();
+            for (i, line) in lines.iter().enumerate().skip(1) {
+                assert_eq!(line.split(',').count(), cols, "{name} line {i}: ragged CSV");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_export_quantiles_are_monotone_per_continent() {
+        let files = export_csv(study());
+        let (_, csv) = files.iter().find(|(n, _)| *n == "fig04_continent_cdfs").unwrap();
+        let mut last: std::collections::HashMap<String, f64> = Default::default();
+        for line in csv.lines().skip(1) {
+            let parts: Vec<&str> = line.split(',').collect();
+            let v: f64 = parts[2].parse().unwrap();
+            let prev = last.insert(parts[0].to_string(), v);
+            if let Some(p) = prev {
+                assert!(v >= p, "{line}: non-monotone");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 10: interconnection breakdown per cloud provider.
+//!
+//! Every Speedchecker traceroute is resolved to an AS-level path (IXPs
+//! tagged and stripped) and classified direct / 1 IXP / 1 AS / 2+ AS via the
+//! observable pipeline — never the simulator's policy.
+
+use super::Render;
+use crate::Study;
+use cloudy_analysis::peering::{classify, InterconnectBreakdown};
+use cloudy_analysis::report::{pct, Table};
+use cloudy_analysis::{AsLevelPath, Resolver};
+use cloudy_cloud::Provider;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub struct InterconnectResult {
+    pub per_provider: Vec<(Provider, InterconnectBreakdown)>,
+}
+
+impl InterconnectResult {
+    pub fn get(&self, p: Provider) -> Option<&InterconnectBreakdown> {
+        self.per_provider.iter().find(|(q, _)| *q == p).map(|(_, b)| b)
+    }
+}
+
+pub fn run(study: &Study) -> InterconnectResult {
+    let resolver = Resolver::new(&study.sim.net.prefixes);
+    let mut map: HashMap<Provider, InterconnectBreakdown> = HashMap::new();
+    for t in &study.sc.traces {
+        let path = AsLevelPath::from_trace(t, &resolver, &study.sim.net.ixps);
+        map.entry(t.provider).or_default().add(classify(&path));
+    }
+    let mut per_provider: Vec<_> = map.into_iter().collect();
+    per_provider.sort_by_key(|(p, _)| p.abbrev());
+    InterconnectResult { per_provider }
+}
+
+impl Render for InterconnectResult {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec!["Provider", "direct", "1 IXP", "1 AS", "2+ AS", "paths"]);
+        for (p, b) in &self.per_provider {
+            if let Some(f) = b.fractions() {
+                t.add_row(vec![
+                    p.abbrev().to_string(),
+                    pct(f[0]),
+                    pct(f[1]),
+                    pct(f[2]),
+                    pct(f[3]),
+                    b.classified_total().to_string(),
+                ]);
+            }
+        }
+        format!("Fig 10: AS-level interconnection breakdown per provider\n{}", t.render())
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 6: can under-provisioned continents do better by crossing the sea?
+//!
+//! For each probe country in Africa (DZ EG ET KE MA SN TN ZA) and South
+//! America (AR BO BR CL CO EC PE VE): the distribution of all samples to the
+//! nearest datacenter *within each target continent* (AF probes → AF, EU,
+//! NA; SA probes → SA, NA).
+
+use super::Render;
+use crate::Study;
+use cloudy_analysis::nearest;
+use cloudy_analysis::report::{ms, Table};
+use cloudy_analysis::BoxStats;
+use cloudy_cloud::region;
+use cloudy_geo::{Continent, CountryCode};
+
+/// The paper's Fig. 6a country set.
+pub const AFRICAN_COUNTRIES: [&str; 8] = ["DZ", "EG", "ET", "KE", "MA", "SN", "TN", "ZA"];
+/// The paper's Fig. 6b country set.
+pub const SOUTH_AMERICAN_COUNTRIES: [&str; 8] = ["AR", "BO", "BR", "CL", "CO", "EC", "PE", "VE"];
+
+/// One (probe country, target continent) distribution.
+#[derive(Debug, Clone)]
+pub struct InterRow {
+    pub country: CountryCode,
+    pub target: Continent,
+    pub stats: BoxStats,
+    pub samples: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct Intercontinental {
+    pub africa: Vec<InterRow>,
+    pub south_america: Vec<InterRow>,
+}
+
+impl Intercontinental {
+    pub fn row(&self, cc: &str, target: Continent) -> Option<&InterRow> {
+        self.africa
+            .iter()
+            .chain(&self.south_america)
+            .find(|r| r.country.as_str() == cc && r.target == target)
+    }
+}
+
+fn rows_for(
+    study: &Study,
+    countries: &[&str],
+    targets: &[Continent],
+) -> Vec<InterRow> {
+    let mut out = Vec::new();
+    for cc_str in countries {
+        let cc = CountryCode::new(cc_str);
+        for &target in targets {
+            // Nearest region *within the target continent*, per probe.
+            let nearest = nearest::nearest_by_mean(&study.sc.pings, |p| {
+                p.country == cc
+                    && region::by_id(p.region).map(|r| r.continent() == target).unwrap_or(false)
+            });
+            let samples: Vec<f64> = nearest::samples_to_nearest(&study.sc.pings, &nearest)
+                .iter()
+                .filter(|p| p.country == cc)
+                .map(|p| p.rtt_ms)
+                .collect();
+            if samples.len() < 5 {
+                continue;
+            }
+            out.push(InterRow {
+                country: cc,
+                target,
+                samples: samples.len(),
+                stats: BoxStats::from_samples(&samples).expect("nonempty"),
+            });
+        }
+    }
+    out
+}
+
+pub fn run(study: &Study) -> Intercontinental {
+    Intercontinental {
+        africa: rows_for(
+            study,
+            &AFRICAN_COUNTRIES,
+            &[Continent::Africa, Continent::Europe, Continent::NorthAmerica],
+        ),
+        south_america: rows_for(
+            study,
+            &SOUTH_AMERICAN_COUNTRIES,
+            &[Continent::SouthAmerica, Continent::NorthAmerica],
+        ),
+    }
+}
+
+impl Render for Intercontinental {
+    fn render(&self) -> String {
+        let table = |rows: &[InterRow]| {
+            let mut t =
+                Table::new(vec!["Country", "Target", "q1", "median", "q3", "p95", "samples"]);
+            for r in rows {
+                t.add_row(vec![
+                    r.country.to_string(),
+                    r.target.code().to_string(),
+                    ms(r.stats.q1),
+                    ms(r.stats.median),
+                    ms(r.stats.q3),
+                    ms(r.stats.p95),
+                    r.samples.to_string(),
+                ]);
+            }
+            t.render()
+        };
+        format!(
+            "Fig 6a: African probes to nearest DC per continent\n{}\n\
+             Fig 6b: South American probes to nearest DC per continent\n{}",
+            table(&self.africa),
+            table(&self.south_america)
+        )
+    }
+}

@@ -1,0 +1,137 @@
+//! Figs. 8/9: consistency of the wireless last mile.
+//!
+//! Cv = σ/μ of a probe's last-mile (USR→ISP) latency across all its
+//! measurements to one datacenter, computed per `<probe, datacenter>` pair
+//! with enough samples, grouped by continent (Fig. 8) or by the paper's ten
+//! representative countries (Fig. 9).
+
+use super::Render;
+use crate::Study;
+use cloudy_analysis::lastmile::{infer, InferredAccess};
+use cloudy_analysis::report::{ms, Table};
+use cloudy_analysis::stats::coefficient_of_variation;
+use cloudy_analysis::{BoxStats, Resolver};
+use cloudy_geo::{Continent, CountryCode};
+use std::collections::HashMap;
+
+/// Fig. 9's representative countries (two per continent; AF home excluded
+/// in the paper for lack of samples).
+pub const REPRESENTATIVE_COUNTRIES: [&str; 10] =
+    ["ZA", "MA", "JP", "IR", "GB", "UA", "US", "MX", "BR", "AR"];
+
+/// Minimum samples per `<probe, datacenter>` pair. The paper uses 10; small
+/// campaigns scale it down (never below 3 — Cv of fewer is meaningless).
+pub fn min_pair_samples(study: &Study) -> usize {
+    if study.config.duration_days >= 60 {
+        10
+    } else {
+        3
+    }
+}
+
+/// Cv distributions per group key.
+#[derive(Debug, Clone)]
+pub struct CvRow<K> {
+    pub key: K,
+    pub home: Option<BoxStats>,
+    pub cell: Option<BoxStats>,
+    pub home_pairs: usize,
+    pub cell_pairs: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct CvResult<K> {
+    pub rows: Vec<CvRow<K>>,
+    pub min_samples: usize,
+}
+
+fn collect_cvs<K, F>(study: &Study, key_of: F, min_samples: usize) -> Vec<CvRow<K>>
+where
+    K: std::hash::Hash + Eq + Ord + Copy,
+    F: Fn(&cloudy_measure::TracerouteRecord) -> Option<K>,
+{
+    let resolver = Resolver::new(&study.sim.net.prefixes);
+    // (key, probe, region, access) -> usr_isp samples
+    type PairKey<K> = (K, cloudy_probes::ProbeId, cloudy_cloud::RegionId, InferredAccess);
+    let mut pairs: HashMap<PairKey<K>, Vec<f64>> = HashMap::new();
+    for t in &study.sc.traces {
+        let Some(k) = key_of(t) else { continue };
+        let Some(lm) = infer(t, &resolver) else { continue };
+        pairs.entry((k, t.probe, t.region, lm.access)).or_default().push(lm.usr_isp_ms);
+    }
+    let mut cvs: HashMap<(K, InferredAccess), Vec<f64>> = HashMap::new();
+    for ((k, _, _, access), samples) in pairs {
+        if samples.len() < min_samples {
+            continue;
+        }
+        if let Some(cv) = coefficient_of_variation(&samples) {
+            cvs.entry((k, access)).or_default().push(cv);
+        }
+    }
+    let mut keys: Vec<K> = cvs.keys().map(|(k, _)| *k).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let home = cvs.get(&(k, InferredAccess::Home));
+            let cell = cvs.get(&(k, InferredAccess::Cell));
+            CvRow {
+                key: k,
+                home: home.and_then(|v| if v.len() >= 3 { BoxStats::from_samples(v) } else { None }),
+                cell: cell.and_then(|v| if v.len() >= 3 { BoxStats::from_samples(v) } else { None }),
+                home_pairs: home.map(|v| v.len()).unwrap_or(0),
+                cell_pairs: cell.map(|v| v.len()).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8: per continent.
+pub fn run_continents(study: &Study) -> CvResult<Continent> {
+    let min = min_pair_samples(study);
+    CvResult { rows: collect_cvs(study, |t| Some(t.continent), min), min_samples: min }
+}
+
+/// Fig. 9: the ten representative countries.
+pub fn run_countries(study: &Study) -> CvResult<CountryCode> {
+    let min = min_pair_samples(study);
+    let set: Vec<CountryCode> =
+        REPRESENTATIVE_COUNTRIES.iter().map(|c| CountryCode::new(c)).collect();
+    CvResult {
+        rows: collect_cvs(
+            study,
+            move |t| if set.contains(&t.country) { Some(t.country) } else { None },
+            min,
+        ),
+        min_samples: min,
+    }
+}
+
+impl<K: std::fmt::Display> Render for CvResult<K> {
+    fn render(&self) -> String {
+        let fmt = |b: &Option<BoxStats>| {
+            b.map(|s| format!("{} [{}..{}]", ms(s.median), ms(s.q1), ms(s.q3)))
+                .unwrap_or_else(|| "-".into())
+        };
+        let mut t = Table::new(vec!["Group", "home Cv (med [q1..q3])", "cell Cv", "pairs h/c"]);
+        for r in &self.rows {
+            t.add_row(vec![
+                r.key.to_string(),
+                fmt(&r.home),
+                fmt(&r.cell),
+                format!("{}/{}", r.home_pairs, r.cell_pairs),
+            ]);
+        }
+        format!(
+            "Fig 8/9: last-mile Cv per <probe,DC> pair (>= {} samples)\n{}",
+            self.min_samples,
+            t.render()
+        )
+    }
+}
+
+impl<K: PartialEq + Copy> CvResult<K> {
+    pub fn get(&self, key: K) -> Option<&CvRow<K>> {
+        self.rows.iter().find(|r| r.key == key)
+    }
+}

@@ -1,0 +1,192 @@
+//! Fig. 7 and Fig. 19: the wireless last mile's contribution.
+//!
+//! Everything here comes from traceroutes via the §5 inference in
+//! `cloudy-analysis::lastmile`: home/cell classification from the first hop,
+//! USR→ISP and RTR→ISP latencies, and their share of the end-to-end RTT.
+
+use super::util;
+use super::Render;
+use crate::Study;
+use cloudy_analysis::lastmile::{infer, InferredAccess};
+use cloudy_analysis::report::{ms, pct, Table};
+use cloudy_analysis::{BoxStats, Resolver};
+use cloudy_geo::Continent;
+use cloudy_measure::TracerouteRecord;
+
+/// Per (continent, series) distributions.
+#[derive(Debug, Clone)]
+pub struct ShareRow {
+    pub continent: Option<Continent>, // None = Global
+    /// Last-mile share of total latency per series (fractions in `\[0,1\]`).
+    pub home_share: Option<BoxStats>,
+    pub cell_share: Option<BoxStats>,
+    /// Absolute last-mile latency (ms).
+    pub home_abs: Option<BoxStats>,
+    pub cell_abs: Option<BoxStats>,
+    /// Wired part of the home connection (RTR→ISP).
+    pub rtr_abs: Option<BoxStats>,
+    /// Atlas (wired) last-mile.
+    pub atlas_abs: Option<BoxStats>,
+    pub atlas_share: Option<BoxStats>,
+}
+
+#[derive(Debug, Clone)]
+pub struct LastMileShare {
+    pub rows: Vec<ShareRow>,
+    /// Which figure variant: all traceroutes (Fig. 7) or nearest-DC only
+    /// (Fig. 19).
+    pub nearest_only: bool,
+}
+
+impl LastMileShare {
+    pub fn global(&self) -> &ShareRow {
+        self.rows.iter().find(|r| r.continent.is_none()).expect("global row present")
+    }
+
+    pub fn continent(&self, c: Continent) -> Option<&ShareRow> {
+        self.rows.iter().find(|r| r.continent == Some(c))
+    }
+}
+
+struct Buckets {
+    home_share: Vec<f64>,
+    cell_share: Vec<f64>,
+    home_abs: Vec<f64>,
+    cell_abs: Vec<f64>,
+    rtr_abs: Vec<f64>,
+    atlas_abs: Vec<f64>,
+    atlas_share: Vec<f64>,
+}
+
+impl Buckets {
+    fn new() -> Self {
+        Buckets {
+            home_share: vec![],
+            cell_share: vec![],
+            home_abs: vec![],
+            cell_abs: vec![],
+            rtr_abs: vec![],
+            atlas_abs: vec![],
+            atlas_share: vec![],
+        }
+    }
+}
+
+fn collect<'a>(
+    study: &Study,
+    sc_traces: impl Iterator<Item = &'a TracerouteRecord>,
+    atlas_traces: impl Iterator<Item = &'a TracerouteRecord>,
+) -> Vec<ShareRow> {
+    let resolver = Resolver::new(&study.sim.net.prefixes);
+    let mut per: std::collections::HashMap<Option<Continent>, Buckets> = Default::default();
+    let mut push_sc = |cont: Option<Continent>, lm: &cloudy_analysis::LastMile| {
+        let b = per.entry(cont).or_insert_with(Buckets::new);
+        match lm.access {
+            InferredAccess::Home => {
+                b.home_abs.push(lm.usr_isp_ms);
+                if let Some(s) = lm.share() {
+                    b.home_share.push(s);
+                }
+                if let Some(r) = lm.rtr_isp_ms {
+                    b.rtr_abs.push(r);
+                }
+            }
+            InferredAccess::Cell => {
+                b.cell_abs.push(lm.usr_isp_ms);
+                if let Some(s) = lm.share() {
+                    b.cell_share.push(s);
+                }
+            }
+        }
+    };
+    for t in sc_traces {
+        if let Some(lm) = infer(t, &resolver) {
+            push_sc(Some(t.continent), &lm);
+            push_sc(None, &lm);
+        }
+    }
+    for t in atlas_traces {
+        if let Some(lm) = infer(t, &resolver) {
+            for cont in [Some(t.continent), None] {
+                let b = per.entry(cont).or_insert_with(Buckets::new);
+                b.atlas_abs.push(lm.usr_isp_ms);
+                if let Some(s) = lm.share() {
+                    b.atlas_share.push(s);
+                }
+            }
+        }
+    }
+    let stats = |v: &Vec<f64>| if v.len() >= 5 { BoxStats::from_samples(v) } else { None };
+    let mut rows: Vec<ShareRow> = per
+        .into_iter()
+        .map(|(continent, b)| ShareRow {
+            continent,
+            home_share: stats(&b.home_share),
+            cell_share: stats(&b.cell_share),
+            home_abs: stats(&b.home_abs),
+            cell_abs: stats(&b.cell_abs),
+            rtr_abs: stats(&b.rtr_abs),
+            atlas_abs: stats(&b.atlas_abs),
+            atlas_share: stats(&b.atlas_share),
+        })
+        .collect();
+    rows.sort_by_key(|r| r.continent);
+    rows
+}
+
+/// Fig. 7: over all traceroutes.
+pub fn run(study: &Study) -> LastMileShare {
+    LastMileShare {
+        rows: collect(study, study.sc.traces.iter(), study.atlas.traces.iter()),
+        nearest_only: false,
+    }
+}
+
+/// Fig. 19: traceroutes to the probe's nearest datacenter only.
+pub fn run_nearest(study: &Study) -> LastMileShare {
+    let sc_nearest = util::nearest_same_continent(&study.sc);
+    let at_nearest = util::nearest_same_continent(&study.atlas);
+    let sc = study.sc.traces.iter().filter(|t| {
+        sc_nearest.get(&t.probe).map(|(r, _)| *r == t.region).unwrap_or(false)
+    });
+    let at = study.atlas.traces.iter().filter(|t| {
+        at_nearest.get(&t.probe).map(|(r, _)| *r == t.region).unwrap_or(false)
+    });
+    LastMileShare { rows: collect(study, sc, at), nearest_only: true }
+}
+
+impl Render for LastMileShare {
+    fn render(&self) -> String {
+        let name = if self.nearest_only { "Fig 19 (nearest DC only)" } else { "Fig 7" };
+        let fmt_share = |b: &Option<BoxStats>| {
+            b.map(|s| pct(s.median)).unwrap_or_else(|| "-".into())
+        };
+        let fmt_abs = |b: &Option<BoxStats>| b.map(|s| ms(s.median)).unwrap_or_else(|| "-".into());
+        let cont_label = |c: &Option<Continent>| {
+            c.map(|x| x.code().to_string()).unwrap_or_else(|| "Global".into())
+        };
+        let mut t = Table::new(vec![
+            "Continent",
+            "home share",
+            "cell share",
+            "home [ms]",
+            "cell [ms]",
+            "RTR-ISP [ms]",
+            "Atlas [ms]",
+            "Atlas share",
+        ]);
+        for r in &self.rows {
+            t.add_row(vec![
+                cont_label(&r.continent),
+                fmt_share(&r.home_share),
+                fmt_share(&r.cell_share),
+                fmt_abs(&r.home_abs),
+                fmt_abs(&r.cell_abs),
+                fmt_abs(&r.rtr_abs),
+                fmt_abs(&r.atlas_abs),
+                fmt_share(&r.atlas_share),
+            ]);
+        }
+        format!("{name}: last-mile share and absolute latency (medians)\n{}", t.render())
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 11: provider pervasiveness — the share of on-path routers the cloud
+//! provider owns, per provider per continent, from resolved traceroutes and
+//! the PeeringDB-style registry.
+
+use super::Render;
+use crate::Study;
+use cloudy_analysis::pervasiveness::pervasiveness_of;
+use cloudy_analysis::report::Table;
+use cloudy_analysis::{stats, Resolver};
+use cloudy_cloud::Provider;
+use cloudy_geo::Continent;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub struct PervasivenessResult {
+    /// (provider, continent) -> median pervasiveness and path count.
+    pub cells: HashMap<(Provider, Continent), (f64, usize)>,
+    /// Provider-level medians over all continents.
+    pub overall: Vec<(Provider, f64)>,
+}
+
+impl PervasivenessResult {
+    pub fn overall_of(&self, p: Provider) -> Option<f64> {
+        self.overall.iter().find(|(q, _)| *q == p).map(|(_, v)| *v)
+    }
+}
+
+pub fn run(study: &Study) -> PervasivenessResult {
+    let resolver = Resolver::new(&study.sim.net.prefixes);
+    let mut acc: HashMap<(Provider, Continent), Vec<f64>> = HashMap::new();
+    let mut all: HashMap<Provider, Vec<f64>> = HashMap::new();
+    for t in &study.sc.traces {
+        let Some(p) = pervasiveness_of(&t, &resolver, t.provider.asn()) else { continue };
+        acc.entry((t.provider, t.continent)).or_default().push(p);
+        all.entry(t.provider).or_default().push(p);
+    }
+    let cells = acc
+        .into_iter()
+        .filter(|(_, v)| v.len() >= 5)
+        .map(|(k, v)| (k, (stats::median(&v).expect("nonempty"), v.len())))
+        .collect();
+    let mut overall: Vec<(Provider, f64)> = all
+        .into_iter()
+        .map(|(p, v)| (p, stats::median(&v).expect("nonempty")))
+        .collect();
+    overall.sort_by_key(|(p, _)| p.abbrev());
+    PervasivenessResult { cells, overall }
+}
+
+impl Render for PervasivenessResult {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec!["Provider", "overall", "EU", "NA", "AS", "AF", "OC", "SA"]);
+        let conts = [
+            Continent::Europe,
+            Continent::NorthAmerica,
+            Continent::Asia,
+            Continent::Africa,
+            Continent::Oceania,
+            Continent::SouthAmerica,
+        ];
+        for (p, overall) in &self.overall {
+            let mut row = vec![p.abbrev().to_string(), format!("{overall:.2}")];
+            for c in conts {
+                row.push(
+                    self.cells
+                        .get(&(*p, c))
+                        .map(|(m, _)| format!("{m:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            t.add_row(row);
+        }
+        format!("Fig 11: provider pervasiveness (median router-ownership share)\n{}", t.render())
+    }
+}

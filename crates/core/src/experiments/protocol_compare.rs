@@ -1,0 +1,103 @@
+//! Fig. 15 (Appendix A.2): ICMP vs TCP end-to-end latencies in
+//! Speedchecker, per continent.
+//!
+//! TCP latencies come from TCP pings; ICMP latencies from the destination
+//! response of ICMP traceroutes (the paper's ICMP end-to-end estimate). Both
+//! are reduced to per-`<country, datacenter>` medians before aggregation, as
+//! in the paper.
+
+use super::Render;
+use crate::Study;
+use cloudy_analysis::report::{ms, Table};
+use cloudy_analysis::{stats, BoxStats};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_cloud::RegionId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+pub struct ProtocolRow {
+    pub continent: Continent,
+    pub tcp: BoxStats,
+    pub icmp: BoxStats,
+    pub pairs: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct ProtocolCompare {
+    pub rows: Vec<ProtocolRow>,
+}
+
+impl ProtocolCompare {
+    pub fn get(&self, c: Continent) -> Option<&ProtocolRow> {
+        self.rows.iter().find(|r| r.continent == c)
+    }
+}
+
+pub fn run(study: &Study) -> ProtocolCompare {
+    // Per <country, region> medians per protocol.
+    let mut tcp: HashMap<(CountryCode, RegionId), Vec<f64>> = HashMap::new();
+    for p in &study.sc.pings {
+        if p.proto == cloudy_netsim::Protocol::Tcp {
+            tcp.entry((p.country, p.region)).or_default().push(p.rtt_ms);
+        }
+    }
+    let mut icmp: HashMap<(CountryCode, RegionId), Vec<f64>> = HashMap::new();
+    for t in &study.sc.traces {
+        if t.proto == cloudy_netsim::Protocol::Icmp {
+            if let Some(rtt) = t.end_to_end_ms() {
+                icmp.entry((t.country, t.region)).or_default().push(rtt);
+            }
+        }
+    }
+
+    let mut per_cont: HashMap<Continent, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    for (key, tcp_samples) in &tcp {
+        let Some(icmp_samples) = icmp.get(key) else { continue };
+        if tcp_samples.len() < 6 || icmp_samples.len() < 6 {
+            continue;
+        }
+        let continent = cloudy_geo::country::lookup(key.0).expect("known country").continent;
+        let e = per_cont.entry(continent).or_default();
+        e.0.push(stats::median(tcp_samples).expect("nonempty"));
+        e.1.push(stats::median(icmp_samples).expect("nonempty"));
+    }
+
+    // A continent needs enough <country, DC> pairs for a stable median —
+    // the same spirit as §3.3's per-country sample bound.
+    let mut rows: Vec<ProtocolRow> = per_cont
+        .into_iter()
+        .filter(|(_, (t, i))| t.len() >= 8 && i.len() >= 8)
+        .map(|(continent, (t, i))| ProtocolRow {
+            continent,
+            pairs: t.len(),
+            tcp: BoxStats::from_samples(&t).expect("nonempty"),
+            icmp: BoxStats::from_samples(&i).expect("nonempty"),
+        })
+        .collect();
+    rows.sort_by_key(|r| r.continent);
+    ProtocolCompare { rows }
+}
+
+impl Render for ProtocolCompare {
+    fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "Continent",
+            "TCP med",
+            "TCP q3",
+            "ICMP med",
+            "ICMP q3",
+            "<country,DC> pairs",
+        ]);
+        for r in &self.rows {
+            t.add_row(vec![
+                r.continent.code().to_string(),
+                ms(r.tcp.median),
+                ms(r.tcp.q3),
+                ms(r.icmp.median),
+                ms(r.icmp.q3),
+                r.pairs.to_string(),
+            ]);
+        }
+        format!("Fig 15: ICMP vs TCP end-to-end latency per continent (Speedchecker)\n{}", t.render())
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for experiments: nearest-datacenter sample extraction.
+
+use cloudy_analysis::nearest;
+use cloudy_cloud::{region, RegionId};
+use cloudy_measure::{Dataset, PingRecord};
+use cloudy_probes::ProbeId;
+use std::collections::HashMap;
+
+/// Per-probe nearest *same-continent* region (Fig. 3/4/5 all use this), from
+/// ping means — the paper's footnote-1 estimator.
+pub fn nearest_same_continent(ds: &Dataset) -> HashMap<ProbeId, (RegionId, f64)> {
+    nearest::nearest_by_mean(&ds.pings, |p| {
+        region::by_id(p.region).map(|r| r.continent() == p.continent).unwrap_or(false)
+    })
+}
+
+/// All ping samples from each probe to its nearest same-continent region.
+pub fn samples_to_nearest(ds: &Dataset) -> Vec<&PingRecord> {
+    let nearest = nearest_same_continent(ds);
+    nearest::samples_to_nearest(&ds.pings, &nearest)
+}
+
+/// Group sample RTTs by an arbitrary key.
+pub fn group_rtts<'a, K, F>(samples: &[&'a PingRecord], key: F) -> HashMap<K, Vec<f64>>
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(&'a PingRecord) -> K,
+{
+    let mut out: HashMap<K, Vec<f64>> = HashMap::new();
+    for s in samples {
+        out.entry(key(s)).or_default().push(s.rtt_ms);
+    }
+    out
+}

@@ -1,0 +1,23 @@
+//! Study runner and per-figure experiments for the `cloudy` reproduction of
+//! *"Cloudy with a Chance of Short RTTs"* (IMC 2021).
+//!
+//! [`Study`] ties the whole workspace together: it builds the world
+//! (topology + cloud deployment + probe platforms), runs the §3.3
+//! measurement campaigns for both Speedchecker and RIPE Atlas over the
+//! simulator, and hands the resulting datasets to the [`experiments`] — one
+//! module per table/figure of the paper, each producing a typed result plus
+//! a rendered text artifact (the same rows/series the paper plots).
+//!
+//! ```no_run
+//! use cloudy_core::experiments::Render;
+//! use cloudy_core::{Study, StudyConfig};
+//!
+//! let study = Study::run(StudyConfig::small());
+//! let fig4 = cloudy_core::experiments::continent_cdf::run(&study);
+//! println!("{}", fig4.render());
+//! ```
+
+pub mod experiments;
+pub mod study;
+
+pub use study::{Study, StudyConfig};

@@ -1,0 +1,141 @@
+//! The six populated continents, exactly as grouped in the paper's figures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Continent grouping used throughout the paper (Figs. 4, 5, 7, 8, 15 all
+/// group by these six).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    Africa,
+    Asia,
+    Europe,
+    NorthAmerica,
+    Oceania,
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All six continents in the paper's canonical (alphabetical-code) order:
+    /// AF, AS, EU, NA, OC, SA.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Two-letter code as used in the paper's tables ("EU", "NA", ...).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Continent::Africa => "AF",
+            Continent::Asia => "AS",
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "NA",
+            Continent::Oceania => "OC",
+            Continent::SouthAmerica => "SA",
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Continent::Africa => "Africa",
+            Continent::Asia => "Asia",
+            Continent::Europe => "Europe",
+            Continent::NorthAmerica => "North America",
+            Continent::Oceania => "Oceania",
+            Continent::SouthAmerica => "South America",
+        }
+    }
+
+    /// Parse a two-letter code (case-insensitive).
+    pub fn from_code(code: &str) -> Option<Continent> {
+        let up = code.to_ascii_uppercase();
+        Continent::ALL.iter().copied().find(|c| c.code() == up)
+    }
+
+    /// Continents the paper treats as "well-provisioned" with datacenters
+    /// (§4.1: Europe, North America, Oceania show similar, low latency
+    /// distributions).
+    pub fn is_well_provisioned(&self) -> bool {
+        matches!(
+            self,
+            Continent::Europe | Continent::NorthAmerica | Continent::Oceania
+        )
+    }
+
+    /// The neighbouring better-provisioned continents the paper probes for
+    /// inter-continental access (§4.3): Africa → Europe + North America,
+    /// South America → North America.
+    pub fn intercontinental_targets(&self) -> &'static [Continent] {
+        match self {
+            Continent::Africa => &[Continent::Europe, Continent::NorthAmerica],
+            Continent::SouthAmerica => &[Continent::NorthAmerica],
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for c in Continent::ALL {
+            assert_eq!(Continent::from_code(c.code()), Some(c));
+        }
+    }
+
+    #[test]
+    fn from_code_is_case_insensitive() {
+        assert_eq!(Continent::from_code("eu"), Some(Continent::Europe));
+        assert_eq!(Continent::from_code("Na"), Some(Continent::NorthAmerica));
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        assert_eq!(Continent::from_code("XX"), None);
+        assert_eq!(Continent::from_code(""), None);
+    }
+
+    #[test]
+    fn all_is_sorted_by_code() {
+        let codes: Vec<_> = Continent::ALL.iter().map(|c| c.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+    }
+
+    #[test]
+    fn provisioning_split_matches_paper() {
+        assert!(Continent::Europe.is_well_provisioned());
+        assert!(Continent::NorthAmerica.is_well_provisioned());
+        assert!(Continent::Oceania.is_well_provisioned());
+        assert!(!Continent::Africa.is_well_provisioned());
+        assert!(!Continent::Asia.is_well_provisioned());
+        assert!(!Continent::SouthAmerica.is_well_provisioned());
+    }
+
+    #[test]
+    fn intercontinental_targets_match_section_4_3() {
+        assert_eq!(
+            Continent::Africa.intercontinental_targets(),
+            &[Continent::Europe, Continent::NorthAmerica]
+        );
+        assert_eq!(
+            Continent::SouthAmerica.intercontinental_targets(),
+            &[Continent::NorthAmerica]
+        );
+        assert!(Continent::Europe.intercontinental_targets().is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the geodesy substrate.
+
+use crate::continent::Continent;
+use crate::coord::GeoPoint;
+use crate::distance::routed_distance_km;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-90.0f64..90.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+fn arb_continent() -> impl Strategy<Value = Continent> {
+    prop::sample::select(Continent::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn haversine_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = a.haversine_km(&b);
+        prop_assert!(d >= 0.0);
+        // Max great-circle distance is half the circumference (~20 015 km).
+        prop_assert!(d <= 20_016.0, "distance {d} exceeds half circumference");
+    }
+
+    #[test]
+    fn haversine_symmetric(a in arb_point(), b in arb_point()) {
+        prop_assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.haversine_km(&b);
+        let bc = b.haversine_km(&c);
+        let ac = a.haversine_km(&c);
+        prop_assert!(ac <= ab + bc + 1e-6, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn geopoint_new_always_in_range(lat in -1e6f64..1e6, lon in -1e6f64..1e6) {
+        let p = GeoPoint::new(lat, lon);
+        prop_assert!(p.lat() >= -90.0 && p.lat() <= 90.0);
+        prop_assert!(p.lon() > -180.0 - 1e-9 && p.lon() <= 180.0 + 1e-9);
+    }
+
+    #[test]
+    fn routed_distance_never_below_great_circle(
+        a in arb_point(), b in arb_point(),
+        ca in arb_continent(), cb in arb_continent(),
+    ) {
+        let routed = routed_distance_km(a, ca, b, cb);
+        let gc = a.haversine_km(&b);
+        // Same continent: exactly the great circle. Different: may detour,
+        // never shortcut (cables are >= great circle between endpoints, and a
+        // path of legs can't beat the direct geodesic).
+        if ca == cb {
+            prop_assert!((routed.total_km - gc).abs() < 1e-6);
+        } else {
+            prop_assert!(routed.total_km >= gc * 0.98 - 1.0,
+                "routed {} < gc {}", routed.total_km, gc);
+        }
+    }
+
+    #[test]
+    fn routed_legs_sum_to_total(
+        a in arb_point(), b in arb_point(),
+        ca in arb_continent(), cb in arb_continent(),
+    ) {
+        let routed = routed_distance_km(a, ca, b, cb);
+        let sum: f64 = routed.legs.iter().map(|l| l.km()).sum();
+        prop_assert!((sum - routed.total_km).abs() < 1e-6);
+        prop_assert!(!routed.legs.is_empty());
+    }
+
+    #[test]
+    fn cross_continent_routes_exist(
+        a in arb_point(), b in arb_point(),
+        ca in arb_continent(), cb in arb_continent(),
+    ) {
+        let routed = routed_distance_km(a, ca, b, cb);
+        prop_assert!(routed.total_km.is_finite());
+    }
+}

@@ -1,0 +1,29 @@
+//! Last-mile access models for the `cloudy` reproduction of *"Cloudy with a
+//! Chance of Short RTTs"* (IMC 2021).
+//!
+//! §5 of the paper is entirely about the wireless last mile: it finds that
+//! WiFi and cellular behave almost identically (median device→ISP latency
+//! ≈ 20–25 ms, coefficient of variation ≈ 0.5), that the wired
+//! router→ISP portion is ≈ 10 ms (matching RIPE Atlas probes' wired access),
+//! and that the last mile eats 40–50 % of total cloud latency. This crate
+//! provides the stochastic latency processes those numbers emerge from:
+//!
+//! * [`stats_math`] — Box–Muller normal and log-normal sampling
+//!   parameterised by `(median, Cv)`, the two quantities the paper reports.
+//!   (Hand-rolled: `rand_distr` is outside the allowed crate set.)
+//! * [`process::LatencyProcess`] — a floor + log-normal + occasional-spike
+//!   process, the unit of last-mile behaviour.
+//! * [`access`] — calibrated processes per access technology (WiFi home
+//!   segment, home-router uplink, cellular radio link, wired/managed) and the
+//!   [`access::AccessType`] taxonomy used by the probe platforms.
+//! * [`artifacts`] — the measurement artifacts §5 and §7 warn about:
+//!   carrier-grade NAT and VPNs that break home/cell classification.
+
+pub mod access;
+pub mod artifacts;
+pub mod process;
+pub mod stats_math;
+
+pub use access::{AccessProfile, AccessType};
+pub use artifacts::ArtifactConfig;
+pub use process::LatencyProcess;

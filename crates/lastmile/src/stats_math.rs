@@ -1,0 +1,170 @@
+//! Normal and log-normal sampling, parameterised the way the paper reports
+//! last-mile behaviour: by median and coefficient of variation.
+//!
+//! For `X ~ LogNormal(mu, sigma)`:
+//!   median(X) = exp(mu)            →  mu    = ln(median)
+//!   Cv(X)²    = exp(sigma²) − 1    →  sigma = sqrt(ln(1 + Cv²))
+//!
+//! so a process can be specified directly from Fig. 7b/8's numbers.
+
+use rand::Rng;
+
+/// One standard-normal draw via Box–Muller (basic form; we deliberately
+/// avoid the polar-rejection variant so the draw count per sample is fixed —
+/// that keeps substream determinism trivial).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Parameters of a log-normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    pub mu: f64,
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// From the natural parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// From the paper's reporting parameters: median and coefficient of
+    /// variation. `median` must be positive; `cv` non-negative.
+    pub fn from_median_cv(median: f64, cv: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        assert!(cv >= 0.0, "cv must be non-negative, got {cv}");
+        LogNormal { mu: median.ln(), sigma: (1.0 + cv * cv).ln().sqrt() }
+    }
+
+    /// Analytic median.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Analytic mean.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Analytic coefficient of variation (σ/μ of the distribution itself).
+    pub fn cv(&self) -> f64 {
+        ((self.sigma * self.sigma).exp() - 1.0).sqrt()
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Sample median of a slice (destructive order: copies internally).
+pub fn sample_median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Sample coefficient of variation σ/μ (population σ).
+pub fn sample_cv(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "cv of empty slice");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn from_median_cv_round_trips_analytically() {
+        let d = LogNormal::from_median_cv(22.0, 0.5);
+        assert!((d.median() - 22.0).abs() < 1e-9);
+        assert!((d.cv() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_median_and_cv_match_parameters() {
+        let d = LogNormal::from_median_cv(20.0, 0.5);
+        let mut r = rng();
+        let xs: Vec<f64> = (0..60_000).map(|_| d.sample(&mut r)).collect();
+        let med = sample_median(&xs);
+        let cv = sample_cv(&xs);
+        assert!((med - 20.0).abs() < 0.5, "median {med}");
+        assert!((cv - 0.5).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn zero_cv_is_deterministic() {
+        let d = LogNormal::from_median_cv(15.0, 0.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((d.sample(&mut r) - 15.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_always_positive() {
+        let d = LogNormal::from_median_cv(5.0, 2.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_median_odd_even() {
+        assert_eq!(sample_median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(sample_median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(sample_median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn sample_cv_of_constant_is_zero() {
+        assert_eq!(sample_cv(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn median_of_empty_panics() {
+        sample_median(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn bad_median_panics() {
+        LogNormal::from_median_cv(0.0, 0.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic parallel campaign execution.
+//!
+//! Tasks are planned up-front ([`crate::plan`]), then executed over the
+//! simulator in fixed-size chunks sharded across crossbeam scoped threads.
+//! Because every latency sample is derived from (seed, flow) — never from
+//! shared RNG state — the merged dataset is bit-identical for any thread
+//! count.
+
+use crate::dataset::Dataset;
+use crate::plan::{self, MeasurementPlan, PlanConfig, TaskKind};
+use crate::record::{HopRecord, PingRecord, TracerouteRecord};
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_netsim::Simulator;
+use cloudy_probes::Population;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    pub plan: PlanConfig,
+    pub artifacts: ArtifactConfig,
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            plan: PlanConfig::default(),
+            artifacts: ArtifactConfig::realistic(),
+            threads: 4,
+        }
+    }
+}
+
+/// Execute a campaign for one platform population.
+pub fn run_campaign(cfg: &CampaignConfig, sim: &Simulator, pop: &Population) -> Dataset {
+    let schedule = plan::plan(&cfg.plan, pop);
+    execute(cfg, sim, pop, &schedule)
+}
+
+/// Execute a pre-built plan.
+pub fn execute(
+    cfg: &CampaignConfig,
+    sim: &Simulator,
+    pop: &Population,
+    schedule: &MeasurementPlan,
+) -> Dataset {
+    let threads = cfg.threads.max(1);
+    let chunk = schedule.tasks.len().div_ceil(threads).max(1);
+    let chunks: Vec<&[plan::Task]> = schedule.tasks.chunks(chunk).collect();
+
+    // Each worker produces (chunk index, pings, traces); merge in order.
+    let mut results: Vec<(usize, Vec<PingRecord>, Vec<TracerouteRecord>)> =
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (ci, tasks) in chunks.iter().enumerate() {
+                let artifacts = cfg.artifacts;
+                handles.push(s.spawn(move |_| {
+                    let mut pings = Vec::new();
+                    let mut traces = Vec::new();
+                    for t in *tasks {
+                        let probe = &pop.probes[t.probe_ix as usize];
+                        let client = probe.client_ctx(&sim.net, &artifacts);
+                        let path = sim.route(&client, t.region);
+                        let ep = sim.net.region(t.region);
+                        match t.kind {
+                            TaskKind::Ping(proto) => {
+                                // Diurnal load + loss: timed-out pings
+                                // produce no record, as on the real
+                                // platform.
+                                let Some(rtt) = sim.ping_at(&client, &path, proto, t.seq, t.hour)
+                                else {
+                                    continue;
+                                };
+                                pings.push(PingRecord {
+                                    probe: probe.id,
+                                    platform: probe.platform,
+                                    country: probe.country,
+                                    continent: probe.continent,
+                                    city: probe.city.clone(),
+                                    isp: probe.isp,
+                                    access: probe.access,
+                                    region: t.region,
+                                    provider: ep.region.provider,
+                                    proto,
+                                    rtt_ms: rtt,
+                                    hour: t.hour,
+                                });
+                            }
+                            TaskKind::Traceroute(proto) => {
+                                let hops: Vec<HopRecord> = sim
+                                    .traceroute_at(&client, &path, proto, t.seq, t.hour)
+                                    .into_iter()
+                                    .map(HopRecord::from)
+                                    .collect();
+                                traces.push(TracerouteRecord {
+                                    probe: probe.id,
+                                    platform: probe.platform,
+                                    country: probe.country,
+                                    continent: probe.continent,
+                                    city: probe.city.clone(),
+                                    isp: probe.isp,
+                                    access: probe.access,
+                                    region: t.region,
+                                    provider: ep.region.provider,
+                                    proto,
+                                    src_ip: client.public_ip,
+                                    hops,
+                                    hour: t.hour,
+                                });
+                            }
+                        }
+                    }
+                    (ci, pings, traces)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+
+    results.sort_by_key(|(ci, _, _)| *ci);
+    let mut ds = Dataset::new(pop.platform);
+    for (_, pings, traces) in results {
+        ds.pings.extend(pings);
+        ds.traces.extend(traces);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_netsim::build::{build, WorldConfig};
+
+    fn setup() -> (Simulator, Population) {
+        let w = build(&WorldConfig::default());
+        let pop = cloudy_probes::speedchecker::population(&w, 0.005, 3);
+        (Simulator::new(w.net), pop)
+    }
+
+    fn small_cfg(threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            plan: PlanConfig { duration_days: 3, ..Default::default() },
+            artifacts: ArtifactConfig::realistic(),
+            threads,
+        }
+    }
+
+    #[test]
+    fn campaign_produces_records() {
+        let (sim, pop) = setup();
+        let ds = run_campaign(&small_cfg(2), &sim, &pop);
+        assert!(!ds.pings.is_empty());
+        // A small share of pings is lost (loss model); traceroutes always
+        // produce a record.
+        assert!(ds.pings.len() <= ds.traces.len());
+        let loss = 1.0 - ds.pings.len() as f64 / ds.traces.len() as f64;
+        assert!(loss < 0.08, "ping loss {loss}");
+        for t in ds.traces.iter().take(50) {
+            assert!(t.end_to_end_ms().is_some(), "traceroute must reach the VM");
+            assert!(t.hops.len() >= 4, "too few hops: {}", t.hops.len());
+        }
+        for p in ds.pings.iter().take(50) {
+            assert!(p.rtt_ms > 0.0 && p.rtt_ms < 2_000.0, "rtt {}", p.rtt_ms);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (sim, pop) = setup();
+        let a = run_campaign(&small_cfg(1), &sim, &pop);
+        let b = run_campaign(&small_cfg(7), &sim, &pop);
+        assert_eq!(a.pings.len(), b.pings.len());
+        assert_eq!(a.pings, b.pings);
+        assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn atlas_campaign_uses_its_protocols() {
+        let w = build(&WorldConfig::default());
+        let pop = cloudy_probes::atlas::population(&w, 0.05, 3);
+        let sim = Simulator::new(w.net);
+        let ds = run_campaign(&small_cfg(2), &sim, &pop);
+        assert!(!ds.pings.is_empty());
+        for p in &ds.pings {
+            assert_eq!(p.proto, cloudy_netsim::Protocol::Icmp);
+        }
+        for t in &ds.traces {
+            assert_eq!(t.proto, cloudy_netsim::Protocol::Tcp);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The campaign dataset: container, JSON-lines export, binary codec.
+//!
+//! The paper publishes its dataset (3.8M pings, 7M+ traceroutes) for
+//! external analysis \[60\]; `to_jsonl`/`from_jsonl` serve the same purpose
+//! here. The binary codec (via `bytes`) is for fast local round-trips of
+//! large campaigns.
+
+use crate::record::{PingRecord, TracerouteRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cloudy_probes::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The collected output of one platform's campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub platform: Platform,
+    pub pings: Vec<PingRecord>,
+    pub traces: Vec<TracerouteRecord>,
+}
+
+impl Dataset {
+    pub fn new(platform: Platform) -> Self {
+        Dataset { platform, pings: Vec::new(), traces: Vec::new() }
+    }
+
+    /// Merge another dataset (same platform) into this one.
+    pub fn merge(&mut self, other: Dataset) {
+        assert_eq!(self.platform, other.platform, "platform mismatch");
+        self.pings.extend(other.pings);
+        self.traces.extend(other.traces);
+    }
+
+    /// Export as JSON lines: one header line, then one line per record.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&serde_json::to_string(&Header {
+            platform: self.platform,
+            pings: self.pings.len(),
+            traces: self.traces.len(),
+        })
+        .expect("header serializes"));
+        out.push('\n');
+        for p in &self.pings {
+            out.push_str(&serde_json::to_string(&Line::Ping(p.clone())).expect("ping serializes"));
+            out.push('\n');
+        }
+        for t in &self.traces {
+            out.push_str(&serde_json::to_string(&Line::Trace(t.clone())).expect("trace serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSON-lines export.
+    pub fn from_jsonl(s: &str) -> Result<Dataset, String> {
+        let mut lines = s.lines();
+        let header: Header = serde_json::from_str(lines.next().ok_or("empty input")?)
+            .map_err(|e| format!("bad header: {e}"))?;
+        let mut ds = Dataset::new(header.platform);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: Line =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+            match rec {
+                Line::Ping(p) => ds.pings.push(p),
+                Line::Trace(t) => ds.traces.push(t),
+            }
+        }
+        if ds.pings.len() != header.pings || ds.traces.len() != header.traces {
+            return Err(format!(
+                "count mismatch: header says {}/{}, got {}/{}",
+                header.pings,
+                header.traces,
+                ds.pings.len(),
+                ds.traces.len()
+            ));
+        }
+        Ok(ds)
+    }
+
+    /// Compact binary encoding.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.pings.len() * 64 + self.traces.len() * 192);
+        buf.put_slice(MAGIC);
+        buf.put_u8(match self.platform {
+            Platform::Speedchecker => 0,
+            Platform::RipeAtlas => 1,
+        });
+        buf.put_u64_le(self.pings.len() as u64);
+        buf.put_u64_le(self.traces.len() as u64);
+        for p in &self.pings {
+            let b = serde_json::to_vec(p).expect("ping serializes");
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(&b);
+        }
+        for t in &self.traces {
+            let b = serde_json::to_vec(t).expect("trace serializes");
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(&b);
+        }
+        buf.freeze()
+    }
+
+    /// Decode a binary encoding.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Dataset, String> {
+        if buf.remaining() < MAGIC.len() + 17 {
+            return Err("truncated header".into());
+        }
+        let mut magic = [0u8; 6];
+        buf.copy_to_slice(&mut magic);
+        if magic != *MAGIC {
+            return Err("bad magic".into());
+        }
+        let platform = match buf.get_u8() {
+            0 => Platform::Speedchecker,
+            1 => Platform::RipeAtlas,
+            other => return Err(format!("unknown platform tag {other}")),
+        };
+        let n_pings = buf.get_u64_le() as usize;
+        let n_traces = buf.get_u64_le() as usize;
+        let mut ds = Dataset::new(platform);
+        for _ in 0..n_pings {
+            ds.pings.push(read_frame(&mut buf)?);
+        }
+        for _ in 0..n_traces {
+            ds.traces.push(read_frame(&mut buf)?);
+        }
+        Ok(ds)
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.pings.len() + self.traces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pings.is_empty() && self.traces.is_empty()
+    }
+}
+
+const MAGIC: &[u8; 6] = b"CLDYv1";
+
+fn read_frame<T: for<'de> Deserialize<'de>>(buf: &mut Bytes) -> Result<T, String> {
+    if buf.remaining() < 4 {
+        return Err("truncated frame length".into());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err("truncated frame".into());
+    }
+    let frame = buf.split_to(len);
+    serde_json::from_slice(&frame).map_err(|e| format!("bad frame: {e}"))
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    platform: Platform,
+    pings: usize,
+    traces: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+enum Line {
+    Ping(PingRecord),
+    Trace(TracerouteRecord),
+}
+
+/// Summary statistics of a dataset (for reports and the README quickstart).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    pub pings: usize,
+    pub traces: usize,
+    pub probes: usize,
+    pub countries: usize,
+}
+
+impl Dataset {
+    pub fn summary(&self) -> DatasetSummary {
+        let mut probes = std::collections::HashSet::new();
+        let mut countries = std::collections::HashSet::new();
+        for p in &self.pings {
+            probes.insert(p.probe);
+            countries.insert(p.country);
+        }
+        for t in &self.traces {
+            probes.insert(t.probe);
+            countries.insert(t.country);
+        }
+        DatasetSummary {
+            pings: self.pings.len(),
+            traces: self.traces.len(),
+            probes: probes.len(),
+            countries: countries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::ProbeId;
+    use cloudy_topology::Asn;
+    use crate::record::HopRecord;
+    use std::net::Ipv4Addr;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(Platform::Speedchecker);
+        ds.pings.push(PingRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(3320),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::AmazonEc2,
+            proto: Protocol::Tcp,
+            rtt_ms: 34.5,
+            hour: 12,
+        });
+        ds.traces.push(TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(3320),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::AmazonEc2,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 3, 4),
+            hops: vec![
+                HopRecord { ttl: 1, ip: Some(Ipv4Addr::new(192, 168, 0, 1)), rtt_ms: Some(11.0) },
+                HopRecord { ttl: 2, ip: None, rtt_ms: None },
+                HopRecord { ttl: 3, ip: Some(Ipv4Addr::new(11, 0, 0, 1)), rtt_ms: Some(25.0) },
+            ],
+            hour: 12,
+        });
+        ds
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let ds = sample();
+        let s = ds.to_jsonl();
+        let back = Dataset::from_jsonl(&s).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn jsonl_rejects_corruption() {
+        let ds = sample();
+        let mut s = ds.to_jsonl();
+        s.push_str("{\"Ping\":{}}\n");
+        assert!(Dataset::from_jsonl(&s).is_err());
+        assert!(Dataset::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn jsonl_count_mismatch_detected() {
+        let ds = sample();
+        let s = ds.to_jsonl();
+        // Drop the last line (a trace record).
+        let truncated: Vec<&str> = s.trim_end().lines().collect();
+        let shorter = truncated[..truncated.len() - 1].join("\n");
+        assert!(Dataset::from_jsonl(&shorter).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let ds = sample();
+        let b = ds.to_bytes();
+        let back = Dataset::from_bytes(b).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic_and_truncation() {
+        let ds = sample();
+        let b = ds.to_bytes();
+        let mut corrupted = b.to_vec();
+        corrupted[0] = b'X';
+        assert!(Dataset::from_bytes(Bytes::from(corrupted)).is_err());
+        let truncated = b.slice(0..b.len() - 4);
+        assert!(Dataset::from_bytes(truncated).is_err());
+        assert!(Dataset::from_bytes(Bytes::from_static(b"xy")).is_err());
+    }
+
+    #[test]
+    fn merge_and_summary() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(b);
+        assert_eq!(a.pings.len(), 2);
+        let s = a.summary();
+        assert_eq!(s.pings, 2);
+        assert_eq!(s.traces, 2);
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.countries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "platform mismatch")]
+    fn merge_rejects_platform_mismatch() {
+        let mut a = sample();
+        let b = Dataset::new(Platform::RipeAtlas);
+        a.merge(b);
+    }
+}

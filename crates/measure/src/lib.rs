@@ -1,0 +1,30 @@
+//! Measurement engine for the `cloudy` reproduction of *"Cloudy with a
+//! Chance of Short RTTs"* (IMC 2021).
+//!
+//! Implements §3.3 of the paper as executable code:
+//!
+//! * [`record`] — ping and traceroute record types (the rows of the
+//!   published dataset \[60\]).
+//! * [`dataset`] — the collected campaign output, with JSON-lines export
+//!   (for external tooling, like the paper's published dataset) and a
+//!   compact binary codec.
+//! * [`plan`] — the measurement schedule: four-hourly probe census, daily
+//!   API quota with census reserve, two-week country cycling, per-continent
+//!   region targeting with the §4.3 inter-continental additions (Africa →
+//!   EU+NA, South America → NA).
+//! * [`campaign`] — deterministic parallel execution of a plan over the
+//!   simulator (crossbeam-sharded; results are identical regardless of
+//!   thread count).
+
+pub mod campaign;
+pub mod dataset;
+pub mod plan;
+pub mod record;
+
+pub use campaign::{run_campaign, CampaignConfig};
+pub use dataset::Dataset;
+pub use plan::{MeasurementPlan, Task, TaskKind};
+pub use record::{HopRecord, PingRecord, TracerouteRecord};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,147 @@
+//! Measurement records — the rows of the campaign dataset.
+//!
+//! Records deliberately carry only what a real measurement platform would
+//! return plus probe-registry metadata (platform, country, declared access
+//! type, serving ASN). Everything else — AS paths, interconnection types,
+//! last-mile latencies, nearest datacenters — must be *derived* by the
+//! analysis crate from the raw RTTs and hop IPs, exactly as the paper
+//! derives them from its dataset.
+
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_lastmile::AccessType;
+use cloudy_netsim::{Protocol, TraceHop};
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// One ping measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingRecord {
+    pub probe: ProbeId,
+    pub platform: Platform,
+    pub country: CountryCode,
+    pub continent: Continent,
+    /// Probe's city (registry metadata; used for the Fig. 16 `<city, ASN>`
+    /// matching).
+    pub city: String,
+    pub isp: Asn,
+    /// Declared access type from the probe registry. The paper cannot see
+    /// this for Speedchecker and infers it from traceroutes; we keep the
+    /// ground truth here so the inference can be *validated*.
+    pub access: AccessType,
+    pub region: RegionId,
+    pub provider: Provider,
+    pub proto: Protocol,
+    pub rtt_ms: f64,
+    /// Campaign hour of the measurement.
+    pub hour: u64,
+}
+
+/// One traceroute hop response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopRecord {
+    pub ttl: u8,
+    pub ip: Option<Ipv4Addr>,
+    pub rtt_ms: Option<f64>,
+}
+
+impl From<TraceHop> for HopRecord {
+    fn from(t: TraceHop) -> Self {
+        HopRecord { ttl: t.ttl, ip: t.ip, rtt_ms: t.rtt_ms }
+    }
+}
+
+/// One traceroute measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracerouteRecord {
+    pub probe: ProbeId,
+    pub platform: Platform,
+    pub country: CountryCode,
+    pub continent: Continent,
+    pub city: String,
+    pub isp: Asn,
+    pub access: AccessType,
+    pub region: RegionId,
+    pub provider: Provider,
+    pub proto: Protocol,
+    /// The probe's public source address.
+    pub src_ip: Ipv4Addr,
+    pub hops: Vec<HopRecord>,
+    pub hour: u64,
+}
+
+impl TracerouteRecord {
+    /// End-to-end RTT: the destination hop's response (the traceroute always
+    /// reaches the VM in our simulator, as TCP traceroutes to an open port
+    /// do in practice).
+    pub fn end_to_end_ms(&self) -> Option<f64> {
+        self.hops.last().and_then(|h| h.rtt_ms)
+    }
+
+    /// Responding hops only.
+    pub fn responding(&self) -> impl Iterator<Item = &HopRecord> {
+        self.hops.iter().filter(|h| h.ip.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(ttl: u8, ip: Option<[u8; 4]>, rtt: Option<f64>) -> HopRecord {
+        HopRecord { ttl, ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])), rtt_ms: rtt }
+    }
+
+    fn trace(hops: Vec<HopRecord>) -> TracerouteRecord {
+        TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(3320),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::AmazonEc2,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 0, 9),
+            hops,
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn end_to_end_is_last_hop() {
+        let t = trace(vec![
+            hop(1, Some([192, 168, 0, 1]), Some(12.0)),
+            hop(2, None, None),
+            hop(3, Some([20, 0, 0, 1]), Some(45.0)),
+        ]);
+        assert_eq!(t.end_to_end_ms(), Some(45.0));
+    }
+
+    #[test]
+    fn responding_filters_stars() {
+        let t = trace(vec![
+            hop(1, Some([192, 168, 0, 1]), Some(12.0)),
+            hop(2, None, None),
+            hop(3, Some([20, 0, 0, 1]), Some(45.0)),
+        ]);
+        assert_eq!(t.responding().count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_has_no_latency() {
+        assert_eq!(trace(vec![]).end_to_end_ms(), None);
+    }
+
+    #[test]
+    fn records_serialize_round_trip() {
+        let t = trace(vec![hop(1, Some([10, 0, 0, 1]), Some(1.5))]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TracerouteRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,315 @@
+//! World audit: invariant checks over an assembled [`Network`].
+//!
+//! A reproduction is only as trustworthy as its world; the audit validates
+//! the structural invariants every experiment silently assumes, and is run
+//! by `cloudy-repro world --audit` plus the integration suite. Each check
+//! returns findings rather than panicking, so operators get the full list.
+
+use crate::build::BuiltWorld;
+use crate::network::Network;
+use cloudy_cloud::Provider;
+use cloudy_topology::{routing, AsKind};
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The world is unusable for experiments.
+    Error,
+    /// Suspicious but not necessarily wrong.
+    Warning,
+}
+
+/// One audit finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub severity: Severity,
+    pub check: &'static str,
+    pub detail: String,
+}
+
+/// The audit report.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    pub findings: Vec<Finding>,
+    pub checks_run: usize,
+}
+
+impl AuditReport {
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.errors().count() == 0
+    }
+
+    fn push(&mut self, severity: Severity, check: &'static str, detail: String) {
+        self.findings.push(Finding { severity, check, detail });
+    }
+
+    /// Render for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "audit: {} checks, {} errors, {} warnings\n",
+            self.checks_run,
+            self.errors().count(),
+            self.findings.len() - self.errors().count()
+        );
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                match f.severity {
+                    Severity::Error => "ERROR",
+                    Severity::Warning => "warn",
+                },
+                f.check,
+                f.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Run every audit check.
+pub fn audit(world: &BuiltWorld) -> AuditReport {
+    let mut report = AuditReport::default();
+    check_regions(&world.net, &mut report);
+    check_graph(&world.net, &mut report);
+    check_prefixes(&world.net, &mut report);
+    check_ixps(&world.net, &mut report);
+    check_reachability(world, &mut report);
+    check_policy_realisation(world, &mut report);
+    report
+}
+
+/// All 195 regions addressed inside their provider's space.
+fn check_regions(net: &Network, report: &mut AuditReport) {
+    report.checks_run += 1;
+    if net.regions.len() != 195 {
+        report.push(
+            Severity::Error,
+            "regions",
+            format!("expected 195 regions, found {}", net.regions.len()),
+        );
+    }
+    for ep in &net.regions {
+        if net.prefixes.lookup(ep.vm_ip) != Some(ep.region.provider.asn()) {
+            report.push(
+                Severity::Error,
+                "regions",
+                format!("{} VM {} outside provider space", ep.region.name, ep.vm_ip),
+            );
+        }
+    }
+}
+
+/// Graph-level sanity: no isolated ASes, Tier-1 clique intact.
+fn check_graph(net: &Network, report: &mut AuditReport) {
+    report.checks_run += 1;
+    for info in net.graph.ases() {
+        if net.graph.neighbors(info.asn).is_empty() {
+            report.push(
+                Severity::Error,
+                "graph",
+                format!("{} ({}) has no edges", info.asn, info.name),
+            );
+        }
+    }
+    let tier1s: Vec<_> =
+        net.graph.ases().filter(|i| i.kind == AsKind::Tier1).map(|i| i.asn).collect();
+    for (i, a) in tier1s.iter().enumerate() {
+        for b in tier1s.iter().skip(i + 1) {
+            if net.graph.relationship(*a, *b).is_none() {
+                report.push(
+                    Severity::Error,
+                    "graph",
+                    format!("Tier-1 clique broken: {a} and {b} not adjacent"),
+                );
+            }
+        }
+    }
+}
+
+/// Every AS has announced space; every announcement resolves back.
+fn check_prefixes(net: &Network, report: &mut AuditReport) {
+    report.checks_run += 1;
+    for info in net.graph.ases() {
+        match net.as_prefixes.get(&info.asn) {
+            None => report.push(
+                Severity::Error,
+                "prefixes",
+                format!("{} has no address space", info.asn),
+            ),
+            Some(list) => {
+                for p in list {
+                    if net.prefixes.lookup(p.network()) != Some(info.asn) {
+                        report.push(
+                            Severity::Error,
+                            "prefixes",
+                            format!("{p} does not resolve to {}", info.asn),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// IXP fabrics unannounced; members registered.
+fn check_ixps(net: &Network, report: &mut AuditReport) {
+    report.checks_run += 1;
+    for ixp in net.ixps.iter() {
+        if net.prefixes.lookup(ixp.fabric.network()).is_some() {
+            report.push(
+                Severity::Error,
+                "ixps",
+                format!("{} fabric {} is announced", ixp.name, ixp.fabric),
+            );
+        }
+        for m in &ixp.members {
+            if !net.graph.contains(*m) {
+                report.push(
+                    Severity::Error,
+                    "ixps",
+                    format!("{}: member {m} not in graph", ixp.name),
+                );
+            }
+        }
+    }
+    for ((isp, cloud), id) in &net.fabric_links {
+        match net.ixps.get(*id) {
+            None => report.push(
+                Severity::Error,
+                "ixps",
+                format!("fabric link ({isp},{cloud}) references unknown IXP {id:?}"),
+            ),
+            Some(ixp) => {
+                if !ixp.can_interconnect(*isp, *cloud) {
+                    report.push(
+                        Severity::Warning,
+                        "ixps",
+                        format!("({isp},{cloud}) peer at {} without membership", ixp.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every access ISP reaches every provider over the AS graph.
+fn check_reachability(world: &BuiltWorld, report: &mut AuditReport) {
+    report.checks_run += 1;
+    for (cc, isps) in &world.isps_by_country {
+        for isp in isps {
+            for p in Provider::ALL {
+                if routing::select_route(&world.net.graph, *isp, p.asn()).is_none() {
+                    report.push(
+                        Severity::Error,
+                        "reachability",
+                        format!("{isp} ({cc}) cannot reach {p}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The graph realises the peering policy: direct/IXP decisions require a
+/// peer edge; others must not have one.
+fn check_policy_realisation(world: &BuiltWorld, report: &mut AuditReport) {
+    report.checks_run += 1;
+    use cloudy_cloud::PeeringKind;
+    use cloudy_topology::Relationship;
+    for (cc, isps) in &world.isps_by_country {
+        let Some(country) = cloudy_geo::country::lookup(*cc) else {
+            report.push(Severity::Error, "policy", format!("unknown country {cc}"));
+            continue;
+        };
+        for isp in isps {
+            for p in Provider::ALL {
+                let decision = world.net.policy.decide(p, *isp, *cc, country.continent);
+                let edge = world.net.graph.relationship(*isp, p.asn());
+                match decision {
+                    PeeringKind::Direct | PeeringKind::IxpPublic => {
+                        if edge != Some(Relationship::Peer) {
+                            report.push(
+                                Severity::Error,
+                                "policy",
+                                format!("{isp}->{p}: decided {decision:?} but edge is {edge:?}"),
+                            );
+                        }
+                    }
+                    PeeringKind::PrivateTransit | PeeringKind::Public => {
+                        if edge.is_some() {
+                            report.push(
+                                Severity::Error,
+                                "policy",
+                                format!("{isp}->{p}: decided {decision:?} but peer edge exists"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, WorldConfig};
+    use cloudy_geo::CountryCode;
+
+    fn world() -> BuiltWorld {
+        build(&WorldConfig {
+            seed: 13,
+            isps_per_country: 2,
+            countries: Some(
+                ["DE", "JP", "BR", "KE"].iter().map(|c| CountryCode::new(c)).collect(),
+            ),
+        })
+    }
+
+    #[test]
+    fn built_worlds_pass_the_audit() {
+        let report = audit(&world());
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.checks_run >= 6);
+    }
+
+    #[test]
+    fn global_world_passes_the_audit() {
+        let w = build(&WorldConfig::default());
+        let report = audit(&w);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn audit_detects_broken_clique() {
+        let mut w = world();
+        use cloudy_topology::known;
+        w.net.graph.remove_edge(known::TELIA, known::GTT);
+        let report = audit(&w);
+        assert!(!report.is_clean());
+        assert!(report.errors().any(|f| f.check == "graph"));
+    }
+
+    #[test]
+    fn audit_detects_policy_violation() {
+        let mut w = world();
+        use cloudy_topology::{known, Relationship};
+        // NTT->Amazon must NOT peer (the Fig. 13a exception); force it.
+        w.net
+            .graph
+            .add_edge(known::NTT_OCN, Provider::AmazonEc2.asn(), Relationship::Peer);
+        let report = audit(&w);
+        assert!(report.errors().any(|f| f.check == "policy"), "{}", report.render());
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = audit(&world());
+        let s = report.render();
+        assert!(s.contains("checks"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Propagation, queueing and protocol-artifact models.
+
+use cloudy_cloud::PeeringKind;
+use cloudy_lastmile::LatencyProcess;
+
+/// Speed of light in fiber (~2/3 c), in km per millisecond.
+pub const FIBER_KM_PER_MS: f64 = 204.19;
+
+/// Round-trip propagation delay over `effective_km` of fiber.
+pub fn propagation_rtt_ms(effective_km: f64) -> f64 {
+    2.0 * effective_km / FIBER_KM_PER_MS
+}
+
+/// Queueing/variability profile of the wide-area portion of a path, by
+/// interconnection kind. Calibration targets (Figs. 12b/13b/18b):
+///
+/// * Cloud-WAN (direct) paths are engineered and underutilised: queueing is
+///   a small, stable fraction of propagation — long paths stay *consistent*.
+/// * Public transit queueing grows with path length and spikes — long
+///   public paths develop the wide boxes and tails of Fig. 13b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueProfile {
+    /// Base queueing median (ms), independent of distance.
+    pub base_ms: f64,
+    /// Additional queueing median as a fraction of propagation RTT.
+    pub prop_fraction: f64,
+    /// Coefficient of variation of the queueing draw.
+    pub cv: f64,
+    /// Spike probability and multiplier (congestion events).
+    pub spike_prob: f64,
+    pub spike_factor: f64,
+}
+
+impl QueueProfile {
+    pub fn for_kind(kind: PeeringKind) -> QueueProfile {
+        match kind {
+            PeeringKind::Direct => QueueProfile {
+                base_ms: 0.5,
+                prop_fraction: 0.02,
+                cv: 0.6,
+                spike_prob: 0.005,
+                spike_factor: 3.0,
+            },
+            PeeringKind::IxpPublic => QueueProfile {
+                base_ms: 0.8,
+                prop_fraction: 0.04,
+                cv: 0.7,
+                spike_prob: 0.01,
+                spike_factor: 3.0,
+            },
+            PeeringKind::PrivateTransit => QueueProfile {
+                base_ms: 1.0,
+                prop_fraction: 0.06,
+                cv: 0.8,
+                spike_prob: 0.02,
+                spike_factor: 3.5,
+            },
+            PeeringKind::Public => QueueProfile {
+                base_ms: 1.5,
+                prop_fraction: 0.18,
+                cv: 1.0,
+                spike_prob: 0.05,
+                spike_factor: 4.0,
+            },
+        }
+    }
+
+    /// The queueing process for a path with the given propagation RTT.
+    pub fn process(&self, prop_rtt_ms: f64) -> LatencyProcess {
+        let median = self.base_ms + self.prop_fraction * prop_rtt_ms;
+        LatencyProcess::spiky(0.0, median.max(0.05), self.cv, self.spike_prob, self.spike_factor)
+    }
+}
+
+/// Protocol-dependent artifacts.
+///
+/// §A.2: TCP latencies in Speedchecker are slightly lower than ICMP (within
+/// ~2%), with the largest gap in Africa (longest, most-hop paths). Cloud
+/// WANs deprioritize/shape ICMP \[43\]. We charge ICMP a small per-router
+/// penalty, so the gap grows with hop count — reproducing the Fig. 15 shape.
+pub mod protocol {
+    /// Median extra RTT per responding router for ICMP (ms).
+    pub const ICMP_PER_HOP_MS: f64 = 0.06;
+    /// Extra ICMP penalty per *cloud* hop (WAN shaping, ms).
+    pub const ICMP_CLOUD_HOP_MS: f64 = 0.25;
+    /// Traceroute latency inflation: TTL-expired generation on router CPUs
+    /// is slow and jittery \[32, 55, 80\]. Median extra per traceroute
+    /// response (ms).
+    pub const TRACEROUTE_SLOP_MS: f64 = 0.5;
+    /// Cv of the traceroute slop.
+    pub const TRACEROUTE_SLOP_CV: f64 = 1.2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_lastmile::stats_math::{sample_cv, sample_median};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn propagation_constant_sane() {
+        // 1000 km of fiber ≈ 9.8 ms RTT.
+        let rtt = propagation_rtt_ms(1000.0);
+        assert!((rtt - 9.79).abs() < 0.1, "rtt {rtt}");
+        assert_eq!(propagation_rtt_ms(0.0), 0.0);
+    }
+
+    #[test]
+    fn queue_profiles_ordered_by_kind() {
+        let d = QueueProfile::for_kind(PeeringKind::Direct);
+        let i = QueueProfile::for_kind(PeeringKind::IxpPublic);
+        let t = QueueProfile::for_kind(PeeringKind::PrivateTransit);
+        let p = QueueProfile::for_kind(PeeringKind::Public);
+        assert!(d.prop_fraction < i.prop_fraction);
+        assert!(i.prop_fraction < t.prop_fraction);
+        assert!(t.prop_fraction < p.prop_fraction);
+        assert!(d.spike_prob < p.spike_prob);
+    }
+
+    #[test]
+    fn direct_long_path_stays_consistent_public_does_not() {
+        // The Fig. 13b mechanism: at 90 ms propagation (≈ JP→IN), direct
+        // queueing stays small & tight while public queueing is large & wide.
+        let prop = 90.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let direct: Vec<f64> = {
+            let proc_ = QueueProfile::for_kind(PeeringKind::Direct).process(prop);
+            (0..20_000).map(|_| proc_.sample(&mut rng)).collect()
+        };
+        let public: Vec<f64> = {
+            let proc_ = QueueProfile::for_kind(PeeringKind::Public).process(prop);
+            (0..20_000).map(|_| proc_.sample(&mut rng)).collect()
+        };
+        let dm = sample_median(&direct);
+        let pm = sample_median(&public);
+        assert!(dm < 4.0, "direct queueing median {dm}");
+        assert!(pm > 8.0, "public queueing median {pm}");
+        // Spread: compare IQR-ish via cv on absolute values.
+        assert!(sample_cv(&public) >= sample_cv(&direct) * 0.9);
+        let spread = |v: &Vec<f64>| {
+            let mut s = v.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[(s.len() * 3) / 4] - s[s.len() / 4]
+        };
+        assert!(spread(&public) > spread(&direct) * 3.0);
+    }
+
+    #[test]
+    fn short_path_queueing_difference_is_small() {
+        // The Fig. 12b mechanism: at 6 ms propagation (≈ DE→UK) the absolute
+        // direct-vs-public difference is a couple of ms — invisible next to
+        // a 22 ms wireless last mile.
+        let prop = 6.0;
+        let d = QueueProfile::for_kind(PeeringKind::Direct).process(prop).approx_median();
+        let p = QueueProfile::for_kind(PeeringKind::Public).process(prop).approx_median();
+        assert!(p - d < 3.0, "direct {d} vs public {p}");
+    }
+
+    #[test]
+    fn process_handles_zero_propagation() {
+        let proc_ = QueueProfile::for_kind(PeeringKind::Direct).process(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = proc_.sample(&mut rng);
+        assert!(v.is_finite() && v >= 0.0);
+    }
+}
+
+/// Diurnal congestion model.
+///
+/// The paper measures for six months and reads *consistency* out of the
+/// data (§5, §6.2); queueing on shared infrastructure follows the day:
+/// evening peaks (streaming hours) congest access and transit networks,
+/// early mornings are quiet. The factor multiplies the queueing median.
+pub mod diurnal {
+    /// Peak-to-trough modulation amplitude of the queueing median.
+    pub const AMPLITUDE: f64 = 0.35;
+
+    /// Local hour from a campaign UTC hour and a longitude.
+    pub fn local_hour(utc_hour: u64, lon: f64) -> f64 {
+        let shift = lon / 15.0;
+        ((utc_hour % 24) as f64 + shift).rem_euclid(24.0)
+    }
+
+    /// Queueing multiplier for a local hour: 1.0 on average, peaking in the
+    /// evening (~21h) and bottoming out before dawn (~5h).
+    pub fn factor(local_hour: f64) -> f64 {
+        // Cosine with its maximum at 21:00 local.
+        let phase = (local_hour - 21.0) / 24.0 * std::f64::consts::TAU;
+        1.0 + AMPLITUDE * phase.cos()
+    }
+
+    /// Convenience: multiplier from UTC hour + longitude.
+    pub fn factor_at(utc_hour: u64, lon: f64) -> f64 {
+        factor(local_hour(utc_hour, lon))
+    }
+}
+
+/// Packet loss per interconnection kind: the probability one ping receives
+/// no reply (times out). Engineered WAN paths barely lose packets; long
+/// public paths do.
+pub fn loss_probability(kind: cloudy_cloud::PeeringKind) -> f64 {
+    match kind {
+        cloudy_cloud::PeeringKind::Direct => 0.002,
+        cloudy_cloud::PeeringKind::IxpPublic => 0.005,
+        cloudy_cloud::PeeringKind::PrivateTransit => 0.010,
+        cloudy_cloud::PeeringKind::Public => 0.025,
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_factor_bounds_and_phase() {
+        for h in 0..24 {
+            let f = diurnal::factor(h as f64);
+            assert!((1.0 - diurnal::AMPLITUDE..=1.0 + diurnal::AMPLITUDE + 1e-9).contains(&f));
+        }
+        // Evening peak beats pre-dawn trough.
+        assert!(diurnal::factor(21.0) > diurnal::factor(5.0));
+        assert!((diurnal::factor(21.0) - (1.0 + diurnal::AMPLITUDE)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_hour_wraps_longitudes() {
+        // UTC noon in Tokyo (lon ~139.65) is ~21:18 local.
+        let lh = diurnal::local_hour(12, 139.65);
+        assert!((21.0..22.0).contains(&lh), "got {lh}");
+        // And in São Paulo (lon ~-46.6) it is ~08:53.
+        let lh = diurnal::local_hour(12, -46.63);
+        assert!((8.0..9.5).contains(&lh), "got {lh}");
+        // Wrapping stays in range.
+        for utc in [0u64, 5, 23, 47] {
+            for lon in [-179.9, -30.0, 0.0, 90.0, 179.9] {
+                let lh = diurnal::local_hour(utc, lon);
+                assert!((0.0..24.0).contains(&lh), "utc {utc} lon {lon}: {lh}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_ordering_matches_path_quality() {
+        use cloudy_cloud::PeeringKind::*;
+        assert!(loss_probability(Direct) < loss_probability(IxpPublic));
+        assert!(loss_probability(IxpPublic) < loss_probability(PrivateTransit));
+        assert!(loss_probability(PrivateTransit) < loss_probability(Public));
+    }
+}

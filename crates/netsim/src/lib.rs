@@ -1,0 +1,51 @@
+//! End-to-end network latency simulator for the `cloudy` reproduction of
+//! *"Cloudy with a Chance of Short RTTs"* (IMC 2021).
+//!
+//! This crate is the paper's "Internet": given a client (probe) and a cloud
+//! region, it produces the route a packet takes — hop by hop, with real
+//! IPv4 addresses drawn from the topology's prefix plan — and samples RTTs
+//! for pings and traceroutes over that route. The decomposition follows the
+//! paper's own (§5, §6):
+//!
+//! ```text
+//! RTT = last-mile (wireless/wired)            cloudy-lastmile
+//!     + access-ISP internal                    this crate
+//!     + wide-area (transit or cloud WAN)       this crate, from geography
+//!     + per-router processing + queueing       this crate
+//! ```
+//!
+//! * [`rng::FlowRng`] — splittable counter-based RNG: every (seed, flow)
+//!   pair yields an independent, reproducible stream, so campaigns shard
+//!   across threads without nondeterminism.
+//! * [`latency`] — propagation constants (2⁄3 c in fiber), queueing
+//!   profiles per interconnection kind, protocol artifacts (ICMP
+//!   deprioritization, traceroute inflation).
+//! * [`hop`] / [`path`] — router-level route representation: kinds,
+//!   ground-truth ownership, cumulative distance.
+//! * [`hubs`] — Tier-1 carrier hub cities; transit paths detour through
+//!   carrier hubs, which is what makes African/Middle-East public paths
+//!   trombone through Europe (Fig. 6a / Fig. 18b shapes).
+//! * [`network::Network`] — the assembled world: AS graph, prefix plan,
+//!   IXPs, provider PoP sets, peering policy, region endpoints.
+//! * [`sim::Simulator`] — route construction + RTT/traceroute sampling.
+
+pub mod audit;
+pub mod build;
+pub mod client;
+pub mod hop;
+pub mod hubs;
+pub mod latency;
+pub mod network;
+pub mod path;
+pub mod rng;
+pub mod sim;
+
+pub use client::ClientCtx;
+pub use hop::{Hop, HopKind};
+pub use network::{Network, RegionEndpoint};
+pub use path::RoutePath;
+pub use rng::FlowRng;
+pub use sim::{Protocol, Simulator, TraceHop};
+
+#[cfg(test)]
+mod proptests;

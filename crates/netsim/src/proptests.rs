@@ -1,0 +1,175 @@
+//! Property-based tests: route construction and sampling invariants over
+//! randomly-placed clients against a shared world.
+
+use crate::build::{build, BuiltWorld, WorldConfig};
+use crate::client::ClientCtx;
+use crate::rng::mix;
+use crate::sim::{Protocol, Simulator};
+use cloudy_cloud::RegionId;
+use cloudy_geo::{country, CountryCode, GeoPoint};
+use cloudy_lastmile::artifacts::ProbeArtifacts;
+use cloudy_lastmile::{AccessProfile, AccessType};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const TEST_COUNTRIES: [&str; 8] = ["DE", "GB", "JP", "IN", "US", "BR", "ZA", "KE"];
+
+fn world() -> &'static (Simulator, BuiltWorld) {
+    static WORLD: OnceLock<(Simulator, BuiltWorld)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let built = build(&WorldConfig {
+            seed: 77,
+            isps_per_country: 2,
+            countries: Some(TEST_COUNTRIES.iter().map(|c| CountryCode::new(c)).collect()),
+        });
+        // The simulator needs its own copy of the network; rebuild.
+        let built2 = build(&WorldConfig {
+            seed: 77,
+            isps_per_country: 2,
+            countries: Some(TEST_COUNTRIES.iter().map(|c| CountryCode::new(c)).collect()),
+        });
+        (Simulator::new(built2.net), built)
+    })
+}
+
+fn arb_client() -> impl Strategy<Value = ClientCtx> {
+    (
+        0usize..TEST_COUNTRIES.len(),
+        0usize..64,
+        any::<u64>(),
+        prop::sample::select(vec![
+            AccessType::WifiHome,
+            AccessType::Cellular,
+            AccessType::Cellular5g,
+            AccessType::Wired,
+        ]),
+        any::<bool>(),
+        any::<bool>(),
+        -0.5f64..0.5,
+        -0.5f64..0.5,
+    )
+        .prop_map(|(ci, isp_ix, hash, access, cgn, vpn, dlat, dlon)| {
+            let (sim, built) = world();
+            let c = country::lookup_str(TEST_COUNTRIES[ci]).expect("known");
+            let isps = &built.isps_by_country[&c.code()];
+            let isp = isps[isp_ix % isps.len()];
+            let loc = c.location();
+            ClientCtx {
+                probe_hash: hash,
+                location: GeoPoint::new(loc.lat() + dlat, loc.lon() + dlon),
+                country: c.code(),
+                continent: c.continent,
+                isp,
+                public_ip: sim.net.router_ip(isp, mix(&[hash, 0xF00])),
+                access: AccessProfile::baseline(access),
+                artifacts: ProbeArtifacts { behind_cgn: cgn, behind_vpn: vpn },
+            }
+        })
+}
+
+fn arb_region() -> impl Strategy<Value = RegionId> {
+    (0u16..195).prop_map(RegionId)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn routes_are_well_formed(client in arb_client(), region in arb_region()) {
+        let (sim, _) = world();
+        let path = sim.route(&client, region);
+        prop_assert!(path.hops.len() >= 4, "too short: {:?}", path.hops);
+        // Ends at the region's VM.
+        let last = path.hops.last().unwrap();
+        prop_assert_eq!(last.kind, crate::hop::HopKind::Destination);
+        prop_assert_eq!(last.ip, sim.net.region(region).vm_ip);
+        // Distances are non-negative and finite.
+        for h in &path.hops {
+            prop_assert!(h.km_from_prev.is_finite() && h.km_from_prev >= 0.0);
+        }
+        // Pervasiveness is a ratio.
+        let p = path.pervasiveness();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // AS path endpoints: serving ISP to provider network.
+        prop_assert_eq!(*path.as_path.first().unwrap(), client.isp);
+        prop_assert_eq!(
+            *path.as_path.last().unwrap(),
+            sim.net.region(region).region.provider.asn()
+        );
+    }
+
+    #[test]
+    fn owned_hop_ips_resolve_to_owner(client in arb_client(), region in arb_region()) {
+        let (sim, _) = world();
+        let path = sim.route(&client, region);
+        for h in &path.hops {
+            if let Some(owner) = h.owner {
+                if h.kind == crate::hop::HopKind::CgnGateway {
+                    continue; // CGN space is unannounced by design.
+                }
+                prop_assert_eq!(
+                    sim.net.prefixes.lookup(h.ip),
+                    Some(owner),
+                    "{:?} hop {} owned by {}",
+                    h.kind, h.ip, owner
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rtt_samples_are_sane(
+        client in arb_client(),
+        region in arb_region(),
+        seq in 0u64..1000,
+        icmp in any::<bool>(),
+    ) {
+        let (sim, _) = world();
+        let path = sim.route(&client, region);
+        let proto = if icmp { Protocol::Icmp } else { Protocol::Tcp };
+        let rtt = sim.sample_rtt(&client, &path, proto, seq);
+        prop_assert!(rtt.is_finite());
+        prop_assert!(rtt > 1.0, "impossibly fast {rtt}");
+        prop_assert!(rtt < 5_000.0, "impossibly slow {rtt}");
+        // Physics: never faster than the propagation bound alone.
+        let prop_bound = crate::latency::propagation_rtt_ms(path.total_km());
+        prop_assert!(rtt >= prop_bound, "rtt {rtt} below light-in-fiber bound {prop_bound}");
+        // Determinism.
+        prop_assert_eq!(rtt, sim.sample_rtt(&client, &path, proto, seq));
+    }
+
+    #[test]
+    fn traceroutes_are_consistent(
+        client in arb_client(),
+        region in arb_region(),
+        seq in 0u64..200,
+    ) {
+        let (sim, _) = world();
+        let path = sim.route(&client, region);
+        let tr = sim.traceroute(&client, &path, Protocol::Icmp, seq);
+        prop_assert_eq!(tr.len(), path.hops.len());
+        for (i, hop) in tr.iter().enumerate() {
+            prop_assert_eq!(hop.ttl as usize, i + 1);
+            prop_assert_eq!(hop.ip.is_some(), hop.rtt_ms.is_some());
+            if let Some(rtt) = hop.rtt_ms {
+                prop_assert!(rtt.is_finite() && rtt > 0.0);
+            }
+            if let Some(ip) = hop.ip {
+                prop_assert_eq!(ip, path.hops[i].ip);
+            }
+        }
+        // Destination always responds.
+        prop_assert!(tr.last().unwrap().ip.is_some());
+    }
+
+    #[test]
+    fn route_structure_is_location_stable(client in arb_client(), region in arb_region()) {
+        // Probes in the same grid cell and ISP share wide-area structure;
+        // calling twice must be identical (cache or not).
+        let (sim, _) = world();
+        let a = sim.route(&client, region);
+        let b = sim.route(&client, region);
+        prop_assert_eq!(a.hops, b.hops);
+        prop_assert_eq!(a.interconnect, b.interconnect);
+    }
+}

@@ -1,0 +1,31 @@
+//! Measurement platform substrate for the `cloudy` reproduction of *"Cloudy
+//! with a Chance of Short RTTs"* (IMC 2021).
+//!
+//! The paper's central methodological finding (§4.2) is that *the platform
+//! shapes the results*: Speedchecker's 115k Android probes sit on wireless
+//! last miles in end-user hands, while RIPE Atlas' 8.5k hardware probes sit
+//! on wired links in managed networks, deployed disproportionately close to
+//! datacenters. This crate models both populations:
+//!
+//! * [`probe::Probe`] — one vantage point: platform, country, city,
+//!   jittered location, serving ISP, access technology, per-probe quality.
+//! * [`speedchecker`] — the Fig. 1b population: per-country weights with the
+//!   paper's named concentrations (Germany/Great Britain/Iran/Japan 5000+
+//!   probes; African probes split north-cellular vs south-home; >80 % of
+//!   South American probes in Brazil).
+//! * [`atlas`] — the Fig. 2 population: wired, managed, ~8.5k probes,
+//!   clustered near datacenter countries (Africa ≈ South Africa, SA ≈ 40 %
+//!   Brazil).
+//! * [`availability`] — probe churn: Android probes are transient (≈ 29k of
+//!   115k connected at any time, §3.2); Atlas probes are mostly always-on.
+//! * [`quota`] — the platform's daily measurement budget (§3.3).
+
+pub mod atlas;
+pub mod availability;
+pub mod probe;
+pub mod quota;
+pub mod speedchecker;
+
+pub use availability::Availability;
+pub use probe::{Platform, Population, Probe, ProbeId};
+pub use quota::DailyQuota;

@@ -1,0 +1,168 @@
+//! Real-world ASNs named in the paper, used verbatim so the case-study
+//! figures (12a, 13a, 17a, 18a) render with the same row labels.
+
+use crate::asn::Asn;
+
+// ---- Tier-1 transit backbones (§6.1 names Telia and GTT explicitly; the
+// JP→IN case study names NTT AS2914 and TATA AS6453 as transit carriers). ----
+pub const TELIA: Asn = Asn(1299);
+pub const GTT: Asn = Asn(3257);
+pub const NTT_GLOBAL: Asn = Asn(2914);
+pub const TATA: Asn = Asn(6453);
+pub const COGENT: Asn = Asn(174);
+pub const LUMEN: Asn = Asn(3356);
+pub const SPARKLE: Asn = Asn(6762);
+pub const ZAYO: Asn = Asn(6461);
+pub const PCCW: Asn = Asn(3491);
+pub const ORANGE_OTI: Asn = Asn(5511);
+
+/// All Tier-1 backbones with display names.
+pub const TIER1S: &[(Asn, &str)] = &[
+    (TELIA, "Telia Carrier"),
+    (GTT, "GTT Communications"),
+    (NTT_GLOBAL, "NTT Global IP Network"),
+    (TATA, "TATA Communications"),
+    (COGENT, "Cogent"),
+    (LUMEN, "Lumen (Level 3)"),
+    (SPARKLE, "Telecom Italia Sparkle"),
+    (ZAYO, "Zayo"),
+    (PCCW, "PCCW Global"),
+    (ORANGE_OTI, "Orange International Carriers"),
+];
+
+// ---- German ISPs (Fig. 12a rows, top-5 by measurement count). ----
+pub const VODAFONE_DE: Asn = Asn(3209);
+pub const DTAG: Asn = Asn(3320);
+pub const TELEFONICA_DE: Asn = Asn(6805);
+pub const LIBERTY_DE: Asn = Asn(6830);
+pub const EINSUNDEINS: Asn = Asn(8881);
+
+pub const GERMAN_ISPS: &[(Asn, &str)] = &[
+    (VODAFONE_DE, "Vodafone"),
+    (DTAG, "D. Telekom"),
+    (TELEFONICA_DE, "Telefonica"),
+    (LIBERTY_DE, "Liberty"),
+    (EINSUNDEINS, "1&1"),
+];
+
+// ---- Japanese ISPs (Fig. 13a rows). ----
+pub const KDDI: Asn = Asn(2516);
+pub const BIGLOBE: Asn = Asn(2518);
+pub const NTT_OCN: Asn = Asn(4713);
+pub const OPTAGE: Asn = Asn(17511);
+pub const SOFTBANK: Asn = Asn(17676);
+
+pub const JAPANESE_ISPS: &[(Asn, &str)] = &[
+    (KDDI, "KDDI"),
+    (BIGLOBE, "BIGLOBE"),
+    (NTT_OCN, "NTT"),
+    (OPTAGE, "OPTAGE"),
+    (SOFTBANK, "SoftBank"),
+];
+
+// ---- Ukrainian ISPs (Fig. 17a rows). ----
+pub const UARNET: Asn = Asn(3255);
+pub const DATAGROUP: Asn = Asn(3326);
+pub const UKRTELNET: Asn = Asn(6849);
+pub const KYIVSTAR: Asn = Asn(15895);
+pub const VOLIA: Asn = Asn(25229);
+
+pub const UKRAINIAN_ISPS: &[(Asn, &str)] = &[
+    (UARNET, "UARnet"),
+    (DATAGROUP, "Datagroup"),
+    (UKRTELNET, "UKRTELNET"),
+    (KYIVSTAR, "Kyivstar"),
+    (VOLIA, "Volia"),
+];
+
+// ---- Bahraini ISPs (Fig. 18a rows). ----
+pub const BATELCO: Asn = Asn(5416);
+pub const ZAIN_BH: Asn = Asn(31452);
+pub const KALAAM: Asn = Asn(39273);
+pub const STC_BH: Asn = Asn(51375);
+
+pub const BAHRAINI_ISPS: &[(Asn, &str)] = &[
+    (BATELCO, "Batelco"),
+    (ZAIN_BH, "ZAIN"),
+    (KALAAM, "Kalaam"),
+    (STC_BH, "stc"),
+];
+
+// ---- Cloud provider ASNs. ----
+pub const AMAZON: Asn = Asn(16509);
+pub const AMAZON_LIGHTSAIL: Asn = Asn(14618);
+pub const GOOGLE: Asn = Asn(15169);
+pub const MICROSOFT: Asn = Asn(8075);
+pub const DIGITALOCEAN: Asn = Asn(14061);
+pub const ALIBABA: Asn = Asn(45102);
+pub const VULTR: Asn = Asn(20473);
+pub const LINODE: Asn = Asn(63949);
+pub const ORACLE: Asn = Asn(31898);
+pub const IBM_CLOUD: Asn = Asn(36351);
+
+pub const CLOUD_ASNS: &[(Asn, &str)] = &[
+    (AMAZON, "Amazon"),
+    (AMAZON_LIGHTSAIL, "Amazon Lightsail"),
+    (GOOGLE, "Google"),
+    (MICROSOFT, "Microsoft"),
+    (DIGITALOCEAN, "DigitalOcean"),
+    (ALIBABA, "Alibaba"),
+    (VULTR, "Vultr"),
+    (LINODE, "Linode"),
+    (ORACLE, "Oracle"),
+    (IBM_CLOUD, "IBM Cloud"),
+];
+
+/// First ASN used for synthetically generated access ISPs; chosen above all
+/// real ASNs named here so generated numbers never collide.
+pub const SYNTHETIC_ASN_BASE: u32 = 200_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_known_asns_unique() {
+        let mut all: Vec<Asn> = Vec::new();
+        all.extend(TIER1S.iter().map(|(a, _)| *a));
+        all.extend(GERMAN_ISPS.iter().map(|(a, _)| *a));
+        all.extend(JAPANESE_ISPS.iter().map(|(a, _)| *a));
+        all.extend(UKRAINIAN_ISPS.iter().map(|(a, _)| *a));
+        all.extend(BAHRAINI_ISPS.iter().map(|(a, _)| *a));
+        all.extend(CLOUD_ASNS.iter().map(|(a, _)| *a));
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len(), "duplicate well-known ASN");
+    }
+
+    #[test]
+    fn paper_case_study_asns_match_figures() {
+        // Values straight out of Figs. 12a/13a/17a/18a.
+        assert_eq!(VODAFONE_DE, Asn(3209));
+        assert_eq!(DTAG, Asn(3320));
+        assert_eq!(TELEFONICA_DE, Asn(6805));
+        assert_eq!(KDDI, Asn(2516));
+        assert_eq!(NTT_OCN, Asn(4713));
+        assert_eq!(KYIVSTAR, Asn(15895));
+        assert_eq!(BATELCO, Asn(5416));
+        assert_eq!(STC_BH, Asn(51375));
+        assert_eq!(TELIA, Asn(1299));
+        assert_eq!(GTT, Asn(3257));
+        assert_eq!(NTT_GLOBAL, Asn(2914));
+        assert_eq!(TATA, Asn(6453));
+    }
+
+    #[test]
+    fn synthetic_base_above_all_known() {
+        for (asn, _) in TIER1S
+            .iter()
+            .chain(GERMAN_ISPS)
+            .chain(JAPANESE_ISPS)
+            .chain(UKRAINIAN_ISPS)
+            .chain(BAHRAINI_ISPS)
+            .chain(CLOUD_ASNS)
+        {
+            assert!(asn.0 < SYNTHETIC_ASN_BASE);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! AS-level Internet topology substrate for the `cloudy` reproduction of
+//! *"Cloudy with a Chance of Short RTTs"* (IMC 2021).
+//!
+//! The paper's §6 classifies every probe→cloud path by its AS-level
+//! interconnection structure (direct peering / one private transit / public
+//! Internet) and computes *pervasiveness* (the share of on-path routers owned
+//! by the cloud provider). Doing that requires a real AS-level Internet
+//! underneath the measurements. This crate provides it:
+//!
+//! * [`Asn`] / [`AsInfo`] / [`AsKind`] — autonomous systems with roles
+//!   (Tier-1 transit, regional transit, access ISP, cloud, enterprise) and
+//!   geographic anchoring.
+//! * [`graph::AsGraph`] — the relationship-labelled AS graph
+//!   (customer–provider / peer–peer), following the Gao–Rexford model.
+//! * [`routing`] — valley-free path computation with customer > peer >
+//!   provider preference and deterministic tie-breaking.
+//! * [`prefix`] — a synthetic global IPv4 address plan plus a longest-prefix
+//!   match table. Traceroute hops come back as bare IPs; the analysis crate
+//!   resolves them exactly the way the paper does with PyASN.
+//! * [`ixp`] — Internet eXchange Points with member lists and fabric
+//!   prefixes (the CAIDA IXP dataset analog).
+//! * [`registry`] — PeeringDB-like per-AS metadata used to enrich AS paths.
+//! * [`known`] — the real-world ASNs named in the paper (Telia AS1299, the
+//!   German/Japanese/Ukrainian/Bahraini case-study ISPs, cloud ASNs, ...).
+
+pub mod asn;
+pub mod bgp;
+pub mod graph;
+pub mod ixp;
+pub mod known;
+pub mod prefix;
+pub mod registry;
+pub mod routing;
+
+pub use asn::{Asn, AsInfo, AsKind};
+pub use graph::{AsGraph, Relationship};
+pub use ixp::{Ixp, IxpId};
+pub use prefix::{IpPrefix, PrefixTable};
+pub use registry::{Registry, RegistryEntry};
+pub use routing::{AsPath, RouteKind};
+
+#[cfg(test)]
+mod proptests;

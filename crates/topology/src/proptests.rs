@@ -1,0 +1,233 @@
+//! Property-based tests: routing invariants over random Internet-like
+//! topologies, and LPM consistency over random prefix sets.
+
+use crate::asn::{AsInfo, AsKind, Asn};
+use crate::graph::{AsGraph, Relationship};
+use crate::prefix::{IpPrefix, PrefixAllocator, PrefixTable};
+use crate::bgp;
+use crate::routing::{is_valley_free, select_route, shortest_unrestricted, RouteKind};
+use cloudy_geo::{Continent, CountryCode, GeoPoint};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn mk_as(asn: u32, kind: AsKind) -> AsInfo {
+    AsInfo::new(
+        Asn(asn),
+        format!("AS{asn}"),
+        kind,
+        CountryCode::new("US"),
+        Continent::NorthAmerica,
+        GeoPoint::new(40.0, -74.0),
+    )
+}
+
+/// Build a random but *Internet-shaped* topology: a clique of Tier-1s, a
+/// layer of Tier-2s each buying from ≥1 Tier-1, and access ISPs each buying
+/// from ≥1 Tier-2, with random lateral peering.
+fn arb_topology() -> impl Strategy<Value = (AsGraph, Vec<Asn>)> {
+    (2usize..4, 3usize..7, 5usize..12, any::<u64>()).prop_map(|(nt1, nt2, nacc, seed)| {
+        let mut g = AsGraph::new();
+        let mut rng_state = seed | 1;
+        let mut next = move || {
+            // xorshift64*
+            rng_state ^= rng_state >> 12;
+            rng_state ^= rng_state << 25;
+            rng_state ^= rng_state >> 27;
+            rng_state.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+
+        let t1s: Vec<Asn> = (0..nt1).map(|i| Asn(100 + i as u32)).collect();
+        let t2s: Vec<Asn> = (0..nt2).map(|i| Asn(200 + i as u32)).collect();
+        let accs: Vec<Asn> = (0..nacc).map(|i| Asn(300 + i as u32)).collect();
+
+        for &a in &t1s {
+            g.add_as(mk_as(a.0, AsKind::Tier1));
+        }
+        for &a in &t2s {
+            g.add_as(mk_as(a.0, AsKind::Tier2));
+        }
+        for &a in &accs {
+            g.add_as(mk_as(a.0, AsKind::AccessIsp));
+        }
+        // Tier-1 clique.
+        for i in 0..t1s.len() {
+            for j in (i + 1)..t1s.len() {
+                g.add_edge(t1s[i], t1s[j], Relationship::Peer);
+            }
+        }
+        // Tier-2s buy from 1-2 Tier-1s.
+        for &t2 in &t2s {
+            let p = t1s[(next() as usize) % t1s.len()];
+            g.add_edge(t2, p, Relationship::Provider);
+            if next() % 2 == 0 {
+                let q = t1s[(next() as usize) % t1s.len()];
+                if q != p {
+                    g.add_edge(t2, q, Relationship::Provider);
+                }
+            }
+        }
+        // Access ISPs buy from 1-2 Tier-2s; some peer laterally.
+        for &acc in &accs {
+            let p = t2s[(next() as usize) % t2s.len()];
+            g.add_edge(acc, p, Relationship::Provider);
+            if next() % 3 == 0 {
+                let q = t2s[(next() as usize) % t2s.len()];
+                if q != p {
+                    g.add_edge(acc, q, Relationship::Provider);
+                }
+            }
+            if next() % 4 == 0 {
+                let peer = accs[(next() as usize) % accs.len()];
+                if peer != acc && g.relationship(acc, peer).is_none() {
+                    g.add_edge(acc, peer, Relationship::Peer);
+                }
+            }
+        }
+        let mut all = t1s;
+        all.extend(t2s);
+        all.extend(accs);
+        (g, all)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn selected_routes_are_valley_free((g, nodes) in arb_topology()) {
+        for &src in &nodes {
+            for &dst in &nodes {
+                if let Some(r) = select_route(&g, src, dst) {
+                    prop_assert!(is_valley_free(&g, &r.path),
+                        "{src}->{dst}: {:?} not valley-free", r.path);
+                    prop_assert_eq!(*r.path.first().unwrap(), src);
+                    prop_assert_eq!(*r.path.last().unwrap(), dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_have_no_as_loops((g, nodes) in arb_topology()) {
+        for &src in &nodes {
+            for &dst in &nodes {
+                if let Some(r) = select_route(&g, src, dst) {
+                    let mut seen = std::collections::HashSet::new();
+                    for a in &r.path {
+                        prop_assert!(seen.insert(*a), "loop at {a} in {:?}", r.path);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_guarantees_reachability((g, nodes) in arb_topology()) {
+        // Everyone buys transit up to the Tier-1 clique, so the Internet
+        // is fully connected — routes must always exist.
+        for &src in &nodes {
+            for &dst in &nodes {
+                prop_assert!(select_route(&g, src, dst).is_some(),
+                    "{src} cannot reach {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn valley_free_never_shorter_than_unrestricted((g, nodes) in arb_topology()) {
+        for &src in &nodes {
+            for &dst in &nodes {
+                if let (Some(vf), Some(any)) = (
+                    select_route(&g, src, dst),
+                    shortest_unrestricted(&g, src, dst),
+                ) {
+                    prop_assert!(vf.path.len() + 1 >= any.len(),
+                        "valley-free impossibly short: {:?} vs {:?}", vf.path, any);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_kind_matches_first_edge((g, nodes) in arb_topology()) {
+        for &src in &nodes {
+            for &dst in &nodes {
+                if src == dst { continue; }
+                if let Some(r) = select_route(&g, src, dst) {
+                    let rel = g.relationship(r.path[0], r.path[1]).unwrap();
+                    let expect = match rel {
+                        Relationship::Customer => RouteKind::Customer,
+                        Relationship::Peer => RouteKind::Peer,
+                        Relationship::Provider => RouteKind::Provider,
+                    };
+                    prop_assert_eq!(r.kind, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bgp_propagation_matches_select_route_semantics((g, nodes) in arb_topology()) {
+        // BGP propagation picks each AS's own best route; the source-optimal
+        // search can find shorter provider routes, but reachability and
+        // preference class must agree, and every propagated route must be
+        // valley-free.
+        for &dest in nodes.iter().take(3) {
+            let routes = bgp::routes_to(&g, dest);
+            for &src in &nodes {
+                let sr = select_route(&g, src, dest);
+                match routes.get(&src) {
+                    Some(b) => {
+                        let s = sr.expect("reachability must agree");
+                        prop_assert_eq!(b.kind, s.kind, "{}->{}", src, dest);
+                        prop_assert!(b.path.len() >= s.path.len(),
+                            "BGP route shorter than source-optimal: {:?} vs {:?}",
+                            b.path, s.path);
+                        prop_assert!(is_valley_free(&g, &b.path), "{:?}", b.path);
+                        prop_assert_eq!(*b.path.first().unwrap(), src);
+                        prop_assert_eq!(*b.path.last().unwrap(), dest);
+                    }
+                    None => prop_assert!(sr.is_none(), "{} -> {} reachability mismatch", src, dest),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lpm_agrees_with_linear_scan(
+        entries in prop::collection::vec((0u32..0xE0000000u32, 8u8..=28u8, 1u32..5000), 1..60),
+        probes in prop::collection::vec(0u32..0xE0000000u32, 1..40),
+    ) {
+        let mut table = PrefixTable::new();
+        let mut list: Vec<(IpPrefix, Asn)> = Vec::new();
+        for (base, len, asn) in entries {
+            let p = IpPrefix::new(Ipv4Addr::from(base), len);
+            table.announce(p, Asn(asn));
+            list.retain(|(q, _)| *q != p);
+            list.push((p, Asn(asn)));
+        }
+        for ip in probes {
+            let addr = Ipv4Addr::from(ip);
+            let expect = list
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(_, a)| *a);
+            prop_assert_eq!(table.lookup(addr), expect, "addr {}", addr);
+        }
+    }
+
+    #[test]
+    fn allocator_outputs_disjoint(seq in prop::collection::vec(8u8..=16u8, 1..100)) {
+        let mut alloc = PrefixAllocator::new();
+        let mut out: Vec<IpPrefix> = Vec::new();
+        for len in seq {
+            let p = alloc.alloc(len);
+            for q in &out {
+                prop_assert!(!p.contains(q.network()) && !q.contains(p.network()),
+                    "{p} overlaps {q}");
+            }
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-country cloud reachability report — the Fig. 3 view for one country,
+//! expanded per provider: which cloud is closest, which QoE classes (§2.1)
+//! its users can expect, and how the wireless last mile contributes.
+//!
+//! ```sh
+//! cargo run --release --example country_report -- DE
+//! ```
+
+use cloudy::analysis::latency_groups::{LatencyBand, QoeSupport};
+use cloudy::analysis::report::{ms, pct, Table};
+use cloudy::analysis::{lastmile, nearest, stats, Resolver};
+use cloudy::cloud::{region, Provider};
+use cloudy::core::{Study, StudyConfig};
+use cloudy::geo::country;
+
+fn main() {
+    let code = std::env::args().nth(1).unwrap_or_else(|| "DE".to_string());
+    let Some(country) = country::lookup_str(&code) else {
+        eprintln!("unknown country code {code:?}");
+        std::process::exit(1);
+    };
+    println!("cloud reachability report for {} ({})\n", country.name, country.code);
+
+    let mut cfg = StudyConfig::tiny(42);
+    cfg.sc_fraction = 0.03;
+    cfg.duration_days = 10;
+    println!("running campaign...\n");
+    let study = Study::run(cfg);
+    let cc = country.code();
+
+    // Per-provider nearest region and median latency.
+    let mut t = Table::new(vec!["Provider", "Nearest region", "Median [ms]", "Band", "Samples"]);
+    let mut best: Option<(Provider, f64)> = None;
+    for p in Provider::ALL {
+        let nearest_map = nearest::nearest_by_mean(&study.sc.pings, |ping| {
+            ping.country == cc && ping.provider == p
+        });
+        let samples: Vec<f64> = nearest::samples_to_nearest(&study.sc.pings, &nearest_map)
+            .iter()
+            .filter(|s| s.country == cc)
+            .map(|s| s.rtt_ms)
+            .collect();
+        if samples.len() < 5 {
+            continue;
+        }
+        let median = stats::median(&samples).expect("nonempty");
+        // Name the modal nearest region.
+        let mut region_name = "-".to_string();
+        if let Some((_, (rid, _))) = nearest_map.iter().next() {
+            if let Some(r) = region::by_id(*rid) {
+                region_name = format!("{} ({})", r.name, r.city);
+            }
+        }
+        if best.map(|(_, b)| median < b).unwrap_or(true) {
+            best = Some((p, median));
+        }
+        t.add_row(vec![
+            p.abbrev().to_string(),
+            region_name,
+            ms(median),
+            LatencyBand::of(median).label().to_string(),
+            samples.len().to_string(),
+        ]);
+    }
+    if t.is_empty() {
+        println!("not enough measurements from {code} in this campaign — try a larger study");
+        return;
+    }
+    println!("{}", t.render());
+
+    if let Some((p, median)) = best {
+        let qoe = QoeSupport::of(median);
+        println!("best provider: {} at {} median", p.abbrev(), ms(median));
+        println!(
+            "application support: MTP(20ms)={} HPL(100ms)={} HRT(250ms)={}\n",
+            yn(qoe.mtp),
+            yn(qoe.hpl),
+            yn(qoe.hrt)
+        );
+    }
+
+    // The last-mile picture for this country (§5).
+    let resolver = Resolver::new(&study.sim.net.prefixes);
+    let mut shares = Vec::new();
+    let mut abs = Vec::new();
+    for trace in study.sc.traces.iter().filter(|t| t.country == cc) {
+        if let Some(lm) = lastmile::infer(trace, &resolver) {
+            abs.push(lm.usr_isp_ms);
+            if let Some(s) = lm.share() {
+                shares.push(s);
+            }
+        }
+    }
+    if !abs.is_empty() {
+        println!(
+            "wireless last mile: median {} ms, {} of end-to-end latency ({} traceroutes)",
+            ms(stats::median(&abs).expect("nonempty")),
+            pct(stats::median(&shares).unwrap_or(0.0)),
+            abs.len()
+        );
+    }
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}

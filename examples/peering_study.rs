@@ -1,0 +1,51 @@
+//! The §6 peering case studies: all four country pairs (Figs. 12, 13, 17,
+//! 18) — interconnection matrices and direct-vs-transit latency.
+//!
+//! ```sh
+//! cargo run --release --example peering_study
+//! ```
+
+use cloudy::core::experiments::peering_case::{self, CaseStudy};
+use cloudy::core::experiments::Render;
+use cloudy::core::{Study, StudyConfig};
+
+fn main() {
+    let mut cfg = StudyConfig::tiny(42);
+    cfg.sc_fraction = 0.02;
+    cfg.duration_days = 12;
+    println!("running campaign for the four case studies...\n");
+    let study = Study::run(cfg);
+
+    for case in [
+        CaseStudy::GermanyToUk,
+        CaseStudy::JapanToIndia,
+        CaseStudy::UkraineToUk,
+        CaseStudy::BahrainToIndia,
+    ] {
+        let result = peering_case::run(&study, case);
+        println!("{}", result.render());
+
+        // The per-case takeaway, computed from the data.
+        let direct: Vec<f64> =
+            result.latency.iter().filter_map(|r| r.direct.map(|d| d.median)).collect();
+        let transit: Vec<f64> =
+            result.latency.iter().filter_map(|r| r.transit.map(|d| d.median)).collect();
+        if !direct.is_empty() && !transit.is_empty() {
+            let d = direct.iter().sum::<f64>() / direct.len() as f64;
+            let t = transit.iter().sum::<f64>() / transit.len() as f64;
+            let diqr: Vec<f64> =
+                result.latency.iter().filter_map(|r| r.direct.map(|s| s.iqr())).collect();
+            let tiqr: Vec<f64> =
+                result.latency.iter().filter_map(|r| r.transit.map(|s| s.iqr())).collect();
+            let di = diqr.iter().sum::<f64>() / diqr.len().max(1) as f64;
+            let ti = tiqr.iter().sum::<f64>() / tiqr.len().max(1) as f64;
+            println!(
+                "takeaway: direct median {d:.1} ms vs transit {t:.1} ms (gain {:.1} ms); \
+                 direct IQR {di:.1} ms vs transit IQR {ti:.1} ms\n",
+                t - d
+            );
+        } else {
+            println!("takeaway: not enough samples in both classes for this pair\n");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build the world, run a reduced-scale version of the paper's
+//! six-month campaign, and print the headline artifacts.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudy::core::experiments::{self, Render};
+use cloudy::core::{Study, StudyConfig};
+
+fn main() {
+    println!("cloudy — reproducing \"Cloudy with a Chance of Short RTTs\" (IMC 2021)\n");
+
+    // A reduced-scale study: ~2% of the Speedchecker population over 10
+    // simulated days. Fully deterministic in the seed.
+    let mut cfg = StudyConfig::tiny(42);
+    cfg.sc_fraction = 0.02;
+    cfg.atlas_fraction = 0.25;
+    cfg.duration_days = 10;
+    println!("running campaigns (seed {}, {} days)...", cfg.seed, cfg.duration_days);
+    let study = Study::run(cfg);
+
+    let sc = study.sc.summary();
+    let at = study.atlas.summary();
+    println!(
+        "Speedchecker: {} pings, {} traceroutes from {} probes in {} countries",
+        sc.pings, sc.traces, sc.probes, sc.countries
+    );
+    println!(
+        "RIPE Atlas:   {} pings, {} traceroutes from {} probes in {} countries\n",
+        at.pings, at.traces, at.probes, at.countries
+    );
+
+    // The measurement setup (Table 1).
+    println!("{}", experiments::deployment::table1().render());
+
+    // The headline result: continent-level RTT distributions vs. the QoE
+    // thresholds (Fig. 4).
+    println!("{}", experiments::continent_cdf::run(&study).render());
+
+    // And the §6 takeaway: who peers directly, who rides transit (Fig. 10).
+    println!("{}", experiments::interconnect::run(&study).render());
+
+    println!("Run the other examples for the full per-figure reproduction:");
+    println!("  cargo run --release --example country_report -- DE");
+    println!("  cargo run --release --example peering_study");
+    println!("  cargo run --release --example platform_bias");
+    println!("  cargo run --release --example edge_vs_cloud");
+    println!("  cargo run --release --example trombone_hunt");
+    println!("  cargo run --release --example future_lastmile");
+    println!("  cargo run --release --example wired_speedchecker");
+    println!("  cargo run --release --example full_reproduction");
+}

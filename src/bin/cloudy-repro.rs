@@ -1,0 +1,329 @@
+//! `cloudy-repro` — command-line front end for the reproduction.
+//!
+//! ```text
+//! cloudy-repro list
+//! cloudy-repro world       [--seed N]
+//! cloudy-repro run         [--seed N] [--days N] [--sc-fraction F]
+//!                          [--atlas-fraction F] [--threads N] [--out DIR]
+//! cloudy-repro experiment  <id>... [run options]
+//! cloudy-repro all         [run options] [--out FILE]
+//! ```
+//!
+//! `run` executes both platform campaigns and writes the datasets as JSON
+//! lines (`speedchecker.jsonl`, `atlas.jsonl`) plus a `study.meta` with the
+//! seed so results can be re-analysed. `experiment`/`all` run the study and
+//! render the requested artifacts.
+
+use cloudy::core::experiments::{self, ExperimentId};
+use cloudy::core::{Study, StudyConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "list" => {
+            for id in ExperimentId::ALL {
+                println!("{:8} {}", id.slug(), id.label());
+            }
+            ExitCode::SUCCESS
+        }
+        "world" => world(&args[1..]),
+        "analyze" => analyze(&args[1..]),
+        "run" => run(&args[1..]),
+        "experiment" => experiment(&args[1..]),
+        "all" => all(&args[1..]),
+        "help" | "--help" | "-h" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "cloudy-repro — reproduce \"Cloudy with a Chance of Short RTTs\" (IMC 2021)\n\n\
+         commands:\n\
+         \x20 list                         list experiment ids\n\
+         \x20 world [--seed N]             print world statistics\n\
+         \x20 run [opts] [--out DIR]       run both campaigns, write datasets\n\
+         \x20 experiment <id>... [opts]    run specific experiments (see `list`)\n\
+         \x20 all [opts] [--out FILE]      run every experiment\n\n\
+         options:\n\
+         \x20 --seed N            study seed (default 42)\n\
+         \x20 --days N            campaign length in simulated days (default 10)\n\
+         \x20 --sc-fraction F     Speedchecker population fraction (default 0.02)\n\
+         \x20 --atlas-fraction F  Atlas population fraction (default 0.25)\n\
+         \x20 --threads N         worker threads (default 4)"
+    );
+}
+
+/// Parse `--key value` options; returns (config, leftover positional args).
+fn parse_config(args: &[String]) -> Result<(StudyConfig, Vec<String>), String> {
+    let mut cfg = StudyConfig::tiny(42);
+    cfg.sc_fraction = 0.02;
+    cfg.atlas_fraction = 0.25;
+    cfg.duration_days = 10;
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--days" => {
+                cfg.duration_days = take("--days")?.parse().map_err(|e| format!("--days: {e}"))?
+            }
+            "--sc-fraction" => {
+                cfg.sc_fraction =
+                    take("--sc-fraction")?.parse().map_err(|e| format!("--sc-fraction: {e}"))?
+            }
+            "--atlas-fraction" => {
+                cfg.atlas_fraction = take("--atlas-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--atlas-fraction: {e}"))?
+            }
+            "--threads" => {
+                cfg.threads = take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if !(0.0..=1.0).contains(&cfg.sc_fraction) || cfg.sc_fraction <= 0.0 {
+        return Err(format!("--sc-fraction must be in (0,1], got {}", cfg.sc_fraction));
+    }
+    if !(0.0..=1.0).contains(&cfg.atlas_fraction) || cfg.atlas_fraction <= 0.0 {
+        return Err(format!("--atlas-fraction must be in (0,1], got {}", cfg.atlas_fraction));
+    }
+    if cfg.duration_days == 0 {
+        return Err("--days must be >= 1".into());
+    }
+    Ok((cfg, positional))
+}
+
+fn world(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let world = cloudy::netsim::build::build(&cloudy::netsim::build::WorldConfig {
+        seed: cfg.seed,
+        isps_per_country: cfg.isps_per_country,
+        countries: None,
+    });
+    if positional.iter().any(|p| p == "--audit") {
+        let report = cloudy::netsim::audit::audit(&world);
+        print!("{}", report.render());
+        if !report.is_clean() {
+            return ExitCode::from(1);
+        }
+    }
+    println!("seed: {}", cfg.seed);
+    println!("ASes: {}", world.net.graph.len());
+    println!("AS-level edges: {}", world.net.graph.edge_count());
+    println!("announced prefixes: {}", world.net.prefixes.len());
+    println!("IXPs: {}", world.net.ixps.len());
+    println!("cloud regions: {}", world.net.regions.len());
+    println!("countries with ISPs: {}", world.isps_by_country.len());
+    let isps: usize = world.isps_by_country.values().map(Vec::len).sum();
+    println!("access ISPs: {isps}");
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match out_value(&positional, "--out") {
+        Ok(v) => v.unwrap_or_else(|| "cloudy-out".into()),
+        Err(e) => return fail(&e),
+    };
+    eprintln!("running study (seed {}, {} days)...", cfg.seed, cfg.duration_days);
+    let study = Study::run(cfg.clone());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create {out_dir}: {e}"));
+    }
+    let write = |name: &str, content: &str| -> Result<(), String> {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, content).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+        Ok(())
+    };
+    let meta = format!(
+        "seed={}\ndays={}\nsc_fraction={}\natlas_fraction={}\n",
+        cfg.seed, cfg.duration_days, cfg.sc_fraction, cfg.atlas_fraction
+    );
+    for step in [
+        write("study.meta", &meta),
+        write("speedchecker.jsonl", &study.sc.to_jsonl()),
+        write("atlas.jsonl", &study.atlas.to_jsonl()),
+    ] {
+        if let Err(e) = step {
+            return fail(&e);
+        }
+    }
+    let sc = study.sc.summary();
+    println!(
+        "speedchecker: {} pings + {} traceroutes from {} probes in {} countries",
+        sc.pings, sc.traces, sc.probes, sc.countries
+    );
+    let at = study.atlas.summary();
+    println!(
+        "atlas: {} pings + {} traceroutes from {} probes in {} countries",
+        at.pings, at.traces, at.probes, at.countries
+    );
+    ExitCode::SUCCESS
+}
+
+fn experiment(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let ids: Vec<ExperimentId> = {
+        let mut ids = Vec::new();
+        for p in positional.iter().filter(|p| !p.starts_with("--")) {
+            match ExperimentId::parse(p) {
+                Some(id) => ids.push(id),
+                None => return fail(&format!("unknown experiment {p:?} (see `cloudy-repro list`)")),
+            }
+        }
+        ids
+    };
+    if ids.is_empty() {
+        return fail("experiment requires at least one id (see `cloudy-repro list`)");
+    }
+    eprintln!("running study (seed {}, {} days)...", cfg.seed, cfg.duration_days);
+    let study = Study::run(cfg);
+    for id in ids {
+        println!("==== {} ====\n{}", id.label(), experiments::run_one(&study, id));
+    }
+    ExitCode::SUCCESS
+}
+
+fn all(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let out = match out_value(&positional, "--out") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    eprintln!("running study (seed {}, {} days)...", cfg.seed, cfg.duration_days);
+    let study = Study::run(cfg);
+    let mut doc = String::new();
+    for (id, artifact) in experiments::run_all(&study) {
+        println!("==== {} ====\n{artifact}", id.label());
+        doc.push_str(&format!("## {}\n\n```text\n{artifact}\n```\n\n", id.label()));
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, doc) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(dir) = match out_value(&positional, "--csv") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    } {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return fail(&format!("cannot create {dir}: {e}"));
+        }
+        for (name, csv) in experiments::export::export_csv(&study) {
+            let path = format!("{dir}/{name}.csv");
+            if let Err(e) = std::fs::write(&path, csv) {
+                return fail(&format!("write {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let (mut cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let Some(dir) = (match out_value(&positional, "--dir") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    }) else {
+        return fail("analyze requires --dir pointing at a `cloudy-repro run` export");
+    };
+    // Honour the export's metadata over CLI defaults.
+    match std::fs::read_to_string(format!("{dir}/study.meta")) {
+        Ok(meta) => {
+            for line in meta.lines() {
+                if let Some((k, v)) = line.split_once('=') {
+                    match k {
+                        "seed" => cfg.seed = v.parse().unwrap_or(cfg.seed),
+                        "days" => cfg.duration_days = v.parse().unwrap_or(cfg.duration_days),
+                        "sc_fraction" => cfg.sc_fraction = v.parse().unwrap_or(cfg.sc_fraction),
+                        "atlas_fraction" => {
+                            cfg.atlas_fraction = v.parse().unwrap_or(cfg.atlas_fraction)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Err(e) => return fail(&format!("read {dir}/study.meta: {e}")),
+    }
+    let load = |name: &str| -> Result<cloudy::measure::Dataset, String> {
+        let raw = std::fs::read_to_string(format!("{dir}/{name}"))
+            .map_err(|e| format!("read {dir}/{name}: {e}"))?;
+        cloudy::measure::Dataset::from_jsonl(&raw)
+    };
+    let (sc, atlas) = match (load("speedchecker.jsonl"), load("atlas.jsonl")) {
+        (Ok(s), Ok(a)) => (s, a),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    eprintln!(
+        "rebuilding world (seed {}) and analyzing {} + {} records...",
+        cfg.seed,
+        sc.len(),
+        atlas.len()
+    );
+    let study = Study::from_datasets(cfg, sc, atlas);
+    let ids: Vec<ExperimentId> = positional
+        .iter()
+        .filter(|p| !p.starts_with("--") && *p != &dir)
+        .filter_map(|p| ExperimentId::parse(p))
+        .collect();
+    let ids = if ids.is_empty() { ExperimentId::ALL.to_vec() } else { ids };
+    for id in ids {
+        println!("==== {} ====\n{}", id.label(), experiments::run_one(&study, id));
+    }
+    ExitCode::SUCCESS
+}
+
+fn out_value(positional: &[String], key: &str) -> Result<Option<String>, String> {
+    let mut it = positional.iter();
+    while let Some(p) = it.next() {
+        if p == key {
+            return it
+                .next()
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{key} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

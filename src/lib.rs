@@ -1,0 +1,16 @@
+//! `cloudy` — umbrella crate re-exporting the full workspace.
+//!
+//! A reproduction of *"Cloudy with a Chance of Short RTTs: Analyzing Cloud
+//! Connectivity in the Internet"* (IMC 2021). See the repository README and
+//! DESIGN.md for the system inventory; each substrate lives in its own crate
+//! and is re-exported here for convenience.
+
+pub use cloudy_analysis as analysis;
+pub use cloudy_cloud as cloud;
+pub use cloudy_core as core;
+pub use cloudy_geo as geo;
+pub use cloudy_lastmile as lastmile;
+pub use cloudy_measure as measure;
+pub use cloudy_netsim as netsim;
+pub use cloudy_probes as probes;
+pub use cloudy_topology as topology;

@@ -1,0 +1,143 @@
+//! Property-based tests over the analysis pipeline: arbitrary (even
+//! garbage) traceroutes must never break the classifiers, and statistics
+//! must satisfy their invariants on arbitrary inputs.
+
+use cloudy::analysis::{lastmile, peering, stats, AsLevelPath, Resolver};
+use cloudy::cloud::{Provider, RegionId};
+use cloudy::geo::{Continent, CountryCode};
+use cloudy::lastmile::AccessType;
+use cloudy::measure::{HopRecord, TracerouteRecord};
+use cloudy::netsim::Protocol;
+use cloudy::probes::{Platform, ProbeId};
+use cloudy::topology::ixp::IxpDirectory;
+use cloudy::topology::{Asn, IpPrefix, Ixp, IxpId, PrefixTable};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_hop() -> impl Strategy<Value = HopRecord> {
+    (any::<u8>(), proptest::option::of((any::<u32>(), 0.0f64..500.0))).prop_map(|(ttl, resp)| {
+        HopRecord {
+            ttl,
+            ip: resp.map(|(ip, _)| Ipv4Addr::from(ip)),
+            rtt_ms: resp.map(|(_, rtt)| rtt),
+        }
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
+    proptest::collection::vec(arb_hop(), 0..20).prop_map(|hops| TracerouteRecord {
+        probe: ProbeId(1),
+        platform: Platform::Speedchecker,
+        country: CountryCode::new("DE"),
+        continent: Continent::Europe,
+        city: "Munich".into(),
+        isp: Asn(10),
+        access: AccessType::WifiHome,
+        region: RegionId(0),
+        provider: Provider::Google,
+        proto: Protocol::Icmp,
+        src_ip: Ipv4Addr::new(11, 0, 0, 2),
+        hops,
+        hour: 0,
+    })
+}
+
+fn world() -> (PrefixTable, IxpDirectory) {
+    let mut t = PrefixTable::new();
+    t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(10));
+    t.announce(IpPrefix::new(Ipv4Addr::new(12, 0, 0, 0), 16), Asn(1299));
+    t.announce(IpPrefix::new(Ipv4Addr::new(13, 0, 0, 0), 16), Asn(15169));
+    let mut ixps = IxpDirectory::new();
+    ixps.add(Ixp::new(
+        IxpId(0),
+        "IX",
+        cloudy::geo::GeoPoint::new(50.0, 8.0),
+        IpPrefix::new(Ipv4Addr::new(80, 81, 0, 0), 16),
+    ));
+    (t, ixps)
+}
+
+proptest! {
+    #[test]
+    fn as_level_path_never_panics_and_never_duplicates_consecutively(trace in arb_trace()) {
+        let (table, ixps) = world();
+        let resolver = Resolver::new(&table);
+        let path = AsLevelPath::from_trace(&trace, &resolver, &ixps);
+        for w in path.ases.windows(2) {
+            prop_assert_ne!(w[0], w[1], "consecutive duplicate AS");
+        }
+        // Classification is total over well-formed paths.
+        let _ = peering::classify(&path);
+    }
+
+    #[test]
+    fn lastmile_inference_is_consistent(trace in arb_trace()) {
+        let (table, _) = world();
+        let resolver = Resolver::new(&table);
+        if let Some(lm) = lastmile::infer(&trace, &resolver) {
+            prop_assert!(lm.usr_isp_ms >= 0.0);
+            if let Some(r) = lm.rtr_isp_ms {
+                prop_assert!(r >= 0.0);
+                prop_assert!(lm.access == lastmile::InferredAccess::Home);
+            }
+            if let Some(s) = lm.share() {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_invariants(values in proptest::collection::vec(0.0f64..10_000.0, 1..300)) {
+        let cdf = cloudy::analysis::Cdf::new(values.clone());
+        prop_assert_eq!(cdf.len(), values.len());
+        prop_assert!(cdf.min() <= cdf.median());
+        prop_assert!(cdf.median() <= cdf.max());
+        // Quantiles are monotone.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = cdf.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        // fraction_below is monotone and bounded.
+        prop_assert_eq!(cdf.fraction_below(f64::MAX), 1.0);
+        prop_assert!(cdf.fraction_below(-1.0) == 0.0);
+    }
+
+    #[test]
+    fn box_stats_ordering(values in proptest::collection::vec(0.0f64..1_000.0, 1..200)) {
+        let b = cloudy::analysis::BoxStats::from_samples(&values).unwrap();
+        prop_assert!(b.min <= b.q1);
+        prop_assert!(b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3);
+        prop_assert!(b.q3 <= b.p95 || (b.p95 >= b.median));
+        prop_assert!(b.p95 <= b.max);
+        prop_assert!(b.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant(
+        values in proptest::collection::vec(1.0f64..1_000.0, 2..100),
+        scale in 0.1f64..10.0,
+    ) {
+        let cv1 = stats::coefficient_of_variation(&values).unwrap();
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let cv2 = stats::coefficient_of_variation(&scaled).unwrap();
+        prop_assert!((cv1 - cv2).abs() < 1e-9, "cv changed under scaling: {cv1} vs {cv2}");
+    }
+
+    #[test]
+    fn quantile_differences_antisymmetric(
+        a in proptest::collection::vec(0.0f64..500.0, 5..100),
+        b in proptest::collection::vec(0.0f64..500.0, 5..100),
+    ) {
+        use cloudy::analysis::compare::quantile_differences;
+        let ca = cloudy::analysis::Cdf::new(a);
+        let cb = cloudy::analysis::Cdf::new(b);
+        let ab = quantile_differences(&ca, &cb, 21);
+        let ba = quantile_differences(&cb, &ca, 21);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x + y).abs() < 1e-9);
+        }
+    }
+}
