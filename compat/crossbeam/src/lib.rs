@@ -1,0 +1,90 @@
+//! Offline shim of the slice of `crossbeam` used by this workspace:
+//! `crossbeam::thread::scope` with scoped `spawn`/`join`.
+//!
+//! Implemented over `std::thread::scope` (stable since Rust 1.63), which
+//! provides the same guarantee crossbeam pioneered: spawned threads may
+//! borrow from the enclosing stack frame and are joined before `scope`
+//! returns. The outer `Result` mirrors crossbeam's API; with std scopes a
+//! panicking child propagates on join, so the `Ok` arm is the only one
+//! constructed here.
+
+pub mod thread {
+    /// Result of joining a thread (re-exported std type, as in crossbeam).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle. `Copy` so it can be moved into several spawned
+    /// closures (crossbeam passes `&Scope`; call sites that ignore the
+    /// argument, or use it to spawn nested tasks, work with either).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// nested spawns work, as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("nested") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

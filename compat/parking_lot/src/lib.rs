@@ -1,0 +1,85 @@
+//! Offline shim of the `parking_lot` lock API used by this workspace.
+//!
+//! Wraps `std::sync` primitives and exposes parking_lot's unpoisoned
+//! interface (`lock()`/`read()`/`write()` return guards directly). Poison
+//! is deliberately ignored — parking_lot has no poisoning, and the
+//! workspace's lock usage (read-mostly caches) treats a panic mid-write as
+//! fatal to the test or process anyway.
+
+use std::sync::PoisonError;
+
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Reader-writer lock with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Mutex with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_reads_and_writes() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 2);
+    }
+
+    #[test]
+    fn mutex_locks() {
+        let m = Mutex::new(String::from("a"));
+        m.lock().push('b');
+        assert_eq!(*m.lock(), "ab");
+    }
+}

@@ -1,0 +1,578 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! Supports the `proptest!` macro (with `#![proptest_config(...)]`),
+//! `Strategy` + `prop_map`, range/tuple/`any`/`select`/`collection::vec`/
+//! `option::of`/simple-regex-string strategies, and the `prop_assert*`
+//! macros. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   values' `Debug` form is available through the assertion message; the
+//!   generator is fully deterministic, so a failure reproduces exactly by
+//!   re-running the test.
+//! * **Deterministic by construction.** Case `i` of test `t` derives its
+//!   RNG from a hash of `(module_path, test name, i)` — no environment
+//!   entropy, so CI and local runs explore identical inputs (the
+//!   workspace's determinism contract extends to its test inputs).
+//! * Regex string strategies support the `[class]{m,n}` shape only.
+
+pub mod strategy {
+    /// Deterministic RNG used to drive strategies (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// RNG for one test case: hash of test identity and case index.
+        pub fn for_case(module: &str, test: &str, case: u64) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in module.bytes().chain(test.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(h ^ case.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; bound 0 returns 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike upstream there is no value tree: `sample` produces the final
+    /// value directly and nothing shrinks.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi - lo;
+                    if span == u64::MAX {
+                        rng.next_u64() as $t
+                    } else {
+                        lo.wrapping_add(rng.below(span + 1)) as $t
+                    }
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+
+    /// `&str` regex strategies: the `[class]{m,n}` subset.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_charset_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "string strategy {self:?} is not of the supported `[class]{{m,n}}` form"
+                )
+            });
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+        }
+    }
+
+    /// Parse a `[class]{m,n}` regex into (alphabet, min, max).
+    fn parse_charset_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i], class[i + 2]);
+                for c in lo..=hi {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if chars.is_empty() || lo > hi {
+            return None;
+        }
+        Some((chars, lo, hi))
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    /// Strategy yielding any value of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed set.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_exclusive - self.min) as u64;
+            let len = self.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, min: size.start, max_exclusive: size.end }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding `None` about a quarter of the time (upstream's
+    /// default weights `Some` 3:1).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// Upstream defaults to 256; 64 keeps the single-core CI loop fast
+        /// while still exercising each property broadly.
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{} (both {:?})",
+            format!($($fmt)*), l
+        );
+    }};
+}
+
+/// Define property tests. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::strategy::TestRng::for_case(
+                        module_path!(),
+                        stringify!($name),
+                        __case as u64,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (deterministic; rerun reproduces): {}",
+                            stringify!($name), __case + 1, __cfg.cases, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias module mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, f in -1.5f64..2.5, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((a, s) in (1u8..5, prop::sample::select(vec!["x", "y"])).prop_map(|(a, s)| (a * 2, s))) {
+            prop_assert!((2..10).contains(&a) && a % 2 == 0);
+            prop_assert!(s == "x" || s == "y");
+        }
+
+        #[test]
+        fn vec_and_option_strategies(
+            v in prop::collection::vec(0u64..100, 1..8),
+            o in prop::option::of(0u32..3),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            if let Some(x) = o { prop_assert!(x < 3); }
+        }
+
+        #[test]
+        fn string_regex_strategy(s in "[a-c ]{0,5}") {
+            prop_assert!(s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::strategy::TestRng::for_case("m", "t", 3);
+        let mut b = crate::strategy::TestRng::for_case("m", "t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -112,12 +112,12 @@ mod tests {
 
     #[test]
     fn matched_differences_only_on_intersection() {
-        let sc = vec![
+        let sc = [
             ping(Platform::Speedchecker, "Munich", 10, 0, 40.0),
             ping(Platform::Speedchecker, "Munich", 10, 0, 44.0),
             ping(Platform::Speedchecker, "Berlin", 11, 0, 99.0), // unmatched
         ];
-        let at = vec![
+        let at = [
             ping(Platform::RipeAtlas, "Munich", 10, 0, 30.0),
             ping(Platform::RipeAtlas, "Hamburg", 12, 0, 10.0), // unmatched
         ];

@@ -69,6 +69,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // compile-time ordering sanity
     fn thresholds_ordered() {
         assert!(MTP_MS < HPL_MS && HPL_MS < HRT_MS);
     }

@@ -107,12 +107,12 @@ pub fn ascii_cdf(series: &[(&str, &Cdf)], width: usize, x_max: f64) -> String {
             continue;
         }
         let glyph = GLYPHS[si % GLYPHS.len()];
-        for row in 0..HEIGHT {
+        for (row, grid_row) in grid.iter_mut().enumerate() {
             let q = 1.0 - row as f64 / (HEIGHT - 1) as f64;
             let v = cdf.quantile(q);
             let col = ((v / x_max) * (width - 1) as f64).round() as usize;
             if col < width {
-                grid[row][col] = glyph;
+                grid_row[col] = glyph;
             }
         }
     }

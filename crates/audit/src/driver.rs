@@ -1,0 +1,122 @@
+//! The audit driver: runs the three passes and folds their findings into
+//! one report.
+
+use crate::finding::AuditReport;
+use crate::racecheck::{race_check, RaceConfig};
+use crate::{detlint, world};
+use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
+use std::path::PathBuf;
+
+/// What to audit and how.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Workspace root for the source lint pass (`None` skips detlint —
+    /// world-only callers like `cloudy-repro world --audit`).
+    pub workspace_root: Option<PathBuf>,
+    /// World seed for the invariant + race passes.
+    pub seed: u64,
+    /// Audit the full 195-country world instead of the 4-country
+    /// representative one. Slower; CI uses the small world.
+    pub global_world: bool,
+    /// Thread count for the parallel leg of the race check.
+    pub race_threads: usize,
+    /// Skip the campaign race check (static passes only).
+    pub skip_race: bool,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            workspace_root: None,
+            seed: 1,
+            global_world: false,
+            race_threads: 8,
+            skip_race: false,
+        }
+    }
+}
+
+/// Runs the configured audit passes.
+pub struct AuditDriver {
+    opts: AuditOptions,
+}
+
+impl AuditDriver {
+    pub fn new(opts: AuditOptions) -> Self {
+        AuditDriver { opts }
+    }
+
+    /// Pass 1: determinism lints over the workspace sources.
+    pub fn run_detlint(&self) -> Result<AuditReport, String> {
+        match &self.opts.workspace_root {
+            Some(root) => detlint::scan_workspace(root),
+            None => Ok(AuditReport::default()),
+        }
+    }
+
+    /// Pass 2: world invariants over a freshly built world.
+    pub fn run_world(&self) -> AuditReport {
+        world::audit(&self.build_world())
+    }
+
+    /// Pass 3: 1-vs-N-thread campaign determinism.
+    pub fn run_race(&self) -> AuditReport {
+        if self.opts.skip_race {
+            return AuditReport::default();
+        }
+        race_check(&RaceConfig { seed: self.opts.seed, threads: self.opts.race_threads })
+    }
+
+    /// Run every configured pass and merge the findings.
+    pub fn run(&self) -> Result<AuditReport, String> {
+        let mut report = self.run_detlint()?;
+        report.merge(self.run_world());
+        report.merge(self.run_race());
+        Ok(report)
+    }
+
+    fn build_world(&self) -> BuiltWorld {
+        if self.opts.global_world {
+            build(&WorldConfig { seed: self.opts.seed, ..WorldConfig::default() })
+        } else {
+            build(&WorldConfig {
+                seed: self.opts.seed,
+                isps_per_country: 2,
+                countries: Some(
+                    ["DE", "JP", "BR", "KE"]
+                        .iter()
+                        .map(|c| cloudy_geo::CountryCode::new(c))
+                        .collect(),
+                ),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_driver_skips_detlint_without_a_root() {
+        let driver = AuditDriver::new(AuditOptions { skip_race: true, ..Default::default() });
+        let report = driver.run().expect("no detlint root, no IO to fail");
+        assert!(report.is_clean(), "{}", report.render());
+        // World checks ran, detlint and race did not.
+        assert!(report.checks_run >= 10, "only {} checks ran", report.checks_run);
+    }
+
+    #[test]
+    fn driver_flags_a_sourceless_detlint_root() {
+        // A root with no Rust sources must fail the audit loudly rather
+        // than count as a clean scan of zero files.
+        let driver = AuditDriver::new(AuditOptions {
+            workspace_root: Some(PathBuf::from("/nonexistent-root")),
+            skip_race: true,
+            ..Default::default()
+        });
+        let report = driver.run_detlint().expect("missing dirs are findings, not IO errors");
+        assert!(!report.is_clean());
+        assert!(report.errors().any(|f| f.check == "detlint"));
+    }
+}

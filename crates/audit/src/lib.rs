@@ -1,0 +1,42 @@
+//! # cloudy-audit — workspace-wide static analysis
+//!
+//! Three audit passes guard the reproduction's two load-bearing claims —
+//! *determinism* (same seed, same bytes) and *fidelity* (the simulated
+//! world matches the paper's Table 1 / §3 / §6 ground truth):
+//!
+//! 1. **detlint** ([`detlint`]) — scans the workspace's Rust sources for
+//!    determinism hazards (wall-clock reads, OS-entropy RNGs, unordered
+//!    map iteration feeding results) and robustness smells (`unwrap`/
+//!    `expect`/`panic!` in library code). Findings are suppressible per
+//!    line with `// audit:allow(<rule>)` or per path in `audit.toml`.
+//! 2. **world audit** ([`world`]) — builds the simulated Internet and
+//!    checks its structural invariants: Tier-1 clique, prefix-table
+//!    consistency and overlap-freedom, IXP membership, universal
+//!    reachability, policy realisation, Table 1 reconciliation, a
+//!    full-RIB Gao–Rexford valley-free sweep, and the §3 last-mile
+//!    calibration contract.
+//! 3. **race check** ([`racecheck`]) — runs a small campaign at 1 and N
+//!    threads and demands byte-identical datasets.
+//!
+//! [`AuditDriver`] orchestrates all three; the `cloudy-repro audit`
+//! subcommand and the CI gate are thin wrappers around it. All passes
+//! report through the shared [`Finding`]/[`AuditReport`] model (which
+//! migrated here from `cloudy-netsim::audit` when the audit outgrew world
+//! checking); "clean" means zero error-severity findings.
+
+pub mod detlint;
+pub mod driver;
+pub mod finding;
+pub mod racecheck;
+pub mod world;
+
+pub use driver::{AuditDriver, AuditOptions};
+pub use finding::{AuditReport, Finding, Severity};
+
+use cloudy_netsim::build::BuiltWorld;
+
+/// Audit an already-built world (compatibility shim for callers that held
+/// a world before `cloudy-netsim::audit` moved here).
+pub fn audit(world: &BuiltWorld) -> AuditReport {
+    crate::world::audit(world)
+}

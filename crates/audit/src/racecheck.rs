@@ -1,0 +1,134 @@
+//! Determinism race check: the campaign executor must produce the same
+//! dataset no matter how many worker threads run it.
+//!
+//! The workspace's determinism story rests on per-flow RNG streams and a
+//! post-execution stable sort of the collected records; a data race or an
+//! accidental dependence on thread interleaving would break byte-for-byte
+//! reproducibility silently. This check runs a small (but real) campaign
+//! twice — single-threaded and at N threads — and compares the serialized
+//! JSONL outputs byte for byte, reporting FNV-1a content hashes so a CI
+//! log shows *which* side changed across commits.
+
+use crate::finding::{AuditReport, Severity};
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_measure::plan::PlanConfig;
+use cloudy_measure::{run_campaign, CampaignConfig};
+use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
+use cloudy_netsim::Simulator;
+use cloudy_probes::speedchecker;
+
+/// Configuration for the race check.
+#[derive(Debug, Clone, Copy)]
+pub struct RaceConfig {
+    /// World + plan seed.
+    pub seed: u64,
+    /// Thread count for the parallel leg (the serial leg is always 1).
+    pub threads: usize,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig { seed: 1, threads: 8 }
+    }
+}
+
+/// The representative 4-country world used for the check: one country per
+/// paper macro-region that the seed world models densely enough to probe.
+fn small_world(seed: u64) -> BuiltWorld {
+    build(&WorldConfig {
+        seed,
+        isps_per_country: 2,
+        countries: Some(
+            ["DE", "JP", "BR", "KE"].iter().map(|c| cloudy_geo::CountryCode::new(c)).collect(),
+        ),
+    })
+}
+
+/// Run the campaign at `threads` workers and serialize the dataset.
+fn campaign_jsonl(seed: u64, threads: usize) -> String {
+    let world = small_world(seed);
+    let pop = speedchecker::population(&world, 0.02, seed);
+    let sim = Simulator::new(world.net);
+    let cfg = CampaignConfig {
+        plan: PlanConfig { seed, duration_days: 2, ..PlanConfig::default() },
+        artifacts: ArtifactConfig::realistic(),
+        threads,
+    };
+    run_campaign(&cfg, &sim, &pop).to_jsonl()
+}
+
+/// FNV-1a over the serialized dataset: cheap, dependency-free, and stable
+/// across platforms — good enough to fingerprint a diff in a CI log.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run the 1-vs-N-thread determinism check.
+pub fn race_check(cfg: &RaceConfig) -> AuditReport {
+    let mut report = AuditReport::default();
+    report.checks_run += 1;
+    if cfg.threads < 2 {
+        report.push(
+            Severity::Warning,
+            "race",
+            format!("threads = {} exercises no concurrency; nothing to race", cfg.threads),
+        );
+        return report;
+    }
+    let serial = campaign_jsonl(cfg.seed, 1);
+    let parallel = campaign_jsonl(cfg.seed, cfg.threads);
+    let (h1, hn) = (fnv1a(serial.as_bytes()), fnv1a(parallel.as_bytes()));
+    if serial != parallel {
+        let first_diff = serial
+            .bytes()
+            .zip(parallel.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| serial.len().min(parallel.len()));
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "1-thread and {}-thread campaigns diverge (fnv1a {h1:016x} vs {hn:016x}, \
+                 lengths {} vs {}, first difference at byte {first_diff})",
+                cfg.threads,
+                serial.len(),
+                parallel.len(),
+            ),
+        );
+    }
+    if serial.is_empty() {
+        report.push(Severity::Error, "race", "campaign produced an empty dataset".into());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_thread_config_is_a_warning_not_an_error() {
+        let report = race_check(&RaceConfig { seed: 1, threads: 1 });
+        assert!(report.is_clean());
+        assert_eq!(report.warnings().count(), 1);
+    }
+
+    #[test]
+    fn campaign_is_thread_count_invariant() {
+        let report = race_check(&RaceConfig { seed: 7, threads: 4 });
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
         plan: PlanConfig {
             seed: s.config.seed,
             duration_days: s.config.duration_days,
-            cycle_days: s.config.duration_days.min(14).max(1),
+            cycle_days: s.config.duration_days.clamp(1, 14),
             min_probes_per_country: 2,
             probes_per_country_day: s.config.probes_per_country_day,
             regions_per_probe: s.config.regions_per_probe,

@@ -54,14 +54,13 @@ impl PopSet {
         let mut pops: Vec<PopSite> = Vec::new();
         let push = |city_name: &'static str, at_ixp: bool| {
             let (_, c) = city::by_name(city_name).expect("gazetteer city");
-            let site = PopSite {
+            PopSite {
                 provider,
                 city: city_name,
                 location: c.location(),
                 continent: c.continent(),
                 at_ixp,
-            };
-            site
+            }
         };
 
         // Region cities always host a PoP (the DC itself is an ingress).
@@ -113,7 +112,7 @@ impl PopSet {
     pub fn nearest(&self, point: GeoPoint, within: Option<Continent>) -> Option<&PopSite> {
         self.pops
             .iter()
-            .filter(|p| within.map_or(true, |c| p.continent == c))
+            .filter(|p| within.is_none_or(|c| p.continent == c))
             .min_by(|a, b| {
                 let da = a.location.haversine_km(&point);
                 let db = b.location.haversine_km(&point);

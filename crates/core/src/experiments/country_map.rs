@@ -60,7 +60,7 @@ pub fn run(study: &Study) -> CountryMap {
             }
         })
         .collect();
-    rows.sort_by(|a, b| a.median_ms.partial_cmp(&b.median_ms).unwrap());
+    rows.sort_by(|a, b| a.median_ms.total_cmp(&b.median_ms));
     let mtp = rows.iter().filter(|r| r.qoe.mtp).count();
     let hpl = rows.iter().filter(|r| r.qoe.hpl).count();
     let hrt = rows.iter().filter(|r| r.qoe.hrt).count();

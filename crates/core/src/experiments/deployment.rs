@@ -100,10 +100,10 @@ pub fn fig1(study: &Study) -> Fig1 {
     }
 }
 
-fn probe_counts(
-    study: &Study,
-    platform: cloudy_probes::Platform,
-) -> (Vec<(Continent, usize)>, Vec<(CountryCode, usize)>) {
+/// Distinct-probe counts per continent (all) and per country (top 10).
+type ProbeCounts = (Vec<(Continent, usize)>, Vec<(CountryCode, usize)>);
+
+fn probe_counts(study: &Study, platform: cloudy_probes::Platform) -> ProbeCounts {
     let ds = match platform {
         cloudy_probes::Platform::Speedchecker => &study.sc,
         cloudy_probes::Platform::RipeAtlas => &study.atlas,
@@ -118,7 +118,7 @@ fn probe_counts(
     }
     let mut conts: Vec<(Continent, usize)> =
         per_cont.into_iter().map(|(c, s)| (c, s.len())).collect();
-    conts.sort_by(|a, b| b.1.cmp(&a.1));
+    conts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mut ccs: Vec<(CountryCode, usize)> =
         per_cc.into_iter().map(|(c, s)| (c, s.len())).collect();
     ccs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -239,7 +239,7 @@ pub fn fig14(study: &Study) -> Fig14 {
         }
         rows.push((cc, probes.len(), if n == 0 { 0.0 } else { sum / n as f64 }));
     }
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
     Fig14 { rows }
 }
 

@@ -30,7 +30,7 @@ pub fn run(study: &Study) -> PervasivenessResult {
     let mut acc: HashMap<(Provider, Continent), Vec<f64>> = HashMap::new();
     let mut all: HashMap<Provider, Vec<f64>> = HashMap::new();
     for t in &study.sc.traces {
-        let Some(p) = pervasiveness_of(&t, &resolver, t.provider.asn()) else { continue };
+        let Some(p) = pervasiveness_of(t, &resolver, t.provider.asn()) else { continue };
         acc.entry((t.provider, t.continent)).or_default().push(p);
         all.entry(t.provider).or_default().push(p);
     }

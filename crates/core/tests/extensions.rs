@@ -94,7 +94,7 @@ fn geoip_detours_exceed_ground_truth_detours() {
         geo_mean > true_mean,
         "GeoIP detours ({geo_mean:.2}) should exceed ground truth ({true_mean:.2})"
     );
-    assert!(true_mean >= 1.0 && true_mean < 6.0, "true detour mean {true_mean:.2}");
+    assert!((1.0..6.0).contains(&true_mean), "true detour mean {true_mean:.2}");
 }
 
 #[test]

@@ -149,7 +149,7 @@ cities! {
     "Bangkok", "TH", 13.76, 100.50, 0.45;
     "Jakarta", "ID", -6.21, 106.85, 0.35;
     "Surabaya", "ID", -7.26, 112.75, 0.12;
-    "Kuala Lumpur", "MY", 3.14, 101.69, 0.45;
+    "Kuala Lumpur", "MY", 3.139, 101.69, 0.45;
     "Manila", "PH", 14.60, 120.98, 0.40;
     "Hanoi", "VN", 21.03, 105.85, 0.25;
     "Ho Chi Minh City", "VN", 10.82, 106.63, 0.30;

@@ -169,7 +169,7 @@ countries! {
     "LK", "Sri Lanka",        Asia, 6.93, 79.85;
     "MM", "Myanmar",          Asia, 16.87, 96.20;
     "MN", "Mongolia",         Asia, 47.89, 106.91;
-    "MY", "Malaysia",         Asia, 3.14, 101.69;
+    "MY", "Malaysia",         Asia, 3.139, 101.69;
     "NP", "Nepal",            Asia, 27.72, 85.32;
     "OM", "Oman",             Asia, 23.59, 58.41;
     "PH", "Philippines",      Asia, 14.60, 120.98;

@@ -199,7 +199,7 @@ pub fn build(cfg: &WorldConfig) -> BuiltWorld {
                 AsInfo::new(*asn, name.clone(), AsKind::AccessIsp, cc, c.continent, c.location())
             } else {
                 let mut sorted = cities.clone();
-                sorted.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+                sorted.sort_by(|a, b| b.weight.total_cmp(&a.weight));
                 let anchor = sorted[i % sorted.len()];
                 AsInfo::new(
                     *asn,
@@ -221,9 +221,9 @@ pub fn build(cfg: &WorldConfig) -> BuiltWorld {
                 .map(|(a, _)| *a)
                 .collect();
             t2s.sort_by(|a, b| {
-                let da = graph.info(*a).unwrap().location.haversine_km(&loc);
-                let db = graph.info(*b).unwrap().location.haversine_km(&loc);
-                da.partial_cmp(&db).unwrap()
+                let da = graph.info(*a).expect("tier-2 registered").location.haversine_km(&loc);
+                let db = graph.info(*b).expect("tier-2 registered").location.haversine_km(&loc);
+                da.total_cmp(&db)
             });
             // Every continent has at least one Tier-2 by construction.
             graph.add_edge(*asn, t2s[0], Relationship::Provider);
@@ -283,7 +283,7 @@ pub fn build(cfg: &WorldConfig) -> BuiltWorld {
                                 let pb = if b.2 == continent { 0.0 } else { 1e7 };
                                 let da = a.1.haversine_km(&isp_loc) + pa;
                                 let db = b.1.haversine_km(&isp_loc) + pb;
-                                da.partial_cmp(&db).unwrap()
+                                da.total_cmp(&db)
                             })
                             .expect("at least one IXP")
                             .0;

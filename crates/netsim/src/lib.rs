@@ -29,7 +29,6 @@
 //!   IXPs, provider PoP sets, peering policy, region endpoints.
 //! * [`sim::Simulator`] — route construction + RTT/traceroute sampling.
 
-pub mod audit;
 pub mod build;
 pub mod client;
 pub mod hop;

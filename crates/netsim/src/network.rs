@@ -53,8 +53,11 @@ pub struct Network {
     /// Indexed by `RegionId`.
     pub regions: Vec<RegionEndpoint>,
     pub policy: InterconnectPolicy,
-    path_cache: RwLock<HashMap<(Asn, Asn), Option<Arc<AsPath>>>>,
+    path_cache: RwLock<PathCache>,
 }
+
+/// Memoized AS-path lookups keyed by (src, dst).
+type PathCache = HashMap<(Asn, Asn), Option<Arc<AsPath>>>;
 
 impl Network {
     /// Assemble a world from a structured graph. See module docs.

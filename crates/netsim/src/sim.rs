@@ -67,8 +67,11 @@ struct WideArea {
 /// The route + RTT engine over an assembled [`Network`].
 pub struct Simulator {
     pub net: Network,
-    wide_cache: RwLock<HashMap<(Asn, (i32, i32), RegionId), Arc<WideArea>>>,
+    wide_cache: RwLock<WideCache>,
 }
+
+/// Memoized wide-area geometry keyed by (ISP, coarse location, region).
+type WideCache = HashMap<(Asn, (i32, i32), RegionId), Arc<WideArea>>;
 
 fn loc_key(p: GeoPoint) -> (i32, i32) {
     ((p.lat() * 10.0).round() as i32, (p.lon() * 10.0).round() as i32)
@@ -537,7 +540,7 @@ impl Simulator {
                 .min_by(|a, b| {
                     let fa = continent_centroid_distance(*a, ixp.location);
                     let fb = continent_centroid_distance(*b, ixp.location);
-                    fa.partial_cmp(&fb).unwrap()
+                    fa.total_cmp(&fb)
                 })
                 .expect("nonempty");
             return (ixp.location, cont);
@@ -550,7 +553,7 @@ impl Simulator {
             .min_by(|a, b| {
                 let da = a.location.haversine_km(&near);
                 let db = b.location.haversine_km(&near);
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .expect("region-city PoP always eligible");
         (best.location, best.continent)

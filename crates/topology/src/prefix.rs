@@ -41,7 +41,9 @@ impl IpPrefix {
         u32::from(addr) & Self::mask(self.len) == self.base
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits. (`is_empty` is meaningless for a prefix
+    /// length — a /0 is the full table, not an empty one.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -137,8 +137,8 @@ fn bfs_class(graph: &AsGraph, src: Asn, dst: Asn, first_rel: Relationship) -> Op
             _ => Phase::Down,
         };
         let state = (n, phase);
-        if !parent.contains_key(&state) {
-            parent.insert(state, (src, Phase::Up)); // sentinel parent
+        if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(state) {
+            e.insert((src, Phase::Up)); // sentinel parent
             if n == dst {
                 return Some(vec![src, dst]);
             }

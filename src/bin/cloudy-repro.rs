@@ -32,6 +32,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "world" => world(&args[1..]),
+        "audit" => audit(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "run" => run(&args[1..]),
         "experiment" => experiment(&args[1..]),
@@ -54,6 +55,7 @@ fn usage() {
          commands:\n\
          \x20 list                         list experiment ids\n\
          \x20 world [--seed N]             print world statistics\n\
+         \x20 audit [audit opts]           run the static-analysis passes\n\
          \x20 run [opts] [--out DIR]       run both campaigns, write datasets\n\
          \x20 experiment <id>... [opts]    run specific experiments (see `list`)\n\
          \x20 all [opts] [--out FILE]      run every experiment\n\n\
@@ -62,8 +64,69 @@ fn usage() {
          \x20 --days N            campaign length in simulated days (default 10)\n\
          \x20 --sc-fraction F     Speedchecker population fraction (default 0.02)\n\
          \x20 --atlas-fraction F  Atlas population fraction (default 0.25)\n\
-         \x20 --threads N         worker threads (default 4)"
+         \x20 --threads N         worker threads (default 4)\n\n\
+         audit options:\n\
+         \x20 --static            skip the campaign race check\n\
+         \x20 --json              machine-readable findings\n\
+         \x20 --global            audit the full 195-country world (slow)\n\
+         \x20 --root DIR          workspace root to lint (default: this checkout)\n\
+         \x20 --seed N            world seed (default 1)\n\
+         \x20 --threads N         parallel leg of the race check (default 8)"
     );
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    use cloudy::audit::{AuditDriver, AuditOptions};
+    let mut opts = AuditOptions {
+        workspace_root: Some(env!("CARGO_MANIFEST_DIR").into()),
+        ..AuditOptions::default()
+    };
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--static" => {
+                opts.skip_race = true;
+                Ok(())
+            }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--global" => {
+                opts.global_world = true;
+                Ok(())
+            }
+            "--root" => take("--root").map(|v| opts.workspace_root = Some(v.into())),
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse().map(|n| opts.seed = n).map_err(|e| format!("--seed: {e}"))
+            }),
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| opts.race_threads = n).map_err(|e| format!("--threads: {e}"))
+            }),
+            other => Err(format!("unknown audit option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let report = match AuditDriver::new(opts).run() {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 /// Parse `--key value` options; returns (config, leftover positional args).
@@ -121,7 +184,7 @@ fn world(args: &[String]) -> ExitCode {
         countries: None,
     });
     if positional.iter().any(|p| p == "--audit") {
-        let report = cloudy::netsim::audit::audit(&world);
+        let report = cloudy::audit::audit(&world);
         print!("{}", report.render());
         if !report.is_clean() {
             return ExitCode::from(1);

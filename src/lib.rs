@@ -6,6 +6,7 @@
 //! and is re-exported here for convenience.
 
 pub use cloudy_analysis as analysis;
+pub use cloudy_audit as audit;
 pub use cloudy_cloud as cloud;
 pub use cloudy_core as core;
 pub use cloudy_geo as geo;

@@ -1,0 +1,77 @@
+//! Tier-1 gate: the seed workspace and world must pass their own audit.
+//!
+//! This is the enforcement half of `cloudy-audit` — the pass itself lives
+//! in `crates/audit`; this suite pins that the shipped tree stays clean
+//! (zero error-severity findings) and that the `cloudy-repro audit` CLI
+//! agrees with the library.
+
+use cloudy::audit::{AuditDriver, AuditOptions};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn detlint_finds_no_errors_in_the_workspace() {
+    let driver = AuditDriver::new(AuditOptions {
+        workspace_root: Some(workspace_root()),
+        skip_race: true,
+        ..AuditOptions::default()
+    });
+    let report = driver.run_detlint().expect("workspace sources readable");
+    let errors: Vec<_> = report.errors().collect();
+    assert!(errors.is_empty(), "determinism lint errors:\n{:#?}", errors);
+}
+
+#[test]
+fn world_audit_is_clean_on_the_seed_world() {
+    let driver = AuditDriver::new(AuditOptions { skip_race: true, ..AuditOptions::default() });
+    let report = driver.run_world();
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.checks_run >= 10, "only {} world checks ran", report.checks_run);
+}
+
+#[test]
+fn campaign_is_byte_identical_across_1_and_8_threads() {
+    use cloudy::audit::racecheck::{race_check, RaceConfig};
+    let report = race_check(&RaceConfig { seed: 1, threads: 8 });
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn cloudy_repro_audit_exits_zero_on_the_seed_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+        .args(["audit", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("cloudy-repro runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "audit exited {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(stdout.contains("0 errors"), "{stdout}");
+}
+
+#[test]
+fn cloudy_repro_audit_json_is_parseable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+        .args(["audit", "--static", "--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("cloudy-repro runs");
+    assert!(out.status.success());
+    let raw = String::from_utf8_lossy(&out.stdout);
+    let doc: serde_json::Value = serde_json::from_str(raw.trim()).expect("valid JSON report");
+    let field = |key: &str| doc.get(key).unwrap_or_else(|| panic!("field {key:?} in {raw}"));
+    assert!(matches!(field("errors"), serde_json::Value::UInt(0)), "{raw}");
+    let (findings, warnings) = match (field("findings"), field("warnings")) {
+        (serde_json::Value::Array(f), serde_json::Value::UInt(w)) => (f.len(), *w as usize),
+        other => panic!("unexpected shapes: {other:?}"),
+    };
+    assert_eq!(findings, warnings, "every seed finding is a warning:\n{raw}");
+}
