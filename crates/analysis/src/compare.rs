@@ -32,6 +32,34 @@ pub fn fraction_a_faster(a: &Cdf, b: &Cdf, n: usize) -> f64 {
     diffs.iter().filter(|d| **d < 0.0).count() as f64 / diffs.len() as f64
 }
 
+/// §4.2's comparison straight from two store files (e.g. the Speedchecker
+/// and RIPE Atlas campaign stores): build both platforms' CDFs with pruned
+/// projection scans and return the quantile-wise differences `a_q − b_q`.
+pub fn quantile_differences_stores(
+    a: &cloudy_store::Reader,
+    b: &cloudy_store::Reader,
+    filter: &cloudy_store::ScanFilter,
+    n: usize,
+) -> Result<Vec<f64>, String> {
+    let ca = Cdf::from_store(a, filter)?;
+    let cb = Cdf::from_store(b, filter)?;
+    if ca.is_empty() || cb.is_empty() {
+        return Err("empty distribution in store comparison".into());
+    }
+    Ok(quantile_differences(&ca, &cb, n))
+}
+
+/// Store-backed [`fraction_a_faster`].
+pub fn fraction_a_faster_stores(
+    a: &cloudy_store::Reader,
+    b: &cloudy_store::Reader,
+    filter: &cloudy_store::ScanFilter,
+    n: usize,
+) -> Result<f64, String> {
+    let diffs = quantile_differences_stores(a, b, filter, n)?;
+    Ok(diffs.iter().filter(|d| **d < 0.0).count() as f64 / diffs.len() as f64)
+}
+
 /// Matching key for Fig. 16: same city, same serving AS, same target region.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MatchKey {

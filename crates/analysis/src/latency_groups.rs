@@ -50,6 +50,27 @@ impl LatencyBand {
     ];
 }
 
+/// Fig. 3's country bands straight from a store scan: per-country median
+/// RTT (same sorted-rank median as the in-memory path) and its
+/// [`LatencyBand`], in one pruned pass over the RTT projection. Keys come
+/// back in country order (BTreeMap).
+pub fn country_bands_from_store(
+    reader: &cloudy_store::Reader,
+    filter: &cloudy_store::ScanFilter,
+) -> Result<std::collections::BTreeMap<cloudy_geo::CountryCode, (f64, LatencyBand)>, String> {
+    let mut groups: cloudy_store::GroupedRtts<cloudy_geo::CountryCode> = Default::default();
+    reader.for_each_rtt(filter, |row| groups.push(row.country, row.rtt_ms))?;
+    let mut out = std::collections::BTreeMap::new();
+    for (country, values) in groups.into_inner() {
+        if values.iter().any(|v| v.is_nan()) {
+            return Err("NaN RTT in store scan".into());
+        }
+        let median = crate::stats::Cdf::new(values).median();
+        out.insert(country, (median, LatencyBand::of(median)));
+    }
+    Ok(out)
+}
+
 /// Which §2.1 application classes a median latency supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QoeSupport {

@@ -31,6 +31,14 @@
 //!   the `<city, ASN>`-matched subset (Fig. 16).
 //! * [`report`] — plain-text table/CDF rendering shared by examples and
 //!   benches.
+//!
+//! The pipeline has two data paths with identical results: the in-memory
+//! path over `cloudy_measure::Dataset` slices, and store-backed entry
+//! points ([`Cdf::from_store`], [`stats::country_region_medians_from_store`],
+//! [`latency_groups::country_bands_from_store`],
+//! [`compare::fraction_a_faster_stores`]) that scan a `cloudy-store` file
+//! with chunk pruning and only decode the RTT projection. Medians agree
+//! bit-for-bit between the paths because both sort the same multiset.
 
 pub mod asmap;
 pub mod compare;

@@ -147,6 +147,19 @@ pub fn cdf_summary(cdf: &Cdf) -> String {
     )
 }
 
+/// One-line summary of a P² streaming sketch, mirroring [`cdf_summary`]
+/// for scans too large to hold as sorted samples. Estimates are marked `~`:
+/// P² is approximate, unlike the exact [`Cdf`] quantiles.
+pub fn sketch_summary(sketch: &cloudy_store::P2Sketch) -> String {
+    match sketch.quantiles() {
+        Some([p10, p25, p50, p75, p90]) => format!(
+            "n={} p10~{p10:.1} p25~{p25:.1} p50~{p50:.1} p75~{p75:.1} p90~{p90:.1}",
+            sketch.count,
+        ),
+        None => "n=0".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +235,17 @@ mod tests {
         let s = cdf_summary(&c);
         assert!(s.contains("n=100"));
         assert!(s.contains("p50=50") || s.contains("p50=51"));
+    }
+
+    #[test]
+    fn sketch_summary_mirrors_cdf_summary() {
+        let mut sk = cloudy_store::P2Sketch::default();
+        assert_eq!(sketch_summary(&sk), "n=0");
+        for i in 1..=100 {
+            sk.observe(i as f64);
+        }
+        let s = sketch_summary(&sk);
+        assert!(s.contains("n=100"));
+        assert!(s.contains("p50~"));
     }
 }

@@ -116,6 +116,62 @@ impl BoxStats {
     }
 }
 
+impl Cdf {
+    /// Build a CDF straight from a store scan: only the RTT projection of
+    /// chunks surviving footer pruning is decoded, never full records.
+    ///
+    /// Sorting the scanned multiset is the same computation `Cdf::new`
+    /// performs on in-memory records, so store-backed quantiles equal the
+    /// in-memory path's exactly for the same underlying records.
+    pub fn from_store(
+        reader: &cloudy_store::Reader,
+        filter: &cloudy_store::ScanFilter,
+    ) -> Result<Cdf, String> {
+        let mut values = Vec::new();
+        reader.for_each_rtt(filter, |row| values.push(row.rtt_ms))?;
+        if values.iter().any(|v| v.is_nan()) {
+            // A store file is external input; reject rather than let
+            // `Cdf::new` panic on a poisoned sample.
+            return Err("NaN RTT in store scan".into());
+        }
+        Ok(Cdf::new(values))
+    }
+}
+
+/// Per-(country, region) median RTTs from a store scan — the group-by the
+/// country/region figures consume, computed in one pass over the RTT
+/// projection. Keys iterate in `Ord` order (BTreeMap), so output is
+/// deterministic; medians use the same sorted-rank code as [`Cdf`], so they
+/// match the in-memory path exactly.
+pub fn country_region_medians_from_store(
+    reader: &cloudy_store::Reader,
+    filter: &cloudy_store::ScanFilter,
+) -> Result<std::collections::BTreeMap<(cloudy_geo::CountryCode, cloudy_cloud::RegionId), f64>, String>
+{
+    let mut groups: cloudy_store::GroupedRtts<(cloudy_geo::CountryCode, cloudy_cloud::RegionId)> =
+        Default::default();
+    reader.for_each_rtt(filter, |row| groups.push((row.country, row.region), row.rtt_ms))?;
+    let mut out = std::collections::BTreeMap::new();
+    for (key, values) in groups.into_inner() {
+        if values.iter().any(|v| v.is_nan()) {
+            return Err("NaN RTT in store scan".into());
+        }
+        out.insert(key, Cdf::new(values).median());
+    }
+    Ok(out)
+}
+
+/// One-pass mean and coefficient of variation over a store scan, without
+/// keeping samples (Welford accumulator from `cloudy-store`).
+pub fn moments_from_store(
+    reader: &cloudy_store::Reader,
+    filter: &cloudy_store::ScanFilter,
+) -> Result<cloudy_store::Moments, String> {
+    let mut m = cloudy_store::Moments::default();
+    reader.for_each_rtt(filter, |row| m.observe(row.rtt_ms))?;
+    Ok(m)
+}
+
 /// Sample median (convenience over [`Cdf`]).
 pub fn median(values: &[f64]) -> Option<f64> {
     if values.is_empty() {

@@ -5,17 +5,20 @@
 //! post-execution stable sort of the collected records; a data race or an
 //! accidental dependence on thread interleaving would break byte-for-byte
 //! reproducibility silently. This check runs a small (but real) campaign
-//! twice — single-threaded and at N threads — and compares the serialized
-//! JSONL outputs byte for byte, reporting FNV-1a content hashes so a CI
-//! log shows *which* side changed across commits.
+//! twice — single-threaded and at N threads — streaming each run through a
+//! [`TeeSink`] into both a `Dataset` and a columnar `cloudy-store` writer,
+//! and compares the serialized JSONL *and* the store file byte for byte,
+//! reporting FNV-1a content hashes so a CI log shows *which* side changed
+//! across commits.
 
 use crate::finding::{AuditReport, Severity};
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::plan::PlanConfig;
-use cloudy_measure::{run_campaign, CampaignConfig};
+use cloudy_measure::{run_campaign_into, CampaignConfig, Dataset, TeeSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use cloudy_netsim::Simulator;
-use cloudy_probes::speedchecker;
+use cloudy_probes::{speedchecker, Platform};
+use cloudy_store::{Writer, WriterOptions};
 
 /// Configuration for the race check.
 #[derive(Debug, Clone, Copy)]
@@ -44,8 +47,10 @@ fn small_world(seed: u64) -> BuiltWorld {
     })
 }
 
-/// Run the campaign at `threads` workers and serialize the dataset.
-fn campaign_jsonl(seed: u64, threads: usize) -> String {
+/// Run the campaign at `threads` workers, teeing every record into both a
+/// `Dataset` (serialized to JSONL) and a columnar store writer: two
+/// independent byte encodings of the same record stream to compare.
+fn campaign_outputs(seed: u64, threads: usize) -> (String, Vec<u8>) {
     let world = small_world(seed);
     let pop = speedchecker::population(&world, 0.02, seed);
     let sim = Simulator::new(world.net);
@@ -54,7 +59,15 @@ fn campaign_jsonl(seed: u64, threads: usize) -> String {
         artifacts: ArtifactConfig::realistic(),
         threads,
     };
-    run_campaign(&cfg, &sim, &pop).to_jsonl()
+    let mut ds = Dataset::new(Platform::Speedchecker);
+    // Small chunks so the race check exercises many flush boundaries.
+    let mut writer =
+        Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 256 })
+            .expect("chunk_rows is positive");
+    let mut tee = TeeSink::new(&mut ds, &mut writer);
+    run_campaign_into(&cfg, &sim, &pop, &mut tee).expect("Dataset and Vec sinks are infallible");
+    let (store_bytes, _) = writer.finish().expect("Vec-backed store writer cannot fail");
+    (ds.to_jsonl(), store_bytes)
 }
 
 /// FNV-1a over the serialized dataset: cheap, dependency-free, and stable
@@ -80,8 +93,8 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         );
         return report;
     }
-    let serial = campaign_jsonl(cfg.seed, 1);
-    let parallel = campaign_jsonl(cfg.seed, cfg.threads);
+    let (serial, serial_store) = campaign_outputs(cfg.seed, 1);
+    let (parallel, parallel_store) = campaign_outputs(cfg.seed, cfg.threads);
     let (h1, hn) = (fnv1a(serial.as_bytes()), fnv1a(parallel.as_bytes()));
     if serial != parallel {
         let first_diff = serial
@@ -98,6 +111,26 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
                 cfg.threads,
                 serial.len(),
                 parallel.len(),
+            ),
+        );
+    }
+    report.checks_run += 1;
+    let (s1, sn) = (fnv1a(&serial_store), fnv1a(&parallel_store));
+    if serial_store != parallel_store {
+        let first_diff = serial_store
+            .iter()
+            .zip(parallel_store.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| serial_store.len().min(parallel_store.len()));
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "1-thread and {}-thread campaign store files diverge (fnv1a {s1:016x} vs \
+                 {sn:016x}, lengths {} vs {}, first difference at byte {first_diff})",
+                cfg.threads,
+                serial_store.len(),
+                parallel_store.len(),
             ),
         );
     }

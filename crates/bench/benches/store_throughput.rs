@@ -1,0 +1,132 @@
+//! cloudy-store throughput baseline: columnar write, full scan, and a
+//! pruned provider query over a synthetic ping campaign.
+//!
+//! Unlike the figure benches this one measures wall-clock throughput with
+//! its own timer (Criterion's per-iteration model fits poorly for a
+//! build-once-scan-many store) and writes the numbers to
+//! `BENCH_store.json` at the workspace root so CI and reviewers can diff
+//! baselines across commits.
+//!
+//! Modes: the default run streams 1M synthetic pings; set
+//! `CLOUDY_BENCH_SMOKE=1` (as CI does) for a 100k-row smoke pass with the
+//! same code paths.
+
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_lastmile::AccessType;
+use cloudy_measure::{PingRecord, RecordSink};
+use cloudy_netsim::Protocol;
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_store::{Reader, ScanFilter, Writer, WriterOptions};
+use cloudy_topology::Asn;
+use std::time::Instant;
+
+const PLACES: [(&str, Continent); 8] = [
+    ("DE", Continent::Europe),
+    ("GB", Continent::Europe),
+    ("JP", Continent::Asia),
+    ("IN", Continent::Asia),
+    ("US", Continent::NorthAmerica),
+    ("BR", Continent::SouthAmerica),
+    ("KE", Continent::Africa),
+    ("AU", Continent::Oceania),
+];
+
+/// Deterministic synthetic ping stream — an LCG over rtt/hour, round-robin
+/// over providers and countries, RTTs snapped to whole microseconds like
+/// the simulator output the store sees in production.
+fn synthetic_pings(rows: usize) -> Vec<PingRecord> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut lcg = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..rows)
+        .map(|i| {
+            let (cc, continent) = PLACES[i % PLACES.len()];
+            let micros = 5_000_000 + lcg() % 295_000_000; // 5..300 ms in µs
+            PingRecord {
+                probe: ProbeId((i % 4096) as u64),
+                platform: Platform::Speedchecker,
+                country: CountryCode::new(cc),
+                continent,
+                city: format!("city-{}", i % 64),
+                isp: Asn(64_500 + (i % 32) as u32),
+                access: AccessType::ALL[i % AccessType::ALL.len()],
+                region: RegionId((i % 40) as u16),
+                provider: Provider::ALL[i % Provider::ALL.len()],
+                proto: if i % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
+                rtt_ms: micros as f64 / 1000.0,
+                hour: (i as u64) / 10_000,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::var("CLOUDY_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let rows: usize = if smoke { 100_000 } else { 1_000_000 };
+    eprintln!("store bench: {rows} synthetic pings (smoke={smoke})");
+    let pings = synthetic_pings(rows);
+
+    // Write: stream every record through the sink interface, like a campaign.
+    let t0 = Instant::now();
+    let mut writer =
+        Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default()).expect("writer");
+    for p in &pings {
+        writer.sink_ping(p.clone()).expect("Vec sink is infallible");
+    }
+    let (bytes, summary) = writer.finish().expect("Vec sink is infallible");
+    let write_s = t0.elapsed().as_secs_f64();
+    let write_mb_s = bytes.len() as f64 / 1e6 / write_s;
+    let write_rows_s = rows as f64 / write_s;
+
+    // Full scan of the RTT projection.
+    let reader = Reader::from_bytes(bytes).expect("store round-trips");
+    let t0 = Instant::now();
+    let mut scanned = 0u64;
+    reader
+        .for_each_rtt(&ScanFilter::default(), |_| scanned += 1)
+        .expect("scan succeeds");
+    let scan_s = t0.elapsed().as_secs_f64();
+    assert_eq!(scanned, rows as u64);
+    let scan_rows_s = rows as f64 / scan_s;
+
+    // Same scan, parallel.
+    let t0 = Instant::now();
+    let (par_rows, _) =
+        reader.par_collect_rtts(&ScanFilter::default(), 4).expect("parallel scan succeeds");
+    let par_scan_rows_s = rows as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(par_rows.len(), rows);
+
+    // Pruned provider query: 1 of 10 providers → ~90% of chunks skipped.
+    let filter = ScanFilter { provider: Some(Provider::Google), ..ScanFilter::default() };
+    let t0 = Instant::now();
+    let (rtts, stats) = reader.par_collect_rtts(&filter, 4).expect("query succeeds");
+    let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!rtts.is_empty());
+    assert!(
+        stats.chunks_pruned * 2 >= stats.chunks_total,
+        "provider query should prune at least half the chunks ({stats:?})"
+    );
+
+    let json = format!(
+        "{{\n  \"rows\": {rows},\n  \"smoke\": {smoke},\n  \"store_bytes\": {},\n  \
+         \"chunks\": {},\n  \"write_mb_s\": {write_mb_s:.1},\n  \
+         \"write_rows_s\": {write_rows_s:.0},\n  \"scan_rows_s\": {scan_rows_s:.0},\n  \
+         \"par_scan_rows_s\": {par_scan_rows_s:.0},\n  \"query_ms\": {query_ms:.2},\n  \
+         \"query_rows\": {},\n  \"query_chunks_scanned\": {},\n  \
+         \"query_chunks_pruned\": {}\n}}\n",
+        summary.bytes,
+        summary.chunks,
+        rtts.len(),
+        stats.chunks_scanned,
+        stats.chunks_pruned,
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e} (continuing)"),
+    }
+}

@@ -20,4 +20,4 @@
 pub mod experiments;
 pub mod study;
 
-pub use study::{Study, StudyConfig};
+pub use study::{run_study_into, Study, StudyConfig};

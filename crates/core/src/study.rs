@@ -2,9 +2,9 @@
 
 use cloudy_geo::CountryCode;
 use cloudy_lastmile::ArtifactConfig;
-use cloudy_measure::campaign::{run_campaign, CampaignConfig};
+use cloudy_measure::campaign::{run_campaign, run_campaign_into, CampaignConfig};
 use cloudy_measure::plan::PlanConfig;
-use cloudy_measure::Dataset;
+use cloudy_measure::{Dataset, RecordSink};
 use cloudy_netsim::build::{build, WorldConfig};
 use cloudy_netsim::Simulator;
 use cloudy_probes::{atlas, speedchecker};
@@ -70,6 +70,51 @@ impl StudyConfig {
     pub fn volume_scale(&self) -> f64 {
         (self.sc_fraction * self.duration_days as f64 / 180.0).min(1.0)
     }
+
+    /// The campaign configuration both [`Study::run`] and
+    /// [`run_study_into`] execute — one place, so the streaming and
+    /// in-memory paths can never drift apart.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            plan: PlanConfig {
+                seed: self.seed,
+                duration_days: self.duration_days,
+                cycle_days: 14.min(self.duration_days).max(1),
+                min_probes_per_country: 2,
+                probes_per_country_day: self.probes_per_country_day,
+                regions_per_probe: self.regions_per_probe,
+                samples_per_measurement: 4,
+                quota_per_day: 1440,
+                census_reserve: 6,
+            },
+            artifacts: self.artifacts,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Build the world and stream both campaigns' records into the given sinks
+/// instead of materialising `Dataset`s — e.g. two `cloudy_store::Writer`s,
+/// so a study far larger than memory still runs in bounded space. Record
+/// order per sink is identical to the corresponding [`Study::run`] dataset
+/// (and invariant under `threads`).
+pub fn run_study_into(
+    config: &StudyConfig,
+    sc_sink: &mut impl RecordSink,
+    atlas_sink: &mut impl RecordSink,
+) -> Result<(), String> {
+    let world = build(&WorldConfig {
+        seed: config.seed,
+        isps_per_country: config.isps_per_country,
+        countries: None,
+    });
+    let sc_pop = speedchecker::population(&world, config.sc_fraction, config.seed ^ 0x5C);
+    let atlas_pop = atlas::population(&world, config.atlas_fraction, config.seed ^ 0xA7);
+    let sim = Simulator::new(world.net);
+
+    let campaign_cfg = config.campaign_config();
+    run_campaign_into(&campaign_cfg, &sim, &sc_pop, sc_sink)?;
+    run_campaign_into(&campaign_cfg, &sim, &atlas_pop, atlas_sink)
 }
 
 /// The executed study: simulator + both datasets + registry.
@@ -115,22 +160,7 @@ impl Study {
         let registry = build_registry(&world.net);
         let sim = Simulator::new(world.net);
 
-        let plan_cfg = PlanConfig {
-            seed: config.seed,
-            duration_days: config.duration_days,
-            cycle_days: 14.min(config.duration_days).max(1),
-            min_probes_per_country: 2,
-            probes_per_country_day: config.probes_per_country_day,
-            regions_per_probe: config.regions_per_probe,
-            samples_per_measurement: 4,
-            quota_per_day: 1440,
-            census_reserve: 6,
-        };
-        let campaign_cfg = CampaignConfig {
-            plan: plan_cfg,
-            artifacts: config.artifacts,
-            threads: config.threads,
-        };
+        let campaign_cfg = config.campaign_config();
         let sc = run_campaign(&campaign_cfg, &sim, &sc_pop);
         let atlas = run_campaign(&campaign_cfg, &sim, &atlas_pop);
 
@@ -196,6 +226,19 @@ mod tests {
             );
         }
         assert_eq!(a.sc, b.sc);
+    }
+
+    #[test]
+    fn streaming_study_matches_in_memory_datasets() {
+        let cfg = StudyConfig::tiny(5);
+        let s = Study::run(cfg.clone());
+        let mut sc = cloudy_measure::CountingSink::default();
+        let mut atlas = cloudy_measure::CountingSink::default();
+        run_study_into(&cfg, &mut sc, &mut atlas).unwrap();
+        assert_eq!(sc.pings, s.sc.pings.len() as u64);
+        assert_eq!(sc.traces, s.sc.traces.len() as u64);
+        assert_eq!(atlas.pings, s.atlas.pings.len() as u64);
+        assert_eq!(atlas.traces, s.atlas.traces.len() as u64);
     }
 
     #[test]

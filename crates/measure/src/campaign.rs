@@ -1,17 +1,34 @@
 //! Deterministic parallel campaign execution.
 //!
 //! Tasks are planned up-front ([`crate::plan`]), then executed over the
-//! simulator in fixed-size chunks sharded across crossbeam scoped threads.
+//! simulator in fixed-size blocks sharded across crossbeam scoped threads.
 //! Because every latency sample is derived from (seed, flow) — never from
-//! shared RNG state — the merged dataset is bit-identical for any thread
+//! shared RNG state — the record stream is bit-identical for any thread
 //! count.
+//!
+//! Two entry points share one executor:
+//!
+//! * [`run_campaign`] / [`execute`] collect into an in-memory [`Dataset`].
+//! * [`run_campaign_into`] / [`execute_into`] stream records into any
+//!   [`RecordSink`] with bounded memory: tasks run in fixed
+//!   [`BLOCK_TASKS`]-sized blocks, at most `threads` blocks in flight, and
+//!   each completed round is drained into the sink in block order before
+//!   the next round starts. Block size is a constant (not a function of
+//!   thread count), so the sink sees the same record sequence no matter
+//!   how many threads ran the round.
 
 use crate::dataset::Dataset;
 use crate::plan::{self, MeasurementPlan, PlanConfig, TaskKind};
 use crate::record::{HopRecord, PingRecord, TracerouteRecord};
+use crate::sink::RecordSink;
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_netsim::Simulator;
 use cloudy_probes::Population;
+
+/// Tasks per execution block in the streaming path. Fixed so the record
+/// stream (and thus any sink output) is invariant under the thread count;
+/// peak buffered records are bounded by `threads × BLOCK_TASKS` results.
+pub const BLOCK_TASKS: usize = 2048;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -37,93 +54,135 @@ pub fn run_campaign(cfg: &CampaignConfig, sim: &Simulator, pop: &Population) -> 
     execute(cfg, sim, pop, &schedule)
 }
 
-/// Execute a pre-built plan.
+/// Plan and execute a campaign, streaming records into `sink`.
+pub fn run_campaign_into(
+    cfg: &CampaignConfig,
+    sim: &Simulator,
+    pop: &Population,
+    sink: &mut impl RecordSink,
+) -> Result<(), String> {
+    let schedule = plan::plan(&cfg.plan, pop);
+    execute_into(cfg, sim, pop, &schedule, sink)
+}
+
+/// Execute a pre-built plan into an in-memory [`Dataset`].
 pub fn execute(
     cfg: &CampaignConfig,
     sim: &Simulator,
     pop: &Population,
     schedule: &MeasurementPlan,
 ) -> Dataset {
-    let threads = cfg.threads.max(1);
-    let chunk = schedule.tasks.len().div_ceil(threads).max(1);
-    let chunks: Vec<&[plan::Task]> = schedule.tasks.chunks(chunk).collect();
-
-    // Each worker produces (chunk index, pings, traces); merge in order.
-    let mut results: Vec<(usize, Vec<PingRecord>, Vec<TracerouteRecord>)> =
-        crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for (ci, tasks) in chunks.iter().enumerate() {
-                let artifacts = cfg.artifacts;
-                handles.push(s.spawn(move |_| {
-                    let mut pings = Vec::new();
-                    let mut traces = Vec::new();
-                    for t in *tasks {
-                        let probe = &pop.probes[t.probe_ix as usize];
-                        let client = probe.client_ctx(&sim.net, &artifacts);
-                        let path = sim.route(&client, t.region);
-                        let ep = sim.net.region(t.region);
-                        match t.kind {
-                            TaskKind::Ping(proto) => {
-                                // Diurnal load + loss: timed-out pings
-                                // produce no record, as on the real
-                                // platform.
-                                let Some(rtt) = sim.ping_at(&client, &path, proto, t.seq, t.hour)
-                                else {
-                                    continue;
-                                };
-                                pings.push(PingRecord {
-                                    probe: probe.id,
-                                    platform: probe.platform,
-                                    country: probe.country,
-                                    continent: probe.continent,
-                                    city: probe.city.clone(),
-                                    isp: probe.isp,
-                                    access: probe.access,
-                                    region: t.region,
-                                    provider: ep.region.provider,
-                                    proto,
-                                    rtt_ms: rtt,
-                                    hour: t.hour,
-                                });
-                            }
-                            TaskKind::Traceroute(proto) => {
-                                let hops: Vec<HopRecord> = sim
-                                    .traceroute_at(&client, &path, proto, t.seq, t.hour)
-                                    .into_iter()
-                                    .map(HopRecord::from)
-                                    .collect();
-                                traces.push(TracerouteRecord {
-                                    probe: probe.id,
-                                    platform: probe.platform,
-                                    country: probe.country,
-                                    continent: probe.continent,
-                                    city: probe.city.clone(),
-                                    isp: probe.isp,
-                                    access: probe.access,
-                                    region: t.region,
-                                    provider: ep.region.provider,
-                                    proto,
-                                    src_ip: client.public_ip,
-                                    hops,
-                                    hour: t.hour,
-                                });
-                            }
-                        }
-                    }
-                    (ci, pings, traces)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("crossbeam scope");
-
-    results.sort_by_key(|(ci, _, _)| *ci);
     let mut ds = Dataset::new(pop.platform);
-    for (_, pings, traces) in results {
-        ds.pings.extend(pings);
-        ds.traces.extend(traces);
-    }
+    execute_into(cfg, sim, pop, schedule, &mut ds).expect("Dataset sink is infallible");
     ds
+}
+
+/// Run all tasks of one block sequentially; this is the unit of work a
+/// thread executes per round.
+fn run_block(
+    sim: &Simulator,
+    pop: &Population,
+    artifacts: &ArtifactConfig,
+    tasks: &[plan::Task],
+) -> (Vec<PingRecord>, Vec<TracerouteRecord>) {
+    let mut pings = Vec::new();
+    let mut traces = Vec::new();
+    for t in tasks {
+        let probe = &pop.probes[t.probe_ix as usize];
+        let client = probe.client_ctx(&sim.net, artifacts);
+        let path = sim.route(&client, t.region);
+        let ep = sim.net.region(t.region);
+        match t.kind {
+            TaskKind::Ping(proto) => {
+                // Diurnal load + loss: timed-out pings produce no record,
+                // as on the real platform.
+                let Some(rtt) = sim.ping_at(&client, &path, proto, t.seq, t.hour) else {
+                    continue;
+                };
+                pings.push(PingRecord {
+                    probe: probe.id,
+                    platform: probe.platform,
+                    country: probe.country,
+                    continent: probe.continent,
+                    city: probe.city.clone(),
+                    isp: probe.isp,
+                    access: probe.access,
+                    region: t.region,
+                    provider: ep.region.provider,
+                    proto,
+                    rtt_ms: rtt,
+                    hour: t.hour,
+                });
+            }
+            TaskKind::Traceroute(proto) => {
+                let hops: Vec<HopRecord> = sim
+                    .traceroute_at(&client, &path, proto, t.seq, t.hour)
+                    .into_iter()
+                    .map(HopRecord::from)
+                    .collect();
+                traces.push(TracerouteRecord {
+                    probe: probe.id,
+                    platform: probe.platform,
+                    country: probe.country,
+                    continent: probe.continent,
+                    city: probe.city.clone(),
+                    isp: probe.isp,
+                    access: probe.access,
+                    region: t.region,
+                    provider: ep.region.provider,
+                    proto,
+                    src_ip: client.public_ip,
+                    hops,
+                    hour: t.hour,
+                });
+            }
+        }
+    }
+    (pings, traces)
+}
+
+/// Execute a pre-built plan, streaming records into `sink` with bounded
+/// memory.
+///
+/// Tasks are cut into fixed [`BLOCK_TASKS`]-sized blocks. Each round runs
+/// up to `threads` blocks on crossbeam scoped threads, then drains the
+/// round's results into the sink in block order — so at most
+/// `threads × BLOCK_TASKS` task results are ever buffered, and the sink
+/// sees records in plan order regardless of the thread count.
+pub fn execute_into(
+    cfg: &CampaignConfig,
+    sim: &Simulator,
+    pop: &Population,
+    schedule: &MeasurementPlan,
+    sink: &mut impl RecordSink,
+) -> Result<(), String> {
+    let threads = cfg.threads.max(1);
+    let blocks: Vec<&[plan::Task]> = schedule.tasks.chunks(BLOCK_TASKS).collect();
+
+    for round in blocks.chunks(threads) {
+        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>)> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = round
+                    .iter()
+                    .map(|tasks| {
+                        let artifacts = cfg.artifacts;
+                        s.spawn(move |_| run_block(sim, pop, &artifacts, tasks))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope");
+
+        for (pings, traces) in results {
+            for p in pings {
+                sink.sink_ping(p)?;
+            }
+            for t in traces {
+                sink.sink_trace(t)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -172,6 +231,37 @@ mod tests {
         assert_eq!(a.pings.len(), b.pings.len());
         assert_eq!(a.pings, b.pings);
         assert_eq!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn streaming_sink_sees_same_records_for_any_thread_count() {
+        let (sim, pop) = setup();
+        let collected = run_campaign(&small_cfg(3), &sim, &pop);
+        for threads in [1, 5] {
+            let mut streamed = Dataset::new(pop.platform);
+            run_campaign_into(&small_cfg(threads), &sim, &pop, &mut streamed).unwrap();
+            assert_eq!(streamed, collected);
+        }
+        let mut counts = crate::sink::CountingSink::default();
+        run_campaign_into(&small_cfg(2), &sim, &pop, &mut counts).unwrap();
+        assert_eq!(counts.pings as usize, collected.pings.len());
+        assert_eq!(counts.traces as usize, collected.traces.len());
+    }
+
+    #[test]
+    fn sink_errors_abort_the_campaign() {
+        struct FailingSink;
+        impl RecordSink for FailingSink {
+            fn sink_ping(&mut self, _r: PingRecord) -> Result<(), String> {
+                Err("sink full".into())
+            }
+            fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), String> {
+                Err("sink full".into())
+            }
+        }
+        let (sim, pop) = setup();
+        let err = run_campaign_into(&small_cfg(2), &sim, &pop, &mut FailingSink).unwrap_err();
+        assert!(err.contains("sink full"));
     }
 
     #[test]

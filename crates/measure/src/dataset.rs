@@ -23,37 +23,59 @@ impl Dataset {
         Dataset { platform, pings: Vec::new(), traces: Vec::new() }
     }
 
-    /// Merge another dataset (same platform) into this one.
-    pub fn merge(&mut self, other: Dataset) {
-        assert_eq!(self.platform, other.platform, "platform mismatch");
+    /// Merge another dataset into this one. Errors (instead of panicking)
+    /// when the platforms differ — mixed-platform merges are a caller bug
+    /// the library must report, not abort on.
+    pub fn merge(&mut self, other: Dataset) -> Result<(), String> {
+        if self.platform != other.platform {
+            return Err(format!(
+                "platform mismatch: {:?} vs {:?}",
+                self.platform, other.platform
+            ));
+        }
         self.pings.extend(other.pings);
         self.traces.extend(other.traces);
+        Ok(())
+    }
+
+    /// Stream the JSON-lines export into any `fmt::Write` sink — one header
+    /// line, then one line per record — without materialising the whole
+    /// document. [`Dataset::to_jsonl`] is a thin wrapper over this.
+    pub fn write_jsonl(&self, out: &mut impl std::fmt::Write) -> std::fmt::Result {
+        let header = serde_json::to_string(&Header {
+            platform: self.platform,
+            pings: self.pings.len(),
+            traces: self.traces.len(),
+        })
+        .map_err(|_| std::fmt::Error)?;
+        out.write_str(&header)?;
+        out.write_char('\n')?;
+        for p in &self.pings {
+            let line =
+                serde_json::to_string(&LineRef::Ping(p)).map_err(|_| std::fmt::Error)?;
+            out.write_str(&line)?;
+            out.write_char('\n')?;
+        }
+        for t in &self.traces {
+            let line =
+                serde_json::to_string(&LineRef::Trace(t)).map_err(|_| std::fmt::Error)?;
+            out.write_str(&line)?;
+            out.write_char('\n')?;
+        }
+        Ok(())
     }
 
     /// Export as JSON lines: one header line, then one line per record.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        out.push_str(&serde_json::to_string(&Header {
-            platform: self.platform,
-            pings: self.pings.len(),
-            traces: self.traces.len(),
-        })
-        .expect("header serializes"));
-        out.push('\n');
-        for p in &self.pings {
-            out.push_str(&serde_json::to_string(&Line::Ping(p.clone())).expect("ping serializes"));
-            out.push('\n');
-        }
-        for t in &self.traces {
-            out.push_str(&serde_json::to_string(&Line::Trace(t.clone())).expect("trace serializes"));
-            out.push('\n');
-        }
+        self.write_jsonl(&mut out).expect("write to String cannot fail");
         out
     }
 
-    /// Parse a JSON-lines export.
-    pub fn from_jsonl(s: &str) -> Result<Dataset, String> {
-        let mut lines = s.lines();
+    /// Parse a JSON-lines export from a line iterator, so callers can feed
+    /// e.g. `BufRead::lines` without loading the file into one string.
+    /// [`Dataset::from_jsonl`] is a thin wrapper over this.
+    pub fn read_jsonl<'a>(mut lines: impl Iterator<Item = &'a str>) -> Result<Dataset, String> {
         let header: Header = serde_json::from_str(lines.next().ok_or("empty input")?)
             .map_err(|e| format!("bad header: {e}"))?;
         let mut ds = Dataset::new(header.platform);
@@ -78,6 +100,11 @@ impl Dataset {
             ));
         }
         Ok(ds)
+    }
+
+    /// Parse a JSON-lines export.
+    pub fn from_jsonl(s: &str) -> Result<Dataset, String> {
+        Self::read_jsonl(s.lines())
     }
 
     /// Compact binary encoding.
@@ -165,6 +192,24 @@ struct Header {
 enum Line {
     Ping(PingRecord),
     Trace(TracerouteRecord),
+}
+
+/// Borrowing twin of [`Line`] so streaming export never clones records.
+/// (Manual impl: the serde shim derive does not support lifetimes.)
+enum LineRef<'a> {
+    Ping(&'a PingRecord),
+    Trace(&'a TracerouteRecord),
+}
+
+impl Serialize for LineRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            LineRef::Ping(p) => serde::Value::Object(vec![("Ping".to_string(), p.to_value())]),
+            LineRef::Trace(t) => {
+                serde::Value::Object(vec![("Trace".to_string(), t.to_value())])
+            }
+        }
+    }
 }
 
 /// Summary statistics of a dataset (for reports and the README quickstart).
@@ -298,7 +343,7 @@ mod tests {
     fn merge_and_summary() {
         let mut a = sample();
         let b = sample();
-        a.merge(b);
+        a.merge(b).unwrap();
         assert_eq!(a.pings.len(), 2);
         let s = a.summary();
         assert_eq!(s.pings, 2);
@@ -308,10 +353,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "platform mismatch")]
-    fn merge_rejects_platform_mismatch() {
+    fn merge_rejects_platform_mismatch_without_panicking() {
         let mut a = sample();
         let b = Dataset::new(Platform::RipeAtlas);
-        a.merge(b);
+        let err = a.merge(b).unwrap_err();
+        assert!(err.contains("platform mismatch"), "{err}");
+        // The failed merge must leave the receiver untouched.
+        assert_eq!(a, sample());
+    }
+
+    #[test]
+    fn streaming_jsonl_matches_string_api() {
+        let ds = sample();
+        let mut streamed = String::new();
+        ds.write_jsonl(&mut streamed).unwrap();
+        assert_eq!(streamed, ds.to_jsonl());
+        let back = Dataset::read_jsonl(streamed.lines()).unwrap();
+        assert_eq!(back, ds);
     }
 }

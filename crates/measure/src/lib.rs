@@ -15,16 +15,22 @@
 //! * [`campaign`] — deterministic parallel execution of a plan over the
 //!   simulator (crossbeam-sharded; results are identical regardless of
 //!   thread count).
+//! * [`sink`] — the [`RecordSink`] trait: campaigns can stream records
+//!   into any sink (in-memory [`Dataset`], the `cloudy-store` columnar
+//!   writer, tees, counters) with bounded memory via
+//!   [`campaign::run_campaign_into`].
 
 pub mod campaign;
 pub mod dataset;
 pub mod plan;
 pub mod record;
+pub mod sink;
 
-pub use campaign::{run_campaign, CampaignConfig};
+pub use campaign::{execute_into, run_campaign, run_campaign_into, CampaignConfig};
 pub use dataset::Dataset;
 pub use plan::{MeasurementPlan, Task, TaskKind};
 pub use record::{HopRecord, PingRecord, TracerouteRecord};
+pub use sink::{CountingSink, RecordSink, TeeSink};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,392 @@
+//! One-pass aggregation over scanned rows.
+//!
+//! * [`Moments`] — Welford mean/variance accumulator (exact, O(1) memory).
+//! * [`P2Quantile`] / [`P2Sketch`] — the P² streaming quantile estimator
+//!   (Jain & Chlamtac 1985): O(1) memory, *approximate*. Use it for
+//!   progress readouts and huge scans; exact medians for analysis come
+//!   from [`GroupedRtts`], which keeps the group's values and defers to
+//!   the same sorted-quantile code the in-memory path uses.
+//! * [`GroupedRtts`] / [`GroupedMoments`] — per-key group-by over a
+//!   `BTreeMap` (ordered, so iteration and reports are deterministic).
+
+use std::collections::BTreeMap;
+
+/// Welford online mean/variance. Population variance, matching
+/// `cloudy-analysis`'s `coefficient_of_variation`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    pub fn observe(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation σ/µ; 0 for an empty or zero-mean stream.
+    pub fn cv(&self) -> f64 {
+        if self.n == 0 || self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / self.mean
+        }
+    }
+}
+
+/// P² single-quantile estimator: five markers track the running quantile
+/// without storing observations.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments.
+    dn: [f64; 5],
+    /// First observations until five arrive.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    pub fn new(p: f64) -> P2Quantile {
+        let p = p.clamp(0.0, 1.0);
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    pub fn observe(&mut self, x: f64) {
+        if self.warmup.len() < 5 {
+            self.warmup.push(x);
+            if self.warmup.len() == 5 {
+                let mut w = self.warmup.clone();
+                w.sort_by(f64::total_cmp);
+                self.q = [w[0], w[1], w[2], w[3], w[4]];
+            }
+            return;
+        }
+
+        // Find the cell k containing x, updating extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate; exact while fewer than five observations arrived,
+    /// `None` for an empty stream.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.warmup.is_empty() {
+            return None;
+        }
+        if self.warmup.len() < 5 {
+            let mut w = self.warmup.clone();
+            w.sort_by(f64::total_cmp);
+            let ix = ((w.len() - 1) as f64 * self.p).round() as usize;
+            return Some(w[ix]);
+        }
+        Some(self.q[2])
+    }
+}
+
+/// A fixed fan of P² estimators at the quantiles reports care about.
+#[derive(Debug, Clone)]
+pub struct P2Sketch {
+    pub count: u64,
+    p10: P2Quantile,
+    p25: P2Quantile,
+    p50: P2Quantile,
+    p75: P2Quantile,
+    p90: P2Quantile,
+}
+
+impl Default for P2Sketch {
+    fn default() -> Self {
+        P2Sketch {
+            count: 0,
+            p10: P2Quantile::new(0.10),
+            p25: P2Quantile::new(0.25),
+            p50: P2Quantile::new(0.50),
+            p75: P2Quantile::new(0.75),
+            p90: P2Quantile::new(0.90),
+        }
+    }
+}
+
+impl P2Sketch {
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.p10.observe(x);
+        self.p25.observe(x);
+        self.p50.observe(x);
+        self.p75.observe(x);
+        self.p90.observe(x);
+    }
+
+    /// `(p10, p25, p50, p75, p90)` estimates; `None` for an empty stream.
+    pub fn quantiles(&self) -> Option<[f64; 5]> {
+        Some([
+            self.p10.estimate()?,
+            self.p25.estimate()?,
+            self.p50.estimate()?,
+            self.p75.estimate()?,
+            self.p90.estimate()?,
+        ])
+    }
+
+    pub fn median(&self) -> Option<f64> {
+        self.p50.estimate()
+    }
+}
+
+/// Exact per-group RTT collection: keeps each group's values so callers
+/// can compute the same sorted-rank quantiles as the in-memory path —
+/// store-backed medians must equal `Dataset`-backed medians bit for bit.
+/// Keys iterate in `Ord` order (BTreeMap), never hash order.
+#[derive(Debug, Clone)]
+pub struct GroupedRtts<K: Ord> {
+    groups: BTreeMap<K, Vec<f64>>,
+}
+
+impl<K: Ord> Default for GroupedRtts<K> {
+    fn default() -> Self {
+        GroupedRtts { groups: BTreeMap::new() }
+    }
+}
+
+impl<K: Ord> GroupedRtts<K> {
+    pub fn push(&mut self, key: K, rtt_ms: f64) {
+        self.groups.entry(key).or_default().push(rtt_ms);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Vec<f64>)> {
+        self.groups.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    pub fn get(&self, key: &K) -> Option<&Vec<f64>> {
+        self.groups.get(key)
+    }
+
+    pub fn into_inner(self) -> BTreeMap<K, Vec<f64>> {
+        self.groups
+    }
+}
+
+/// Bounded-memory per-group moments (mean/Cv without keeping values).
+#[derive(Debug, Clone)]
+pub struct GroupedMoments<K: Ord> {
+    groups: BTreeMap<K, Moments>,
+}
+
+impl<K: Ord> Default for GroupedMoments<K> {
+    fn default() -> Self {
+        GroupedMoments { groups: BTreeMap::new() }
+    }
+}
+
+impl<K: Ord> GroupedMoments<K> {
+    pub fn observe(&mut self, key: K, x: f64) {
+        self.groups.entry(key).or_default().observe(x);
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Moments)> {
+        self.groups.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    pub fn get(&self, key: &K) -> Option<&Moments> {
+        self.groups.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so tests need no RNG dependency.
+    fn lcg_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // Map to (0, 100): a plausible RTT spread.
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+            })
+            .collect()
+    }
+
+    fn exact_quantile(values: &[f64], p: f64) -> f64 {
+        let mut v = values.to_vec();
+        v.sort_by(f64::total_cmp);
+        v[((v.len() - 1) as f64 * p).round() as usize]
+    }
+
+    #[test]
+    fn moments_match_naive_mean_and_cv() {
+        let xs = lcg_stream(7, 10_000);
+        let mut m = Moments::default();
+        for x in &xs {
+            m.observe(*x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-9, "{} vs {mean}", m.mean());
+        assert!((m.variance() - var).abs() < 1e-6);
+        assert!((m.cv() - var.sqrt() / mean).abs() < 1e-9);
+        assert_eq!(m.count(), 10_000);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_quantiles_closely() {
+        let xs = lcg_stream(42, 50_000);
+        let mut sketch = P2Sketch::default();
+        for x in &xs {
+            sketch.observe(*x);
+        }
+        let est = sketch.quantiles().unwrap();
+        for (e, p) in est.iter().zip([0.10, 0.25, 0.50, 0.75, 0.90]) {
+            let exact = exact_quantile(&xs, p);
+            // P² on 50k uniform samples lands well within 1% of range.
+            assert!((e - exact).abs() < 1.0, "p{p}: est {e} exact {exact}");
+        }
+    }
+
+    #[test]
+    fn p2_is_exact_for_tiny_streams() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        for x in [5.0, 1.0, 9.0] {
+            q.observe(x);
+        }
+        assert_eq!(q.estimate(), Some(5.0));
+    }
+
+    #[test]
+    fn p2_handles_constant_streams() {
+        let mut q = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            q.observe(3.25);
+        }
+        assert_eq!(q.estimate(), Some(3.25));
+    }
+
+    #[test]
+    fn grouped_rtts_iterate_in_key_order() {
+        let mut g: GroupedRtts<(&str, u16)> = GroupedRtts::default();
+        g.push(("JP", 2), 10.0);
+        g.push(("DE", 1), 20.0);
+        g.push(("DE", 1), 30.0);
+        g.push(("BR", 5), 40.0);
+        let keys: Vec<_> = g.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![("BR", 5), ("DE", 1), ("JP", 2)]);
+        assert_eq!(g.get(&("DE", 1)).unwrap(), &vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn grouped_moments_accumulate_per_key() {
+        let mut g: GroupedMoments<u8> = GroupedMoments::default();
+        for x in [1.0, 2.0, 3.0] {
+            g.observe(0, x);
+        }
+        g.observe(1, 10.0);
+        assert_eq!(g.len(), 2);
+        assert!((g.get(&0).unwrap().mean() - 2.0).abs() < 1e-12);
+        assert_eq!(g.get(&1).unwrap().count(), 1);
+    }
+}

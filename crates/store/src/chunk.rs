@@ -1,0 +1,770 @@
+//! Chunk encoding: a fixed-size batch of records laid out column by column.
+//!
+//! Every column is a length-prefixed block, so readers can *skip* columns
+//! they do not need — the RTT projection scan decodes 4 of the 10 ping
+//! columns and none of the string data. Encodings per column:
+//!
+//! | column            | encoding                                   |
+//! |-------------------|--------------------------------------------|
+//! | probe, src_ip     | delta + zigzag + varint                    |
+//! | country, city, isp| per-chunk dictionary + varint indices      |
+//! | continent, access, proto, ttl | raw u8                         |
+//! | region            | delta + zigzag + varint                    |
+//! | rtt (ms)          | hybrid: delta+varint µs when lossless, else delta+varint of f64 bits |
+//! | hour              | delta + zigzag + varint                    |
+//! | hop ip / hop rtt  | presence bitmap + packed present values    |
+
+use crate::codec::{
+    get_bitmap, get_block, get_delta_u64, get_indices, get_rtts, put_bitmap, put_block,
+    put_delta_u64, put_indices, put_rtts, put_varint, Cursor, DictBuilder,
+};
+use crate::schema::{
+    access_from_tag, access_tag, continent_from_tag, continent_tag, proto_from_tag, proto_tag,
+    RecordKind,
+};
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::CountryCode;
+use cloudy_measure::{HopRecord, PingRecord, TracerouteRecord};
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_topology::Asn;
+use std::net::Ipv4Addr;
+
+/// Per-chunk statistics kept in the file-level directory; scans prune whole
+/// chunks against these without touching the chunk bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkFooter {
+    pub kind: RecordKind,
+    pub provider: Provider,
+    pub rows: u64,
+    /// Primary-RTT bounds (ping RTT; traceroute end-to-end). `None` when no
+    /// row in the chunk carries a primary RTT.
+    pub rtt_ms: Option<(f64, f64)>,
+    pub hour_min: u64,
+    pub hour_max: u64,
+    /// Sorted distinct probe countries present in the chunk.
+    pub countries: Vec<CountryCode>,
+}
+
+impl ChunkFooter {
+    fn from_rows(
+        kind: RecordKind,
+        provider: Provider,
+        rows: u64,
+        rtts: impl Iterator<Item = Option<f64>>,
+        hours: &[u64],
+        countries: &[CountryCode],
+    ) -> ChunkFooter {
+        let mut rtt_ms: Option<(f64, f64)> = None;
+        for r in rtts.flatten() {
+            rtt_ms = Some(match rtt_ms {
+                None => (r, r),
+                Some((lo, hi)) => (lo.min(r), hi.max(r)),
+            });
+        }
+        let mut cs: Vec<CountryCode> = countries.to_vec();
+        cs.sort();
+        cs.dedup();
+        ChunkFooter {
+            kind,
+            provider,
+            rows,
+            rtt_ms,
+            hour_min: hours.iter().copied().min().unwrap_or(0),
+            hour_max: hours.iter().copied().max().unwrap_or(0),
+            countries: cs,
+        }
+    }
+}
+
+/// The metadata columns pings and traceroutes share.
+struct MetaColumns {
+    probe: Vec<u8>,
+    country: Vec<u8>,
+    continent: Vec<u8>,
+    city: Vec<u8>,
+    isp: Vec<u8>,
+    access: Vec<u8>,
+    region: Vec<u8>,
+    proto: Vec<u8>,
+    countries_seen: Vec<CountryCode>,
+}
+
+fn encode_meta<'a>(rows: impl Iterator<Item = MetaRow<'a>> + Clone) -> MetaColumns {
+    let mut probe = Vec::new();
+    put_delta_u64(&mut probe, rows.clone().map(|r| r.probe.0));
+
+    let mut country_dict: DictBuilder<[u8; 2]> = DictBuilder::default();
+    let mut countries_seen = Vec::new();
+    for r in rows.clone() {
+        let code: [u8; 2] = {
+            let s = r.country.as_str().as_bytes();
+            [s[0], s[1]]
+        };
+        country_dict.push(&code);
+        countries_seen.push(r.country);
+    }
+    let mut country = Vec::new();
+    put_varint(&mut country, country_dict.entries().len() as u64);
+    for e in country_dict.entries() {
+        country.extend_from_slice(e);
+    }
+    put_indices(&mut country, &country_dict.indices);
+
+    let continent: Vec<u8> = rows.clone().map(|r| continent_tag(r.continent)).collect();
+
+    let mut city_dict: DictBuilder<String> = DictBuilder::default();
+    for r in rows.clone() {
+        city_dict.push(r.city);
+    }
+    let mut city = Vec::new();
+    put_varint(&mut city, city_dict.entries().len() as u64);
+    for e in city_dict.entries() {
+        put_varint(&mut city, e.len() as u64);
+        city.extend_from_slice(e.as_bytes());
+    }
+    put_indices(&mut city, &city_dict.indices);
+
+    let mut isp_dict: DictBuilder<u32> = DictBuilder::default();
+    for r in rows.clone() {
+        isp_dict.push(&r.isp.0);
+    }
+    let mut isp = Vec::new();
+    put_varint(&mut isp, isp_dict.entries().len() as u64);
+    for e in isp_dict.entries() {
+        put_varint(&mut isp, u64::from(*e));
+    }
+    put_indices(&mut isp, &isp_dict.indices);
+
+    let access: Vec<u8> = rows.clone().map(|r| access_tag(r.access)).collect();
+
+    let mut region = Vec::new();
+    put_delta_u64(&mut region, rows.clone().map(|r| u64::from(r.region.0)));
+
+    let proto: Vec<u8> = rows.map(|r| proto_tag(r.proto)).collect();
+
+    MetaColumns { probe, country, continent, city, isp, access, region, proto, countries_seen }
+}
+
+struct MetaRow<'a> {
+    probe: ProbeId,
+    country: CountryCode,
+    continent: cloudy_geo::Continent,
+    city: &'a String,
+    isp: Asn,
+    access: cloudy_lastmile::AccessType,
+    region: RegionId,
+    proto: cloudy_netsim::Protocol,
+}
+
+impl<'a> From<&'a PingRecord> for MetaRow<'a> {
+    fn from(r: &'a PingRecord) -> MetaRow<'a> {
+        MetaRow {
+            probe: r.probe,
+            country: r.country,
+            continent: r.continent,
+            city: &r.city,
+            isp: r.isp,
+            access: r.access,
+            region: r.region,
+            proto: r.proto,
+        }
+    }
+}
+
+impl<'a> From<&'a TracerouteRecord> for MetaRow<'a> {
+    fn from(r: &'a TracerouteRecord) -> MetaRow<'a> {
+        MetaRow {
+            probe: r.probe,
+            country: r.country,
+            continent: r.continent,
+            city: &r.city,
+            isp: r.isp,
+            access: r.access,
+            region: r.region,
+            proto: r.proto,
+        }
+    }
+}
+
+fn put_meta(out: &mut Vec<u8>, m: &MetaColumns) {
+    put_block(out, &m.probe);
+    put_block(out, &m.country);
+    put_block(out, &m.continent);
+    put_block(out, &m.city);
+    put_block(out, &m.isp);
+    put_block(out, &m.access);
+    put_block(out, &m.region);
+    put_block(out, &m.proto);
+}
+
+/// Encode one ping chunk; returns (body, footer).
+pub fn encode_pings(rows: &[PingRecord], provider: Provider) -> (Vec<u8>, ChunkFooter) {
+    let meta = encode_meta(rows.iter().map(MetaRow::from));
+    let mut out = Vec::new();
+    put_meta(&mut out, &meta);
+
+    let rtt_vals: Vec<f64> = rows.iter().map(|r| r.rtt_ms).collect();
+    let mut rtt = Vec::new();
+    put_rtts(&mut rtt, &rtt_vals);
+    put_block(&mut out, &rtt);
+
+    let mut hour = Vec::new();
+    put_delta_u64(&mut hour, rows.iter().map(|r| r.hour));
+    put_block(&mut out, &hour);
+
+    let hours: Vec<u64> = rows.iter().map(|r| r.hour).collect();
+    let footer = ChunkFooter::from_rows(
+        RecordKind::Ping,
+        provider,
+        rows.len() as u64,
+        rows.iter().map(|r| Some(r.rtt_ms)),
+        &hours,
+        &meta.countries_seen,
+    );
+    (out, footer)
+}
+
+/// Encode one traceroute chunk; returns (body, footer).
+pub fn encode_traces(rows: &[TracerouteRecord], provider: Provider) -> (Vec<u8>, ChunkFooter) {
+    let meta = encode_meta(rows.iter().map(MetaRow::from));
+    let mut out = Vec::new();
+    put_meta(&mut out, &meta);
+
+    let mut src_ip = Vec::new();
+    put_delta_u64(&mut src_ip, rows.iter().map(|r| u64::from(u32::from(r.src_ip))));
+    put_block(&mut out, &src_ip);
+
+    let mut hour = Vec::new();
+    put_delta_u64(&mut hour, rows.iter().map(|r| r.hour));
+    put_block(&mut out, &hour);
+
+    let mut hop_lens = Vec::new();
+    for r in rows {
+        put_varint(&mut hop_lens, r.hops.len() as u64);
+    }
+    put_block(&mut out, &hop_lens);
+
+    let hops: Vec<&HopRecord> = rows.iter().flat_map(|r| r.hops.iter()).collect();
+
+    let ttl: Vec<u8> = hops.iter().map(|h| h.ttl).collect();
+    put_block(&mut out, &ttl);
+
+    let ip_present: Vec<bool> = hops.iter().map(|h| h.ip.is_some()).collect();
+    let mut ip_bitmap = Vec::new();
+    put_bitmap(&mut ip_bitmap, &ip_present);
+    put_block(&mut out, &ip_bitmap);
+
+    let mut ips = Vec::new();
+    put_delta_u64(&mut ips, hops.iter().filter_map(|h| h.ip).map(|ip| u64::from(u32::from(ip))));
+    put_block(&mut out, &ips);
+
+    let rtt_present: Vec<bool> = hops.iter().map(|h| h.rtt_ms.is_some()).collect();
+    let mut rtt_bitmap = Vec::new();
+    put_bitmap(&mut rtt_bitmap, &rtt_present);
+    put_block(&mut out, &rtt_bitmap);
+
+    let present_rtts: Vec<f64> = hops.iter().filter_map(|h| h.rtt_ms).collect();
+    let mut rtts = Vec::new();
+    put_rtts(&mut rtts, &present_rtts);
+    put_block(&mut out, &rtts);
+
+    let hours: Vec<u64> = rows.iter().map(|r| r.hour).collect();
+    let footer = ChunkFooter::from_rows(
+        RecordKind::Trace,
+        provider,
+        rows.len() as u64,
+        rows.iter().map(|r| r.end_to_end_ms()),
+        &hours,
+        &meta.countries_seen,
+    );
+    (out, footer)
+}
+
+struct MetaDecoded {
+    probe: Vec<u64>,
+    country: Vec<CountryCode>,
+    continent: Vec<cloudy_geo::Continent>,
+    city: Vec<String>,
+    isp: Vec<u32>,
+    access: Vec<cloudy_lastmile::AccessType>,
+    region: Vec<u64>,
+    proto: Vec<cloudy_netsim::Protocol>,
+}
+
+fn decode_country_block(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<CountryCode>, String> {
+    let mut blk = get_block(cur)?;
+    let n = blk.varint()? as usize;
+    let mut dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = blk.bytes(2)?;
+        let code = std::str::from_utf8(raw).map_err(|e| format!("country code: {e}"))?;
+        dict.push(
+            CountryCode::try_new(code).ok_or_else(|| format!("invalid country code {code:?}"))?,
+        );
+    }
+    let ix = get_indices(&mut blk, rows, dict.len())?;
+    Ok(ix.into_iter().map(|i| dict[i as usize]).collect())
+}
+
+fn decode_meta(cur: &mut Cursor<'_>, rows: usize) -> Result<MetaDecoded, String> {
+    let mut probe_blk = get_block(cur)?;
+    let probe = get_delta_u64(&mut probe_blk, rows)?;
+
+    let country = decode_country_block(cur, rows)?;
+
+    let continent_raw = get_block(cur)?.bytes(rows)?.to_vec();
+    let continent = continent_raw
+        .into_iter()
+        .map(continent_from_tag)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut city_blk = get_block(cur)?;
+    let n = city_blk.varint()? as usize;
+    let mut city_dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = city_blk.varint()? as usize;
+        let raw = city_blk.bytes(len)?;
+        city_dict
+            .push(std::str::from_utf8(raw).map_err(|e| format!("city: {e}"))?.to_string());
+    }
+    let city_ix = get_indices(&mut city_blk, rows, city_dict.len())?;
+    let city = city_ix.into_iter().map(|i| city_dict[i as usize].clone()).collect();
+
+    let mut isp_blk = get_block(cur)?;
+    let n = isp_blk.varint()? as usize;
+    let mut isp_dict = Vec::with_capacity(n);
+    for _ in 0..n {
+        isp_dict.push(u32::try_from(isp_blk.varint()?).map_err(|e| format!("asn: {e}"))?);
+    }
+    let isp_ix = get_indices(&mut isp_blk, rows, isp_dict.len())?;
+    let isp = isp_ix.into_iter().map(|i| isp_dict[i as usize]).collect();
+
+    let access_raw = get_block(cur)?.bytes(rows)?.to_vec();
+    let access =
+        access_raw.into_iter().map(access_from_tag).collect::<Result<Vec<_>, _>>()?;
+
+    let mut region_blk = get_block(cur)?;
+    let region = get_delta_u64(&mut region_blk, rows)?;
+
+    let proto_raw = get_block(cur)?.bytes(rows)?.to_vec();
+    let proto = proto_raw.into_iter().map(proto_from_tag).collect::<Result<Vec<_>, _>>()?;
+
+    Ok(MetaDecoded { probe, country, continent, city, isp, access, region, proto })
+}
+
+fn region_of(raw: u64) -> Result<RegionId, String> {
+    u16::try_from(raw).map(RegionId).map_err(|_| format!("region id {raw} overflows u16"))
+}
+
+/// Decode a ping chunk body into full records.
+pub fn decode_pings(
+    body: &[u8],
+    rows: usize,
+    platform: Platform,
+    provider: Provider,
+) -> Result<Vec<PingRecord>, String> {
+    let mut cur = Cursor::new(body);
+    let m = decode_meta(&mut cur, rows)?;
+    let mut rtt_blk = get_block(&mut cur)?;
+    let rtt = get_rtts(&mut rtt_blk, rows)?;
+    let mut hour_blk = get_block(&mut cur)?;
+    let hour = get_delta_u64(&mut hour_blk, rows)?;
+
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        out.push(PingRecord {
+            probe: ProbeId(m.probe[i]),
+            platform,
+            country: m.country[i],
+            continent: m.continent[i],
+            city: m.city[i].clone(),
+            isp: Asn(m.isp[i]),
+            access: m.access[i],
+            region: region_of(m.region[i])?,
+            provider,
+            proto: m.proto[i],
+            rtt_ms: rtt[i],
+            hour: hour[i],
+        });
+    }
+    Ok(out)
+}
+
+/// Decode a traceroute chunk body into full records.
+pub fn decode_traces(
+    body: &[u8],
+    rows: usize,
+    platform: Platform,
+    provider: Provider,
+) -> Result<Vec<TracerouteRecord>, String> {
+    let mut cur = Cursor::new(body);
+    let m = decode_meta(&mut cur, rows)?;
+
+    let mut src_blk = get_block(&mut cur)?;
+    let src = get_delta_u64(&mut src_blk, rows)?;
+    let mut hour_blk = get_block(&mut cur)?;
+    let hour = get_delta_u64(&mut hour_blk, rows)?;
+
+    let mut lens_blk = get_block(&mut cur)?;
+    let mut lens = Vec::with_capacity(rows);
+    let mut total = 0usize;
+    for _ in 0..rows {
+        let l = lens_blk.varint()? as usize;
+        total = total.checked_add(l).ok_or("hop count overflow")?;
+        lens.push(l);
+    }
+
+    let ttl = get_block(&mut cur)?.bytes(total)?.to_vec();
+
+    let mut ipb_blk = get_block(&mut cur)?;
+    let ip_present = get_bitmap(&mut ipb_blk, total)?;
+    let n_ips = ip_present.iter().filter(|p| **p).count();
+    let mut ips_blk = get_block(&mut cur)?;
+    let ips = get_delta_u64(&mut ips_blk, n_ips)?;
+
+    let mut rttb_blk = get_block(&mut cur)?;
+    let rtt_present = get_bitmap(&mut rttb_blk, total)?;
+    let n_rtts = rtt_present.iter().filter(|p| **p).count();
+    let mut rtts_blk = get_block(&mut cur)?;
+    let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
+
+    let mut out = Vec::with_capacity(rows);
+    let mut hop_ix = 0usize;
+    let mut ip_ix = 0usize;
+    let mut rtt_ix = 0usize;
+    for i in 0..rows {
+        let mut hops = Vec::with_capacity(lens[i]);
+        for _ in 0..lens[i] {
+            let ip = if ip_present[hop_ix] {
+                let v = u32::try_from(ips[ip_ix]).map_err(|_| "hop ip overflows u32")?;
+                ip_ix += 1;
+                Some(Ipv4Addr::from(v))
+            } else {
+                None
+            };
+            let rtt_ms = if rtt_present[hop_ix] {
+                let v = rtts[rtt_ix];
+                rtt_ix += 1;
+                Some(v)
+            } else {
+                None
+            };
+            hops.push(HopRecord { ttl: ttl[hop_ix], ip, rtt_ms });
+            hop_ix += 1;
+        }
+        let src_v = u32::try_from(src[i]).map_err(|_| "src ip overflows u32")?;
+        out.push(TracerouteRecord {
+            probe: ProbeId(m.probe[i]),
+            platform,
+            country: m.country[i],
+            continent: m.continent[i],
+            city: m.city[i].clone(),
+            isp: Asn(m.isp[i]),
+            access: m.access[i],
+            region: region_of(m.region[i])?,
+            provider,
+            proto: m.proto[i],
+            src_ip: Ipv4Addr::from(src_v),
+            hops,
+            hour: hour[i],
+        });
+    }
+    Ok(out)
+}
+
+/// One row of the RTT projection: everything group-by aggregation needs,
+/// nothing it does not (no strings, no hops).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RttRow {
+    pub kind: RecordKind,
+    pub provider: Provider,
+    pub country: CountryCode,
+    pub region: RegionId,
+    pub hour: u64,
+    /// Primary RTT: ping RTT, or traceroute end-to-end (rows without one
+    /// are skipped by the projection).
+    pub rtt_ms: f64,
+}
+
+use crate::codec::skip_block;
+
+/// Projection decode of a ping chunk: country, region, rtt, hour only.
+/// Probe/continent/city/isp/access/proto blocks are skipped unread.
+pub fn decode_ping_rtts(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+) -> Result<Vec<RttRow>, String> {
+    let mut cur = Cursor::new(body);
+    skip_block(&mut cur)?; // probe
+    let country = decode_country_block(&mut cur, rows)?;
+    skip_block(&mut cur)?; // continent
+    skip_block(&mut cur)?; // city
+    skip_block(&mut cur)?; // isp
+    skip_block(&mut cur)?; // access
+    let mut region_blk = get_block(&mut cur)?;
+    let region = get_delta_u64(&mut region_blk, rows)?;
+    skip_block(&mut cur)?; // proto
+    let mut rtt_blk = get_block(&mut cur)?;
+    let rtt = get_rtts(&mut rtt_blk, rows)?;
+    let mut hour_blk = get_block(&mut cur)?;
+    let hour = get_delta_u64(&mut hour_blk, rows)?;
+
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        out.push(RttRow {
+            kind: RecordKind::Ping,
+            provider,
+            country: country[i],
+            region: region_of(region[i])?,
+            hour: hour[i],
+            rtt_ms: rtt[i],
+        });
+    }
+    Ok(out)
+}
+
+/// Projection decode of a traceroute chunk: country, region, hour, and the
+/// end-to-end RTT (last hop's response). Rows whose last hop did not
+/// respond are dropped, matching `TracerouteRecord::end_to_end_ms`.
+pub fn decode_trace_rtts(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+) -> Result<Vec<RttRow>, String> {
+    let mut cur = Cursor::new(body);
+    skip_block(&mut cur)?; // probe
+    let country = decode_country_block(&mut cur, rows)?;
+    skip_block(&mut cur)?; // continent
+    skip_block(&mut cur)?; // city
+    skip_block(&mut cur)?; // isp
+    skip_block(&mut cur)?; // access
+    let mut region_blk = get_block(&mut cur)?;
+    let region = get_delta_u64(&mut region_blk, rows)?;
+    skip_block(&mut cur)?; // proto
+    skip_block(&mut cur)?; // src_ip
+    let mut hour_blk = get_block(&mut cur)?;
+    let hour = get_delta_u64(&mut hour_blk, rows)?;
+
+    let mut lens_blk = get_block(&mut cur)?;
+    let mut lens = Vec::with_capacity(rows);
+    let mut total = 0usize;
+    for _ in 0..rows {
+        let l = lens_blk.varint()? as usize;
+        total = total.checked_add(l).ok_or("hop count overflow")?;
+        lens.push(l);
+    }
+    skip_block(&mut cur)?; // ttl
+    let mut ipb_blk = get_block(&mut cur)?;
+    let _ = get_bitmap(&mut ipb_blk, total)?;
+    skip_block(&mut cur)?; // ips
+    let mut rttb_blk = get_block(&mut cur)?;
+    let rtt_present = get_bitmap(&mut rttb_blk, total)?;
+    let n_rtts = rtt_present.iter().filter(|p| **p).count();
+    let mut rtts_blk = get_block(&mut cur)?;
+    let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
+
+    let mut out = Vec::with_capacity(rows);
+    let mut hop_ix = 0usize;
+    let mut rtt_ix = 0usize;
+    for i in 0..rows {
+        let mut last: Option<f64> = None;
+        for j in 0..lens[i] {
+            if rtt_present[hop_ix] {
+                let v = rtts[rtt_ix];
+                rtt_ix += 1;
+                if j == lens[i] - 1 {
+                    last = Some(v);
+                }
+            }
+            hop_ix += 1;
+        }
+        if let Some(rtt_ms) = last {
+            out.push(RttRow {
+                kind: RecordKind::Trace,
+                provider,
+                country: country[i],
+                region: region_of(region[i])?,
+                hour: hour[i],
+                rtt_ms,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// A directory entry: one chunk's footer plus its location in the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    pub footer: ChunkFooter,
+    /// Byte offset of the chunk body from the start of the file.
+    pub offset: u64,
+    /// Encoded length of the chunk body in bytes.
+    pub len: u64,
+}
+
+/// Serialize one directory entry.
+pub fn put_chunk_meta(out: &mut Vec<u8>, m: &ChunkMeta) {
+    out.push(m.footer.kind.tag());
+    out.push(crate::schema::provider_tag(m.footer.provider));
+    put_varint(out, m.offset);
+    put_varint(out, m.len);
+    put_varint(out, m.footer.rows);
+    match m.footer.rtt_ms {
+        Some((lo, hi)) => {
+            out.push(1);
+            out.extend_from_slice(&lo.to_bits().to_le_bytes());
+            out.extend_from_slice(&hi.to_bits().to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    put_varint(out, m.footer.hour_min);
+    put_varint(out, m.footer.hour_max);
+    put_varint(out, m.footer.countries.len() as u64);
+    for c in &m.footer.countries {
+        let s = c.as_str().as_bytes();
+        out.extend_from_slice(&[s[0], s[1]]);
+    }
+}
+
+/// Deserialize one directory entry.
+pub fn get_chunk_meta(cur: &mut Cursor<'_>) -> Result<ChunkMeta, String> {
+    let kind = RecordKind::from_tag(cur.u8()?)?;
+    let provider = crate::schema::provider_from_tag(cur.u8()?)?;
+    let offset = cur.varint()?;
+    let len = cur.varint()?;
+    let rows = cur.varint()?;
+    let rtt_ms = match cur.u8()? {
+        0 => None,
+        1 => {
+            let lo = f64::from_bits(cur.u64_le()?);
+            let hi = f64::from_bits(cur.u64_le()?);
+            Some((lo, hi))
+        }
+        other => Err(format!("bad rtt-bounds flag {other}"))?,
+    };
+    let hour_min = cur.varint()?;
+    let hour_max = cur.varint()?;
+    let n = cur.varint()? as usize;
+    let mut countries = Vec::with_capacity(n.min(512));
+    for _ in 0..n {
+        let raw = cur.bytes(2)?;
+        let s = std::str::from_utf8(raw).map_err(|e| format!("footer country: {e}"))?;
+        countries
+            .push(CountryCode::try_new(s).ok_or_else(|| format!("footer country {s:?}"))?);
+    }
+    Ok(ChunkMeta {
+        footer: ChunkFooter { kind, provider, rows, rtt_ms, hour_min, hour_max, countries },
+        offset,
+        len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{sample_ping as ping, sample_trace as trace};
+
+    #[test]
+    fn ping_chunk_round_trips() {
+        let rows: Vec<PingRecord> = (0..100).map(|i| ping(i, 10.0 + i as f64 * 0.125)).collect();
+        let (body, footer) = encode_pings(&rows, Provider::Google);
+        assert_eq!(footer.rows, 100);
+        assert_eq!(footer.kind, RecordKind::Ping);
+        assert_eq!(footer.countries.len(), 2);
+        let back = decode_pings(&body, 100, Platform::Speedchecker, Provider::Google).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn trace_chunk_round_trips_with_stars() {
+        let rows: Vec<TracerouteRecord> = (0..40)
+            .map(|i| {
+                let hops = (0..(i % 6) as u8)
+                    .map(|t| HopRecord {
+                        ttl: t + 1,
+                        ip: if t % 2 == 0 { Some(Ipv4Addr::new(10, 0, t, 1)) } else { None },
+                        rtt_ms: if t % 3 == 0 { Some(5.0 + f64::from(t)) } else { None },
+                    })
+                    .collect();
+                trace(i, hops)
+            })
+            .collect();
+        let (body, footer) = encode_traces(&rows, Provider::AmazonEc2);
+        assert_eq!(footer.rows, 40);
+        let back = decode_traces(&body, 40, Platform::Speedchecker, Provider::AmazonEc2).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn ping_projection_matches_full_decode() {
+        let rows: Vec<PingRecord> = (0..64).map(|i| ping(i, 7.5 + i as f64)).collect();
+        let (body, _) = encode_pings(&rows, Provider::Google);
+        let proj = decode_ping_rtts(&body, 64, Provider::Google).unwrap();
+        assert_eq!(proj.len(), 64);
+        for (p, r) in proj.iter().zip(&rows) {
+            assert_eq!(p.rtt_ms, r.rtt_ms);
+            assert_eq!(p.country, r.country);
+            assert_eq!(p.region, r.region);
+            assert_eq!(p.hour, r.hour);
+        }
+    }
+
+    #[test]
+    fn trace_projection_yields_end_to_end_only() {
+        let with_end = trace(
+            1,
+            vec![
+                HopRecord { ttl: 1, ip: None, rtt_ms: None },
+                HopRecord { ttl: 2, ip: Some(Ipv4Addr::new(20, 0, 0, 1)), rtt_ms: Some(44.5) },
+            ],
+        );
+        let silent_end = trace(
+            2,
+            vec![HopRecord { ttl: 1, ip: Some(Ipv4Addr::new(10, 0, 0, 1)), rtt_ms: Some(3.0) }, {
+                HopRecord { ttl: 2, ip: None, rtt_ms: None }
+            }],
+        );
+        let rows = vec![with_end.clone(), silent_end];
+        let (body, footer) = encode_traces(&rows, Provider::AmazonEc2);
+        let proj = decode_trace_rtts(&body, 2, Provider::AmazonEc2).unwrap();
+        assert_eq!(proj.len(), 1);
+        assert_eq!(proj[0].rtt_ms, 44.5);
+        assert_eq!(footer.rtt_ms, Some((44.5, 44.5)));
+    }
+
+    #[test]
+    fn chunk_meta_round_trips() {
+        let m = ChunkMeta {
+            footer: ChunkFooter {
+                kind: RecordKind::Trace,
+                provider: Provider::Microsoft,
+                rows: 4096,
+                rtt_ms: Some((0.125, 812.25)),
+                hour_min: 3,
+                hour_max: 71,
+                countries: vec![CountryCode::new("BR"), CountryCode::new("DE")],
+            },
+            offset: 123_456,
+            len: 9_876,
+        };
+        let mut buf = Vec::new();
+        put_chunk_meta(&mut buf, &m);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(get_chunk_meta(&mut cur).unwrap(), m);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn corrupt_chunk_is_an_error_not_a_panic() {
+        let rows: Vec<PingRecord> = (0..10).map(|i| ping(i, 1.0)).collect();
+        let (body, _) = encode_pings(&rows, Provider::Google);
+        // Truncation at every prefix length must decode to Err, not panic.
+        for cut in 0..body.len().min(60) {
+            assert!(decode_pings(&body[..cut], 10, Platform::Speedchecker, Provider::Google)
+                .is_err());
+        }
+        // Row-count lies are also errors.
+        assert!(decode_pings(&body, 11, Platform::Speedchecker, Provider::Google).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! `cloudy-store`: a columnar, chunked, streaming dataset store, so
+//! campaigns scale past in-memory `Vec<Record>`.
+//!
+//! The paper's campaign collected 3.8M pings and 7M+ traceroutes; holding
+//! that as row structs in RAM caps how far a reproduction can push. This
+//! crate stores campaign output on disk in a columnar format and streams
+//! both directions:
+//!
+//! * **Write path** ([`writer`]): an append-only [`Writer`] implements
+//!   `cloudy_measure::RecordSink`, so a campaign streams records straight
+//!   to disk with memory bounded by the chunk size — never the run size.
+//!   Records are partitioned into per-(kind, provider) chunks; each column
+//!   is delta+varint, dictionary, or raw encoded (see [`chunk`]).
+//! * **Read path** ([`reader`]): the file-level directory holds per-chunk
+//!   footers (row count, RTT/hour bounds, country set). A filtered scan
+//!   prunes non-matching chunks from the directory alone — a
+//!   provider-filtered query typically skips ~9/10 chunks — and can decode
+//!   survivor chunks across threads ([`Reader::par_scan_chunks`]) with
+//!   output identical to a sequential scan.
+//! * **Aggregation** ([`agg`]): one-pass Welford moments, the P² streaming
+//!   quantile sketch, and deterministic (BTreeMap) group-by accumulators.
+//!
+//! Determinism: store bytes are a pure function of (platform, options,
+//! record sequence). Campaigns deliver the same record sequence for every
+//! thread count, so store files are byte-identical at 1 or N threads —
+//! enforced by `cloudy-audit`'s race check and `tests/determinism.rs`.
+//!
+//! All decode paths return `Result`, never panic: a store file is external
+//! input.
+
+pub mod agg;
+pub mod chunk;
+pub mod codec;
+pub mod reader;
+pub mod schema;
+pub mod writer;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use agg::{GroupedMoments, GroupedRtts, Moments, P2Quantile, P2Sketch};
+pub use chunk::{ChunkFooter, ChunkMeta, RttRow};
+pub use reader::{read_to_dataset, ChunkRows, Reader, ScanFilter, ScanStats};
+pub use schema::RecordKind;
+pub use writer::{write_dataset, StoreSummary, Writer, WriterOptions};

@@ -1,0 +1,460 @@
+//! Store reader: footer-pruned scans over a columnar store file.
+//!
+//! The reader keeps the whole file as bytes plus the decoded directory; a
+//! scan walks the directory, prunes chunks whose footers cannot match the
+//! filter (kind, provider, country set, RTT bounds, hour window), and only
+//! decodes the survivors. Because the writer partitions chunks by
+//! (kind, provider), a provider-filtered scan typically skips ~9/10 chunks
+//! without reading a byte of them.
+//!
+//! Scan order is directory order — the writer's flush order — so records
+//! come back grouped by partition, not in insert order. Order *within* a
+//! partition is preserved.
+
+use crate::chunk::{
+    decode_ping_rtts, decode_pings, decode_trace_rtts, decode_traces, get_chunk_meta, ChunkMeta,
+    RttRow,
+};
+use crate::codec::Cursor;
+use crate::schema::{platform_from_tag, RecordKind};
+use crate::writer::{END_MAGIC, MAGIC};
+use cloudy_cloud::Provider;
+use cloudy_geo::CountryCode;
+use cloudy_measure::{Dataset, PingRecord, TracerouteRecord};
+use cloudy_probes::Platform;
+
+/// Which chunks and rows a scan should visit. `None` fields match
+/// everything; chunk pruning is conservative (a chunk survives if its
+/// footer *could* contain a matching row), row filtering is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanFilter {
+    pub kind: Option<RecordKind>,
+    pub provider: Option<Provider>,
+    pub country: Option<CountryCode>,
+    pub min_rtt_ms: Option<f64>,
+    pub max_rtt_ms: Option<f64>,
+    pub min_hour: Option<u64>,
+    pub max_hour: Option<u64>,
+}
+
+impl ScanFilter {
+    /// Can any row of a chunk with this footer match? Used to skip whole
+    /// chunks from the directory alone.
+    pub fn matches_chunk(&self, m: &ChunkMeta) -> bool {
+        let f = &m.footer;
+        if self.kind.is_some_and(|k| k != f.kind) {
+            return false;
+        }
+        if self.provider.is_some_and(|p| p != f.provider) {
+            return false;
+        }
+        if self.country.is_some_and(|c| !f.countries.contains(&c)) {
+            return false;
+        }
+        if let Some((lo, hi)) = f.rtt_ms {
+            if self.min_rtt_ms.is_some_and(|min| hi < min) {
+                return false;
+            }
+            if self.max_rtt_ms.is_some_and(|max| lo > max) {
+                return false;
+            }
+        } else if self.min_rtt_ms.is_some() || self.max_rtt_ms.is_some() {
+            // No row in the chunk has a primary RTT, so an RTT-constrained
+            // scan cannot match any of them.
+            return false;
+        }
+        if self.min_hour.is_some_and(|min| f.hour_max < min) {
+            return false;
+        }
+        if self.max_hour.is_some_and(|max| f.hour_min > max) {
+            return false;
+        }
+        true
+    }
+
+    /// Exact per-row check, applied after a chunk survives pruning.
+    pub fn matches_row(&self, r: &RttRow) -> bool {
+        self.kind.is_none_or(|k| k == r.kind)
+            && self.provider.is_none_or(|p| p == r.provider)
+            && self.country.is_none_or(|c| c == r.country)
+            && !self.min_rtt_ms.is_some_and(|min| r.rtt_ms < min)
+            && !self.max_rtt_ms.is_some_and(|max| r.rtt_ms > max)
+            && self.min_hour.is_none_or(|min| r.hour >= min)
+            && self.max_hour.is_none_or(|max| r.hour <= max)
+    }
+}
+
+/// What a scan did: how much pruning bought and how many rows matched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    pub chunks_total: usize,
+    pub chunks_scanned: usize,
+    pub chunks_pruned: usize,
+    pub rows_matched: u64,
+}
+
+/// All rows of one decoded chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkRows {
+    Pings(Vec<PingRecord>),
+    Traces(Vec<TracerouteRecord>),
+}
+
+/// A store file held in memory with its decoded directory.
+pub struct Reader {
+    data: Vec<u8>,
+    platform: Platform,
+    dir: Vec<ChunkMeta>,
+}
+
+impl Reader {
+    /// Parse a store file. Validates magic, trailer, directory, and every
+    /// chunk's byte range before any scan touches the data.
+    pub fn from_bytes(data: Vec<u8>) -> Result<Reader, String> {
+        let header_len = MAGIC.len() + 1;
+        let trailer_len = 16 + END_MAGIC.len();
+        if data.len() < header_len + trailer_len {
+            return Err(format!("store file too short: {} bytes", data.len()));
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err("bad store magic".into());
+        }
+        if &data[data.len() - END_MAGIC.len()..] != END_MAGIC {
+            return Err("bad store end magic (truncated file?)".into());
+        }
+        let platform = platform_from_tag(data[MAGIC.len()])?;
+        let mut tcur = Cursor::new(&data[data.len() - trailer_len..]);
+        let dir_offset = tcur.u64_le()? as usize;
+        let dir_len = tcur.u64_le()? as usize;
+        if dir_offset < header_len
+            || dir_offset
+                .checked_add(dir_len)
+                .is_none_or(|end| end != data.len() - trailer_len)
+        {
+            return Err(format!("directory range {dir_offset}+{dir_len} out of bounds"));
+        }
+        let mut dcur = Cursor::new(&data[dir_offset..dir_offset + dir_len]);
+        let n = dcur.varint()? as usize;
+        let mut dir = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let m = get_chunk_meta(&mut dcur)?;
+            let end = m.offset.checked_add(m.len).ok_or("chunk range overflow")?;
+            if (m.offset as usize) < header_len || end as usize > dir_offset {
+                return Err(format!(
+                    "chunk range {}+{} overlaps header or directory",
+                    m.offset, m.len
+                ));
+            }
+            dir.push(m);
+        }
+        if dcur.remaining() != 0 {
+            return Err("trailing bytes in directory".into());
+        }
+        Ok(Reader { data, platform, dir })
+    }
+
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The directory: one entry per chunk, in flush order.
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.dir
+    }
+
+    fn chunk_body(&self, m: &ChunkMeta) -> &[u8] {
+        &self.data[m.offset as usize..(m.offset + m.len) as usize]
+    }
+
+    /// Decode every row of one chunk.
+    pub fn decode_chunk(&self, m: &ChunkMeta) -> Result<ChunkRows, String> {
+        let body = self.chunk_body(m);
+        let rows = m.footer.rows as usize;
+        match m.footer.kind {
+            RecordKind::Ping => {
+                decode_pings(body, rows, self.platform, m.footer.provider).map(ChunkRows::Pings)
+            }
+            RecordKind::Trace => decode_traces(body, rows, self.platform, m.footer.provider)
+                .map(ChunkRows::Traces),
+        }
+    }
+
+    fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, String> {
+        let body = self.chunk_body(m);
+        let rows = m.footer.rows as usize;
+        match m.footer.kind {
+            RecordKind::Ping => decode_ping_rtts(body, rows, m.footer.provider),
+            RecordKind::Trace => decode_trace_rtts(body, rows, m.footer.provider),
+        }
+    }
+
+    /// Sequential pruned scan over full records.
+    pub fn for_each(
+        &self,
+        filter: &ScanFilter,
+        mut f: impl FnMut(&ChunkRows),
+    ) -> Result<ScanStats, String> {
+        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
+        for m in &self.dir {
+            if !filter.matches_chunk(m) {
+                stats.chunks_pruned += 1;
+                continue;
+            }
+            stats.chunks_scanned += 1;
+            let rows = self.decode_chunk(m)?;
+            stats.rows_matched += match &rows {
+                ChunkRows::Pings(p) => p.len() as u64,
+                ChunkRows::Traces(t) => t.len() as u64,
+            };
+            f(&rows);
+        }
+        Ok(stats)
+    }
+
+    /// Sequential pruned scan over the RTT projection. Only the survivor
+    /// chunks are decoded, and only their country/region/hour/RTT columns.
+    pub fn for_each_rtt(
+        &self,
+        filter: &ScanFilter,
+        mut f: impl FnMut(RttRow),
+    ) -> Result<ScanStats, String> {
+        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
+        for m in &self.dir {
+            if !filter.matches_chunk(m) {
+                stats.chunks_pruned += 1;
+                continue;
+            }
+            stats.chunks_scanned += 1;
+            for row in self.decode_chunk_rtts(m)? {
+                if filter.matches_row(&row) {
+                    stats.rows_matched += 1;
+                    f(row);
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Parallel pruned scan: survivor chunks are decoded and mapped on up
+    /// to `threads` crossbeam scoped threads, and results are returned in
+    /// chunk (directory) order — so the output is identical to a
+    /// sequential scan for any thread count.
+    pub fn par_scan_chunks<T, F>(
+        &self,
+        filter: &ScanFilter,
+        threads: usize,
+        map: F,
+    ) -> Result<(Vec<T>, ScanStats), String>
+    where
+        T: Send,
+        F: Fn(&ChunkMeta, ChunkRows) -> T + Sync,
+    {
+        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
+        let survivors: Vec<&ChunkMeta> =
+            self.dir.iter().filter(|m| filter.matches_chunk(m)).collect();
+        stats.chunks_scanned = survivors.len();
+        stats.chunks_pruned = stats.chunks_total - survivors.len();
+
+        let threads = threads.max(1);
+        let per = survivors.len().div_ceil(threads).max(1);
+        let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
+        // Each shard yields chunk results in order; shards concatenate in
+        // order, so the merged output is directory-ordered.
+        let shard_results: Vec<Vec<Result<(u64, T), String>>> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let map = &map;
+                        s.spawn(move |_| {
+                            shard
+                                .iter()
+                                .map(|m| {
+                                    self.decode_chunk(m).map(|rows| {
+                                        let n = match &rows {
+                                            ChunkRows::Pings(p) => p.len() as u64,
+                                            ChunkRows::Traces(t) => t.len() as u64,
+                                        };
+                                        (n, map(m, rows))
+                                    })
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+            })
+            .expect("crossbeam scope");
+
+        let mut out = Vec::with_capacity(survivors.len());
+        for r in shard_results.into_iter().flatten() {
+            let (rows, mapped) = r?;
+            stats.rows_matched += rows;
+            out.push(mapped);
+        }
+        Ok((out, stats))
+    }
+
+    /// Collect the RTT projection matching `filter`, decoding chunks in
+    /// parallel. Row order equals the sequential [`Reader::for_each_rtt`]
+    /// order for any thread count.
+    pub fn par_collect_rtts(
+        &self,
+        filter: &ScanFilter,
+        threads: usize,
+    ) -> Result<(Vec<RttRow>, ScanStats), String> {
+        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
+        let survivors: Vec<&ChunkMeta> =
+            self.dir.iter().filter(|m| filter.matches_chunk(m)).collect();
+        stats.chunks_scanned = survivors.len();
+        stats.chunks_pruned = stats.chunks_total - survivors.len();
+
+        let threads = threads.max(1);
+        let per = survivors.len().div_ceil(threads).max(1);
+        let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
+        let shard_results: Vec<Result<Vec<RttRow>, String>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    s.spawn(move |_| {
+                        let mut rows = Vec::new();
+                        for m in *shard {
+                            for row in self.decode_chunk_rtts(m)? {
+                                if filter.matches_row(&row) {
+                                    rows.push(row);
+                                }
+                            }
+                        }
+                        Ok(rows)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+        })
+        .expect("crossbeam scope");
+
+        let mut out = Vec::new();
+        for r in shard_results {
+            out.extend(r?);
+        }
+        stats.rows_matched = out.len() as u64;
+        Ok((out, stats))
+    }
+
+    /// Decode the whole store back into an in-memory [`Dataset`]. Records
+    /// come back grouped by (kind, provider) partition — the store's scan
+    /// order — not in original insert order.
+    pub fn to_dataset(&self) -> Result<Dataset, String> {
+        let mut ds = Dataset::new(self.platform);
+        self.for_each(&ScanFilter::default(), |rows| match rows {
+            ChunkRows::Pings(p) => ds.pings.extend(p.iter().cloned()),
+            ChunkRows::Traces(t) => ds.traces.extend(t.iter().cloned()),
+        })?;
+        Ok(ds)
+    }
+}
+
+/// Convenience: parse store bytes straight into a [`Dataset`].
+pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, String> {
+    Reader::from_bytes(data)?.to_dataset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::sample_ping;
+    use crate::writer::{write_dataset, Writer, WriterOptions};
+
+    fn store_bytes(n: u64, chunk_rows: usize) -> Vec<u8> {
+        let mut w = Writer::new(
+            Vec::new(),
+            Platform::Speedchecker,
+            WriterOptions { chunk_rows },
+        )
+        .unwrap();
+        for i in 0..n {
+            let mut r = sample_ping(i, 5.0 + (i % 100) as f64);
+            r.provider = Provider::ALL[(i % 3) as usize];
+            w.push_ping(r).unwrap();
+        }
+        w.finish().unwrap().0
+    }
+
+    #[test]
+    fn reader_round_trips_and_reports_directory() {
+        let bytes = store_bytes(1000, 128);
+        let r = Reader::from_bytes(bytes).unwrap();
+        assert_eq!(r.platform(), Platform::Speedchecker);
+        let total: u64 = r.chunks().iter().map(|m| m.footer.rows).sum();
+        assert_eq!(total, 1000);
+        let ds = r.to_dataset().unwrap();
+        assert_eq!(ds.pings.len(), 1000);
+    }
+
+    #[test]
+    fn provider_filter_prunes_most_chunks() {
+        let bytes = store_bytes(3000, 64);
+        let r = Reader::from_bytes(bytes).unwrap();
+        let filter =
+            ScanFilter { provider: Some(Provider::Google), ..Default::default() };
+        let (rows, stats) = r.par_collect_rtts(&filter, 4).unwrap();
+        assert!(rows.iter().all(|row| row.provider == Provider::Google));
+        assert_eq!(rows.len() as u64, stats.rows_matched);
+        // 3 providers in the stream → two thirds of chunks pruned.
+        assert!(
+            stats.chunks_pruned * 2 >= stats.chunks_total,
+            "pruned {}/{}",
+            stats.chunks_pruned,
+            stats.chunks_total
+        );
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_for_any_thread_count() {
+        let bytes = store_bytes(2000, 96);
+        let r = Reader::from_bytes(bytes).unwrap();
+        let filter = ScanFilter { min_rtt_ms: Some(50.0), ..Default::default() };
+        let mut seq = Vec::new();
+        let seq_stats = r.for_each_rtt(&filter, |row| seq.push(row)).unwrap();
+        for threads in [1, 3, 8] {
+            let (par, stats) = r.par_collect_rtts(&filter, threads).unwrap();
+            assert_eq!(par, seq);
+            assert_eq!(stats, seq_stats);
+        }
+    }
+
+    #[test]
+    fn corrupt_files_error_cleanly() {
+        let bytes = store_bytes(100, 32);
+        assert!(Reader::from_bytes(bytes[..bytes.len() - 3].to_vec()).is_err());
+        assert!(Reader::from_bytes(b"CLDYSTO1x".to_vec()).is_err());
+        let mut flipped = bytes.clone();
+        flipped[0] = b'X';
+        assert!(Reader::from_bytes(flipped).is_err());
+        // Flipping a byte inside the directory region must not panic.
+        let dirish = bytes.len() - 30;
+        let mut corrupt = bytes;
+        corrupt[dirish] ^= 0xff;
+        let _ = Reader::from_bytes(corrupt);
+    }
+
+    #[test]
+    fn write_dataset_round_trips_per_partition() {
+        let mut ds = Dataset::new(Platform::Speedchecker);
+        for i in 0..500 {
+            let mut r = sample_ping(i, 1.0 + i as f64 * 0.5);
+            r.provider = Provider::ALL[(i % 4) as usize];
+            ds.pings.push(r);
+        }
+        let (bytes, summary) = write_dataset(&ds, WriterOptions { chunk_rows: 64 }).unwrap();
+        assert_eq!(summary.ping_rows, 500);
+        let back = read_to_dataset(bytes).unwrap();
+        // Scan order groups by provider; within a provider, insert order
+        // is preserved and records are bit-identical.
+        for p in Provider::ALL {
+            let orig: Vec<_> = ds.pings.iter().filter(|r| r.provider == p).collect();
+            let got: Vec<_> = back.pings.iter().filter(|r| r.provider == p).collect();
+            assert_eq!(orig, got);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Stable on-disk tags for the workspace's closed enums.
+//!
+//! Tags index the types' own canonical `ALL` orderings where one exists, so
+//! adding a variant extends the tag space without renumbering. Decoding an
+//! unknown tag is an error, never a panic: store files are external input.
+
+use cloudy_cloud::Provider;
+use cloudy_geo::Continent;
+use cloudy_lastmile::AccessType;
+use cloudy_netsim::Protocol;
+use cloudy_probes::Platform;
+
+/// Which record type a chunk holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordKind {
+    Ping,
+    Trace,
+}
+
+impl RecordKind {
+    pub fn tag(self) -> u8 {
+        match self {
+            RecordKind::Ping => 0,
+            RecordKind::Trace => 1,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Result<RecordKind, String> {
+        match t {
+            0 => Ok(RecordKind::Ping),
+            1 => Ok(RecordKind::Trace),
+            other => Err(format!("unknown record kind tag {other}")),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordKind::Ping => "ping",
+            RecordKind::Trace => "trace",
+        }
+    }
+}
+
+pub fn platform_tag(p: Platform) -> u8 {
+    match p {
+        Platform::Speedchecker => 0,
+        Platform::RipeAtlas => 1,
+    }
+}
+
+pub fn platform_from_tag(t: u8) -> Result<Platform, String> {
+    match t {
+        0 => Ok(Platform::Speedchecker),
+        1 => Ok(Platform::RipeAtlas),
+        other => Err(format!("unknown platform tag {other}")),
+    }
+}
+
+pub fn provider_tag(p: Provider) -> u8 {
+    // Providers are a closed Table-1 set; ALL is its canonical order.
+    Provider::ALL.iter().position(|x| *x == p).unwrap_or(0) as u8
+}
+
+pub fn provider_from_tag(t: u8) -> Result<Provider, String> {
+    Provider::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown provider tag {t}"))
+}
+
+pub fn continent_tag(c: Continent) -> u8 {
+    Continent::ALL.iter().position(|x| *x == c).unwrap_or(0) as u8
+}
+
+pub fn continent_from_tag(t: u8) -> Result<Continent, String> {
+    Continent::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown continent tag {t}"))
+}
+
+pub fn access_tag(a: AccessType) -> u8 {
+    AccessType::ALL.iter().position(|x| *x == a).unwrap_or(0) as u8
+}
+
+pub fn access_from_tag(t: u8) -> Result<AccessType, String> {
+    AccessType::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown access-type tag {t}"))
+}
+
+pub fn proto_tag(p: Protocol) -> u8 {
+    match p {
+        Protocol::Tcp => 0,
+        Protocol::Icmp => 1,
+    }
+}
+
+pub fn proto_from_tag(t: u8) -> Result<Protocol, String> {
+    match t {
+        0 => Ok(Protocol::Tcp),
+        1 => Ok(Protocol::Icmp),
+        other => Err(format!("unknown protocol tag {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_enum_round_trips_through_its_tag() {
+        for p in [Platform::Speedchecker, Platform::RipeAtlas] {
+            assert_eq!(platform_from_tag(platform_tag(p)).unwrap(), p);
+        }
+        for p in Provider::ALL {
+            assert_eq!(provider_from_tag(provider_tag(p)).unwrap(), p);
+        }
+        for c in Continent::ALL {
+            assert_eq!(continent_from_tag(continent_tag(c)).unwrap(), c);
+        }
+        for a in AccessType::ALL {
+            assert_eq!(access_from_tag(access_tag(a)).unwrap(), a);
+        }
+        for pr in [Protocol::Tcp, Protocol::Icmp] {
+            assert_eq!(proto_from_tag(proto_tag(pr)).unwrap(), pr);
+        }
+        for k in [RecordKind::Ping, RecordKind::Trace] {
+            assert_eq!(RecordKind::from_tag(k.tag()).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_errors() {
+        assert!(platform_from_tag(9).is_err());
+        assert!(provider_from_tag(200).is_err());
+        assert!(continent_from_tag(6).is_err());
+        assert!(access_from_tag(4).is_err());
+        assert!(proto_from_tag(2).is_err());
+        assert!(RecordKind::from_tag(2).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared record constructors for unit tests.
+
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_lastmile::AccessType;
+use cloudy_measure::{HopRecord, PingRecord, TracerouteRecord};
+use cloudy_netsim::Protocol;
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_topology::Asn;
+use std::net::Ipv4Addr;
+
+pub fn sample_ping(i: u64, rtt: f64) -> PingRecord {
+    PingRecord {
+        probe: ProbeId(i),
+        platform: Platform::Speedchecker,
+        country: CountryCode::new(if i.is_multiple_of(2) { "DE" } else { "JP" }),
+        continent: Continent::Europe,
+        city: format!("City{}", i % 3),
+        isp: Asn(3320 + (i % 4) as u32),
+        access: AccessType::WifiHome,
+        region: RegionId((i % 7) as u16),
+        provider: Provider::Google,
+        proto: Protocol::Tcp,
+        rtt_ms: rtt,
+        hour: i / 3,
+    }
+}
+
+pub fn sample_trace(i: u64, hops: Vec<HopRecord>) -> TracerouteRecord {
+    TracerouteRecord {
+        probe: ProbeId(i),
+        platform: Platform::Speedchecker,
+        country: CountryCode::new("BR"),
+        continent: Continent::SouthAmerica,
+        city: "Sao Paulo".into(),
+        isp: Asn(27699),
+        access: AccessType::Cellular,
+        region: RegionId(9),
+        provider: Provider::AmazonEc2,
+        proto: Protocol::Icmp,
+        src_ip: Ipv4Addr::new(11, 0, (i % 200) as u8, 1),
+        hops,
+        hour: i,
+    }
+}

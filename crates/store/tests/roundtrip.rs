@@ -1,0 +1,205 @@
+//! Property tests for the columnar codec: arbitrary record batches must
+//! survive write → scan unchanged, and pruned scans must return exactly
+//! what an unpruned scan plus a row filter returns.
+
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_lastmile::AccessType;
+use cloudy_measure::{Dataset, HopRecord, PingRecord, TracerouteRecord};
+use cloudy_netsim::Protocol;
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_store::{Reader, RecordKind, ScanFilter, Writer, WriterOptions};
+use cloudy_topology::Asn;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const PLACES: [(&str, Continent); 6] = [
+    ("DE", Continent::Europe),
+    ("JP", Continent::Asia),
+    ("BR", Continent::SouthAmerica),
+    ("KE", Continent::Africa),
+    ("US", Continent::NorthAmerica),
+    ("AU", Continent::Oceania),
+];
+
+/// RTTs in both codec regimes: `quantized == 1` snaps to exact
+/// microseconds (the delta+varint µs path), otherwise raw f64 (bits path).
+fn arb_rtt() -> impl Strategy<Value = f64> {
+    (0u8..2, 0.001f64..5_000.0).prop_map(|(quantized, v)| {
+        if quantized == 1 {
+            (v * 1000.0).round() / 1000.0
+        } else {
+            v
+        }
+    })
+}
+
+fn arb_ping() -> impl Strategy<Value = PingRecord> {
+    (
+        any::<u64>(),
+        prop::sample::select(PLACES.to_vec()),
+        0usize..Provider::ALL.len(),
+        "[a-zA-Z ]{0,16}",
+        any::<u32>(),
+        0u16..200,
+        arb_rtt(),
+        0u64..400,
+    )
+        .prop_map(|(probe, (cc, continent), prov, city, isp, region, rtt_ms, hour)| {
+            PingRecord {
+                probe: ProbeId(probe),
+                platform: Platform::Speedchecker,
+                country: CountryCode::new(cc),
+                continent,
+                city,
+                isp: Asn(isp),
+                access: AccessType::ALL[(isp % 4) as usize],
+                region: RegionId(region),
+                provider: Provider::ALL[prov],
+                proto: if probe % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
+                rtt_ms,
+                hour,
+            }
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
+    (
+        any::<u64>(),
+        prop::sample::select(PLACES.to_vec()),
+        0usize..Provider::ALL.len(),
+        "[a-zA-Z ]{0,16}",
+        any::<u32>(),
+        0u16..200,
+        any::<u32>(),
+        prop::collection::vec(prop::option::of((any::<u32>(), arb_rtt())), 0..10),
+        0u64..400,
+    )
+        .prop_map(
+            |(probe, (cc, continent), prov, city, isp, region, src, hops, hour)| {
+                TracerouteRecord {
+                    probe: ProbeId(probe),
+                    platform: Platform::Speedchecker,
+                    country: CountryCode::new(cc),
+                    continent,
+                    city,
+                    isp: Asn(isp),
+                    access: AccessType::ALL[(isp % 4) as usize],
+                    region: RegionId(region),
+                    provider: Provider::ALL[prov],
+                    proto: if probe % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
+                    src_ip: Ipv4Addr::from(src),
+                    hops: hops
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, h)| HopRecord {
+                            ttl: (i + 1) as u8,
+                            ip: h.map(|(ip, _)| Ipv4Addr::from(ip)),
+                            rtt_ms: h.map(|(_, r)| r),
+                        })
+                        .collect(),
+                    hour,
+                }
+            },
+        )
+}
+
+fn store_of(
+    pings: &[PingRecord],
+    traces: &[TracerouteRecord],
+    chunk_rows: usize,
+) -> Vec<u8> {
+    let mut w =
+        Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows }).unwrap();
+    // Interleave kinds to exercise both partitions concurrently.
+    let mut ps = pings.iter();
+    let mut ts = traces.iter();
+    loop {
+        match (ps.next(), ts.next()) {
+            (None, None) => break,
+            (p, t) => {
+                if let Some(p) = p {
+                    w.push_ping(p.clone()).unwrap();
+                }
+                if let Some(t) = t {
+                    w.push_trace(t.clone()).unwrap();
+                }
+            }
+        }
+    }
+    w.finish().unwrap().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn arbitrary_batches_round_trip_exactly(
+        pings in prop::collection::vec(arb_ping(), 1..60),
+        traces in prop::collection::vec(arb_trace(), 0..30),
+        chunk_rows in 1usize..16,
+    ) {
+        let bytes = store_of(&pings, &traces, chunk_rows);
+        let reader = Reader::from_bytes(bytes).unwrap();
+        let back: Dataset = reader.to_dataset().unwrap();
+        prop_assert_eq!(back.pings.len(), pings.len());
+        prop_assert_eq!(back.traces.len(), traces.len());
+        // Scan order groups by (kind, provider) partition; within one
+        // partition, insert order and every field survive bit-exactly.
+        for prov in Provider::ALL {
+            let orig: Vec<&PingRecord> =
+                pings.iter().filter(|r| r.provider == prov).collect();
+            let got: Vec<&PingRecord> =
+                back.pings.iter().filter(|r| r.provider == prov).collect();
+            prop_assert_eq!(orig, got);
+            let orig: Vec<&TracerouteRecord> =
+                traces.iter().filter(|r| r.provider == prov).collect();
+            let got: Vec<&TracerouteRecord> =
+                back.traces.iter().filter(|r| r.provider == prov).collect();
+            prop_assert_eq!(orig, got);
+        }
+    }
+
+    #[test]
+    fn pruned_scans_equal_full_scans_with_row_filter(
+        pings in prop::collection::vec(arb_ping(), 1..80),
+        traces in prop::collection::vec(arb_trace(), 0..40),
+        chunk_rows in 1usize..12,
+        prov in 0usize..Provider::ALL.len(),
+        place in 0usize..PLACES.len(),
+        kind_sel in 0u8..3,
+        rtt_lo in 0.0f64..2_000.0,
+    ) {
+        let bytes = store_of(&pings, &traces, chunk_rows);
+        let reader = Reader::from_bytes(bytes).unwrap();
+        let filter = ScanFilter {
+            kind: match kind_sel {
+                0 => Some(RecordKind::Ping),
+                1 => Some(RecordKind::Trace),
+                _ => None,
+            },
+            provider: Some(Provider::ALL[prov]),
+            country: Some(CountryCode::new(PLACES[place].0)),
+            min_rtt_ms: Some(rtt_lo),
+            max_rtt_ms: Some(rtt_lo + 1_500.0),
+            ..Default::default()
+        };
+
+        // Ground truth: unpruned scan of everything, then the row filter.
+        let mut full = Vec::new();
+        reader.for_each_rtt(&ScanFilter::default(), |row| full.push(row)).unwrap();
+        let expected: Vec<_> =
+            full.into_iter().filter(|r| filter.matches_row(r)).collect();
+
+        let mut pruned = Vec::new();
+        let stats = reader.for_each_rtt(&filter, |row| pruned.push(row)).unwrap();
+        prop_assert_eq!(&pruned, &expected);
+        prop_assert_eq!(stats.rows_matched as usize, expected.len());
+        prop_assert_eq!(stats.chunks_scanned + stats.chunks_pruned, stats.chunks_total);
+
+        // The parallel scan agrees with the sequential one.
+        let (par, par_stats) = reader.par_collect_rtts(&filter, 4).unwrap();
+        prop_assert_eq!(&par, &expected);
+        prop_assert_eq!(par_stats.rows_matched, stats.rows_matched);
+    }
+}

@@ -7,15 +7,23 @@
 //!                          [--atlas-fraction F] [--threads N] [--out DIR]
 //! cloudy-repro experiment  <id>... [run options]
 //! cloudy-repro all         [run options] [--out FILE]
+//! cloudy-repro store write    [run options] [--out DIR] [--chunk-rows N]
+//! cloudy-repro store inspect  <FILE>
+//! cloudy-repro store query    <FILE> [--provider AB] [--country CC]
+//!                             [--kind ping|trace] [--min-rtt MS] [--max-rtt MS]
 //! ```
 //!
 //! `run` executes both platform campaigns and writes the datasets as JSON
 //! lines (`speedchecker.jsonl`, `atlas.jsonl`) plus a `study.meta` with the
 //! seed so results can be re-analysed. `experiment`/`all` run the study and
-//! render the requested artifacts.
+//! render the requested artifacts. `store write` streams both campaigns
+//! straight into columnar `cloudy-store` files (bounded memory — records
+//! never sit in a `Dataset`); `inspect` dumps a store's chunk directory and
+//! `query` runs a pruned scan with summary statistics.
 
 use cloudy::core::experiments::{self, ExperimentId};
-use cloudy::core::{Study, StudyConfig};
+use cloudy::core::{run_study_into, Study, StudyConfig};
+use cloudy::store::{Reader, ScanFilter, Writer, WriterOptions};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,6 +45,7 @@ fn main() -> ExitCode {
         "run" => run(&args[1..]),
         "experiment" => experiment(&args[1..]),
         "all" => all(&args[1..]),
+        "store" => store(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -58,7 +67,13 @@ fn usage() {
          \x20 audit [audit opts]           run the static-analysis passes\n\
          \x20 run [opts] [--out DIR]       run both campaigns, write datasets\n\
          \x20 experiment <id>... [opts]    run specific experiments (see `list`)\n\
-         \x20 all [opts] [--out FILE]      run every experiment\n\n\
+         \x20 all [opts] [--out FILE]      run every experiment\n\
+         \x20 store write [opts] [--out DIR] [--chunk-rows N]\n\
+         \x20                              stream both campaigns into columnar stores\n\
+         \x20 store inspect <FILE>         dump a store's chunk directory\n\
+         \x20 store query <FILE> [--provider AB] [--country CC] [--kind ping|trace]\n\
+         \x20             [--min-rtt MS] [--max-rtt MS] [--threads N]\n\
+         \x20                              pruned scan with summary statistics\n\n\
          options:\n\
          \x20 --seed N            study seed (default 42)\n\
          \x20 --days N            campaign length in simulated days (default 10)\n\
@@ -369,6 +384,221 @@ fn analyze(args: &[String]) -> ExitCode {
     for id in ids {
         println!("==== {} ====\n{}", id.label(), experiments::run_one(&study, id));
     }
+    ExitCode::SUCCESS
+}
+
+fn store(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first() else {
+        return fail("store requires a subcommand: write | inspect | query");
+    };
+    match sub.as_str() {
+        "write" => store_write(&args[1..]),
+        "inspect" => store_inspect(&args[1..]),
+        "query" => store_query(&args[1..]),
+        other => fail(&format!("unknown store subcommand {other:?} (write | inspect | query)")),
+    }
+}
+
+fn store_write(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let out_dir = match out_value(&positional, "--out") {
+        Ok(v) => v.unwrap_or_else(|| "cloudy-out".into()),
+        Err(e) => return fail(&e),
+    };
+    let chunk_rows = match out_value(&positional, "--chunk-rows") {
+        Ok(None) => WriterOptions::default().chunk_rows,
+        Ok(Some(v)) => match v.parse() {
+            Ok(n) => n,
+            Err(e) => return fail(&format!("--chunk-rows: {e}")),
+        },
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        return fail(&format!("cannot create {out_dir}: {e}"));
+    }
+    let open = |name: &str, platform: cloudy::probes::Platform| {
+        let path = format!("{out_dir}/{name}");
+        let file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
+        let w = Writer::new(
+            std::io::BufWriter::new(file),
+            platform,
+            WriterOptions { chunk_rows },
+        )?;
+        Ok::<_, String>((path, w))
+    };
+    let (sc_path, mut sc) = match open("speedchecker.cst", cloudy::probes::Platform::Speedchecker) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let (atlas_path, mut atlas) = match open("atlas.cst", cloudy::probes::Platform::RipeAtlas) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    eprintln!("streaming study (seed {}, {} days) into stores...", cfg.seed, cfg.duration_days);
+    if let Err(e) = run_study_into(&cfg, &mut sc, &mut atlas) {
+        return fail(&e);
+    }
+    for (path, writer) in [(sc_path, sc), (atlas_path, atlas)] {
+        use std::io::Write as _;
+        let (mut out, summary) = match writer.finish() {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+        if let Err(e) = out.flush() {
+            return fail(&format!("flush {path}: {e}"));
+        }
+        println!(
+            "wrote {path}: {} chunks, {} pings + {} traceroutes, {} bytes",
+            summary.chunks, summary.ping_rows, summary.trace_rows, summary.bytes
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_store(args: &[String]) -> Result<(Reader, Vec<String>), String> {
+    let (file, rest): (Vec<&String>, Vec<&String>) = {
+        // The store file is the first non-flag argument that isn't a flag value.
+        let mut file = Vec::new();
+        let mut rest = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if a.starts_with("--") {
+                rest.push(a);
+                if let Some(v) = it.peek() {
+                    if !v.starts_with("--") {
+                        rest.push(it.next().unwrap_or(a));
+                    }
+                }
+            } else {
+                file.push(a);
+            }
+        }
+        (file, rest)
+    };
+    let [path] = file.as_slice() else {
+        return Err("expected exactly one store file argument".into());
+    };
+    let data = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let reader = Reader::from_bytes(data).map_err(|e| format!("{path}: {e}"))?;
+    Ok((reader, rest.into_iter().cloned().collect()))
+}
+
+fn store_inspect(args: &[String]) -> ExitCode {
+    let (reader, _) = match load_store(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    println!("platform: {}", reader.platform().label());
+    let (mut pings, mut traces, mut bytes) = (0u64, 0u64, 0u64);
+    for m in reader.chunks() {
+        match m.footer.kind {
+            cloudy::store::RecordKind::Ping => pings += m.footer.rows,
+            cloudy::store::RecordKind::Trace => traces += m.footer.rows,
+        }
+        bytes += m.len;
+    }
+    println!(
+        "chunks: {}  ping rows: {pings}  trace rows: {traces}  chunk bytes: {bytes}",
+        reader.chunks().len()
+    );
+    println!("#     kind   provider  rows    rtt_ms           hours       countries");
+    for (i, m) in reader.chunks().iter().enumerate() {
+        let f = &m.footer;
+        let rtt = match f.rtt_ms {
+            Some((lo, hi)) => format!("{lo:.2}..{hi:.2}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "{i:<5} {:<6} {:<9} {:<7} {rtt:<16} {:>4}..{:<6} {}",
+            f.kind.label(),
+            f.provider.abbrev(),
+            f.rows,
+            f.hour_min,
+            f.hour_max,
+            f.countries.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn store_query(args: &[String]) -> ExitCode {
+    let (reader, opts) = match load_store(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let mut filter = ScanFilter::default();
+    let mut threads = 4usize;
+    let mut it = opts.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--provider" => take("--provider").and_then(|v| {
+                cloudy::cloud::Provider::from_abbrev(&v)
+                    .map(|p| filter.provider = Some(p))
+                    .ok_or_else(|| format!("unknown provider abbrev {v:?}"))
+            }),
+            "--country" => take("--country").and_then(|v| {
+                cloudy::geo::CountryCode::try_new(&v)
+                    .map(|c| filter.country = Some(c))
+                    .ok_or_else(|| format!("bad country code {v:?}"))
+            }),
+            "--kind" => take("--kind").and_then(|v| match v.as_str() {
+                "ping" => {
+                    filter.kind = Some(cloudy::store::RecordKind::Ping);
+                    Ok(())
+                }
+                "trace" => {
+                    filter.kind = Some(cloudy::store::RecordKind::Trace);
+                    Ok(())
+                }
+                other => Err(format!("--kind must be ping or trace, got {other:?}")),
+            }),
+            "--min-rtt" => take("--min-rtt").and_then(|v| {
+                v.parse().map(|x| filter.min_rtt_ms = Some(x)).map_err(|e| format!("--min-rtt: {e}"))
+            }),
+            "--max-rtt" => take("--max-rtt").and_then(|v| {
+                v.parse().map(|x| filter.max_rtt_ms = Some(x)).map_err(|e| format!("--max-rtt: {e}"))
+            }),
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| threads = n).map_err(|e| format!("--threads: {e}"))
+            }),
+            other => Err(format!("unknown query option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let (rows, stats) = match reader.par_collect_rtts(&filter, threads) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "rows matched: {}  (chunks: {} scanned, {} pruned of {})",
+        stats.rows_matched, stats.chunks_scanned, stats.chunks_pruned, stats.chunks_total
+    );
+    if rows.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let mut moments = cloudy::store::Moments::default();
+    let rtts: Vec<f64> = rows.iter().map(|r| r.rtt_ms).collect();
+    if rtts.iter().any(|v| v.is_nan()) {
+        return fail("NaN RTT in store scan");
+    }
+    for v in &rtts {
+        moments.observe(*v);
+    }
+    let cdf = cloudy::analysis::Cdf::new(rtts);
+    println!(
+        "median: {:.2} ms  mean: {:.2} ms  cv: {:.3}",
+        cdf.median(),
+        moments.mean(),
+        moments.cv()
+    );
     ExitCode::SUCCESS
 }
 

@@ -3,11 +3,12 @@
 
 use cloudy::geo::CountryCode;
 use cloudy::lastmile::ArtifactConfig;
-use cloudy::measure::campaign::{run_campaign, CampaignConfig};
+use cloudy::measure::campaign::{run_campaign, run_campaign_into, CampaignConfig};
 use cloudy::measure::plan::PlanConfig;
 use cloudy::netsim::build::{build, WorldConfig};
 use cloudy::netsim::Simulator;
-use cloudy::probes::speedchecker;
+use cloudy::probes::{speedchecker, Platform};
+use cloudy::store::{Writer, WriterOptions};
 
 fn world_cfg(seed: u64) -> WorldConfig {
     WorldConfig {
@@ -33,6 +34,28 @@ fn identical_across_thread_counts() {
     let a = run_campaign(&campaign_cfg(7, 1), &sim, &pop);
     let b = run_campaign(&campaign_cfg(7, 8), &sim, &pop);
     assert_eq!(a, b, "thread count changed the dataset");
+}
+
+#[test]
+fn store_file_identical_across_thread_counts() {
+    // The columnar store written while a campaign streams must be a pure
+    // function of the seed too: byte-identical at 1 and 8 worker threads.
+    let world = build(&world_cfg(7));
+    let pop = speedchecker::population(&world, 0.01, 7);
+    let sim = Simulator::new(world.net);
+    let store_bytes = |threads: usize| {
+        let mut w =
+            Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 128 })
+                .expect("valid writer options");
+        run_campaign_into(&campaign_cfg(7, threads), &sim, &pop, &mut w)
+            .expect("Vec-backed store sink is infallible");
+        let (bytes, summary) = w.finish().expect("finish succeeds");
+        assert!(summary.ping_rows > 0, "campaign produced no pings");
+        bytes
+    };
+    let serial = store_bytes(1);
+    let parallel = store_bytes(8);
+    assert_eq!(serial, parallel, "thread count changed the store bytes");
 }
 
 #[test]

@@ -1,0 +1,105 @@
+//! End-to-end acceptance for the columnar store: a real campaign streamed
+//! through a `TeeSink` into both a `Dataset` and a `cloudy-store` file must
+//! agree record for record, the store-backed analysis must reproduce the
+//! in-memory statistics exactly, and provider-filtered queries must skip
+//! most chunks via footers alone.
+
+use cloudy::analysis::{stats, Cdf};
+use cloudy::cloud::Provider;
+use cloudy::geo::CountryCode;
+use cloudy::lastmile::ArtifactConfig;
+use cloudy::measure::campaign::{run_campaign_into, CampaignConfig};
+use cloudy::measure::plan::PlanConfig;
+use cloudy::measure::{Dataset, TeeSink};
+use cloudy::netsim::build::{build, WorldConfig};
+use cloudy::netsim::Simulator;
+use cloudy::probes::{speedchecker, Platform};
+use cloudy::store::{Reader, RecordKind, ScanFilter, Writer, WriterOptions};
+use std::collections::BTreeMap;
+
+/// One small real campaign, teed into a Dataset and a store file.
+fn campaign_with_store(chunk_rows: usize) -> (Dataset, Reader) {
+    let world = build(&WorldConfig {
+        seed: 13,
+        isps_per_country: 2,
+        countries: Some(["DE", "JP", "BR", "KE"].iter().map(|c| CountryCode::new(c)).collect()),
+    });
+    let pop = speedchecker::population(&world, 0.02, 13);
+    let sim = Simulator::new(world.net);
+    let cfg = CampaignConfig {
+        plan: PlanConfig { seed: 13, duration_days: 2, ..PlanConfig::default() },
+        artifacts: ArtifactConfig::realistic(),
+        threads: 4,
+    };
+    let mut ds = Dataset::new(Platform::Speedchecker);
+    let mut writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows })
+        .expect("valid writer options");
+    let mut tee = TeeSink::new(&mut ds, &mut writer);
+    run_campaign_into(&cfg, &sim, &pop, &mut tee).expect("sinks are infallible");
+    let (bytes, _) = writer.finish().expect("finish succeeds");
+    let reader = Reader::from_bytes(bytes).expect("store parses");
+    (ds, reader)
+}
+
+#[test]
+fn teed_store_holds_every_campaign_record() {
+    let (ds, reader) = campaign_with_store(64);
+    assert!(!ds.pings.is_empty() && !ds.traces.is_empty(), "campaign too small");
+    let from_store = reader.to_dataset().expect("store decodes");
+    assert_eq!(from_store.platform, ds.platform);
+    assert_eq!(from_store.pings.len(), ds.pings.len());
+    assert_eq!(from_store.traces.len(), ds.traces.len());
+    // Scan order groups records by (kind, provider) partition; within a
+    // partition arrival order is preserved. Compare per provider.
+    for provider in Provider::ALL {
+        let a: Vec<_> = ds.pings.iter().filter(|p| p.provider == provider).collect();
+        let b: Vec<_> = from_store.pings.iter().filter(|p| p.provider == provider).collect();
+        assert_eq!(a, b, "{provider:?} ping partition differs");
+        let a: Vec<_> = ds.traces.iter().filter(|t| t.provider == provider).collect();
+        let b: Vec<_> = from_store.traces.iter().filter(|t| t.provider == provider).collect();
+        assert_eq!(a, b, "{provider:?} trace partition differs");
+    }
+}
+
+#[test]
+fn store_backed_medians_match_in_memory_exactly() {
+    let (ds, reader) = campaign_with_store(64);
+    // In-memory per-(country, region) ping medians.
+    let mut groups: BTreeMap<_, Vec<f64>> = BTreeMap::new();
+    for p in &ds.pings {
+        groups.entry((p.country, p.region)).or_default().push(p.rtt_ms);
+    }
+    let in_memory: BTreeMap<_, f64> =
+        groups.into_iter().map(|(k, v)| (k, Cdf::new(v).median())).collect();
+
+    let filter = ScanFilter { kind: Some(RecordKind::Ping), ..ScanFilter::default() };
+    let from_store =
+        stats::country_region_medians_from_store(&reader, &filter).expect("store scan succeeds");
+    // Bit-for-bit equality: both paths sort the same multiset of f64s.
+    assert_eq!(in_memory, from_store);
+}
+
+#[test]
+fn provider_query_prunes_at_least_half_the_chunks() {
+    let (ds, reader) = campaign_with_store(32);
+    let provider = ds.pings.first().expect("has pings").provider;
+    let filter = ScanFilter { provider: Some(provider), ..ScanFilter::default() };
+    let (rows, stats) = reader.par_collect_rtts(&filter, 4).expect("query succeeds");
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|r| r.provider == provider));
+    assert!(
+        stats.chunks_pruned * 2 >= stats.chunks_total,
+        "expected at least half of the chunks pruned by footers: {stats:?}"
+    );
+    // Footer pruning must not change results: the same scan without
+    // pruning-relevant metadata (a full scan + row filter) agrees.
+    let mut full = Vec::new();
+    reader
+        .for_each_rtt(&ScanFilter::default(), |r| {
+            if r.provider == provider {
+                full.push(r);
+            }
+        })
+        .expect("full scan succeeds");
+    assert_eq!(rows, full);
+}
