@@ -10,6 +10,11 @@
 //! and compares the serialized JSONL *and* the store file byte for byte,
 //! reporting FNV-1a content hashes so a CI log shows *which* side changed
 //! across commits.
+//!
+//! Since the route-plan cache landed, the check also runs cached and
+//! uncached legs: memoizing routes may change *when* a route is computed,
+//! never *what* it contains, so every leg — serial/parallel ×
+//! cached/uncached — must produce byte-identical JSONL and store files.
 
 use crate::finding::{AuditReport, Severity};
 use cloudy_lastmile::ArtifactConfig;
@@ -50,7 +55,7 @@ fn small_world(seed: u64) -> BuiltWorld {
 /// Run the campaign at `threads` workers, teeing every record into both a
 /// `Dataset` (serialized to JSONL) and a columnar store writer: two
 /// independent byte encodings of the same record stream to compare.
-fn campaign_outputs(seed: u64, threads: usize) -> (String, Vec<u8>) {
+fn campaign_outputs(seed: u64, threads: usize, route_cache: bool) -> (String, Vec<u8>) {
     let world = small_world(seed);
     let pop = speedchecker::population(&world, 0.02, seed);
     let sim = Simulator::new(world.net);
@@ -58,6 +63,7 @@ fn campaign_outputs(seed: u64, threads: usize) -> (String, Vec<u8>) {
         plan: PlanConfig { seed, duration_days: 2, ..PlanConfig::default() },
         artifacts: ArtifactConfig::realistic(),
         threads,
+        route_cache,
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     // Small chunks so the race check exercises many flush boundaries.
@@ -93,8 +99,8 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         );
         return report;
     }
-    let (serial, serial_store) = campaign_outputs(cfg.seed, 1);
-    let (parallel, parallel_store) = campaign_outputs(cfg.seed, cfg.threads);
+    let (serial, serial_store) = campaign_outputs(cfg.seed, 1, true);
+    let (parallel, parallel_store) = campaign_outputs(cfg.seed, cfg.threads, true);
     let (h1, hn) = (fnv1a(serial.as_bytes()), fnv1a(parallel.as_bytes()));
     if serial != parallel {
         let first_diff = serial
@@ -136,6 +142,26 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     }
     if serial.is_empty() {
         report.push(Severity::Error, "race", "campaign produced an empty dataset".into());
+    }
+    // Route-cache legs: memoization must not change a single output byte,
+    // serially or under thread contention on the shared cache shards.
+    for (label, threads) in [("1-thread", 1usize), ("N-thread", cfg.threads)] {
+        report.checks_run += 1;
+        let (jsonl, store) = campaign_outputs(cfg.seed, threads, false);
+        if jsonl != serial || store != serial_store {
+            let (hu, hc) = (fnv1a(jsonl.as_bytes()), fnv1a(serial.as_bytes()));
+            report.push(
+                Severity::Error,
+                "race",
+                format!(
+                    "{label} uncached campaign diverges from the cached reference \
+                     (jsonl fnv1a {hu:016x} vs {hc:016x}, store lengths {} vs {}) — \
+                     the route cache changed observable output",
+                    store.len(),
+                    serial_store.len(),
+                ),
+            );
+        }
     }
     report
 }

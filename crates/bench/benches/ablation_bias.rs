@@ -55,9 +55,11 @@ fn bench(c: &mut Criterion) {
             samples_per_measurement: 4,
             quota_per_day: 1440,
             census_reserve: 6,
+            kinds: cloudy_measure::TaskKindSet::BOTH,
         },
         artifacts: s.config.artifacts,
         threads: 4,
+        route_cache: true,
     };
     let counterfactual = run_campaign(&cfg, &s.sim, &pop);
 

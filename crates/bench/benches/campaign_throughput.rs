@@ -1,0 +1,96 @@
+//! Campaign executor throughput: route-plan cache on vs. off.
+//!
+//! The route cache memoizes valley-free path construction across the
+//! campaign's repeated `<probe, datacenter>` measurements; this bench runs
+//! a route-heavy ping-only campaign both ways on fresh simulators, checks
+//! the outputs agree record-for-record (the cache's determinism contract),
+//! and reports wall-clock speedup to `BENCH_campaign.json` at the
+//! workspace root so CI and reviewers can diff baselines across commits.
+//!
+//! Like `store_throughput`, it keeps its own timer — Criterion's
+//! per-iteration model fits a run-twice-and-compare bench poorly. Set
+//! `CLOUDY_BENCH_SMOKE=1` (as CI does) for a small pass over the same
+//! code paths.
+
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_measure::{run_campaign_into, CampaignConfig, CountingSink};
+use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
+use cloudy_netsim::{CacheStats, Simulator};
+use cloudy_probes::{speedchecker, Population};
+use std::time::Instant;
+
+fn world(seed: u64) -> BuiltWorld {
+    build(&WorldConfig { seed, isps_per_country: 3, countries: None })
+}
+
+fn config(seed: u64, days: u32, route_cache: bool) -> CampaignConfig {
+    // Ping-only and many samples per grant: the schedule revisits each
+    // <probe, region> pair over and over, which is exactly the
+    // paper-shaped workload the cache exists for.
+    CampaignConfig::builder()
+        .seed(seed)
+        .duration_days(days)
+        .samples_per_measurement(8)
+        .pings_only()
+        .artifacts(ArtifactConfig::realistic())
+        .threads(4)
+        .route_cache(route_cache)
+        .build()
+        .expect("a valid campaign config")
+}
+
+/// Run one leg on a fresh simulator (so no leg inherits a warm cache) and
+/// return (records, seconds, cache stats).
+fn leg(w: &BuiltWorld, pop: &Population, cfg: &CampaignConfig, seed: u64) -> (u64, f64, CacheStats) {
+    let sim = Simulator::new(build(&WorldConfig { seed, isps_per_country: 3, countries: None }).net);
+    assert_eq!(w.net.regions.len(), sim.net.regions.len());
+    let mut sink = CountingSink::default();
+    let t0 = Instant::now();
+    run_campaign_into(cfg, &sim, pop, &mut sink).expect("counting sink is infallible");
+    (sink.pings + sink.traces, t0.elapsed().as_secs_f64(), sim.route_cache().stats())
+}
+
+fn main() {
+    let smoke = std::env::var("CLOUDY_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let seed = 42u64;
+    let (days, fraction) = if smoke { (2u32, 0.01) } else { (10u32, 0.02) };
+    let w = world(seed);
+    let pop = speedchecker::population(&w, fraction, seed ^ 0x5C);
+    eprintln!(
+        "campaign bench: {} probes, {days} days, ping-only (smoke={smoke})",
+        pop.probes.len()
+    );
+
+    let (cached_records, cached_s, stats) = leg(&w, &pop, &config(seed, days, true), seed);
+    let (uncached_records, uncached_s, _) = leg(&w, &pop, &config(seed, days, false), seed);
+    assert_eq!(
+        cached_records, uncached_records,
+        "route cache changed the record count — determinism contract broken"
+    );
+    assert!(cached_records > 0, "campaign produced no records");
+
+    let speedup = uncached_s / cached_s;
+    let json = format!(
+        "{{\n  \"records\": {cached_records},\n  \"smoke\": {smoke},\n  \
+         \"cached_s\": {cached_s:.3},\n  \"uncached_s\": {uncached_s:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"cached_records_s\": {:.0},\n  \
+         \"uncached_records_s\": {:.0},\n  \"cache_hits\": {},\n  \
+         \"cache_misses\": {},\n  \"cache_entries\": {},\n  \
+         \"cache_hit_rate\": {:.4}\n}}\n",
+        cached_records as f64 / cached_s,
+        uncached_records as f64 / uncached_s,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate(),
+    );
+    print!("{json}");
+    if !smoke && speedup < 2.0 {
+        eprintln!("WARNING: cached campaign only {speedup:.2}x faster (target >= 2x)");
+    }
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e} (continuing)"),
+    }
+}

@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
         let mut seq = 0u64;
         b.iter(|| {
             seq += 1;
-            s.sim.sample_rtt(black_box(&client), &path, Protocol::Tcp, seq)
+            s.sim.ping(black_box(&client), &path, Protocol::Tcp, seq)
         })
     });
     g.bench_function("traceroute", |b| {

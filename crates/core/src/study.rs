@@ -3,8 +3,8 @@
 use cloudy_geo::CountryCode;
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::campaign::{run_campaign, run_campaign_into, CampaignConfig};
-use cloudy_measure::plan::PlanConfig;
-use cloudy_measure::{Dataset, RecordSink};
+use cloudy_measure::plan::{PlanConfig, TaskKindSet};
+use cloudy_measure::{Dataset, MeasureError, RecordSink};
 use cloudy_netsim::build::{build, WorldConfig};
 use cloudy_netsim::Simulator;
 use cloudy_probes::{atlas, speedchecker};
@@ -32,6 +32,8 @@ pub struct StudyConfig {
     pub regions_per_probe: usize,
     /// Measurement artifacts (CGN/VPN).
     pub artifacts: ArtifactConfig,
+    /// Memoize route computation across tasks (never changes results).
+    pub route_cache: bool,
 }
 
 impl StudyConfig {
@@ -47,6 +49,7 @@ impl StudyConfig {
             probes_per_country_day: 12,
             regions_per_probe: 6,
             artifacts: ArtifactConfig::realistic(),
+            route_cache: true,
         }
     }
 
@@ -62,6 +65,7 @@ impl StudyConfig {
             probes_per_country_day: 20,
             regions_per_probe: 8,
             artifacts: ArtifactConfig::realistic(),
+            route_cache: true,
         }
     }
 
@@ -86,9 +90,11 @@ impl StudyConfig {
                 samples_per_measurement: 4,
                 quota_per_day: 1440,
                 census_reserve: 6,
+                kinds: TaskKindSet::BOTH,
             },
             artifacts: self.artifacts,
             threads: self.threads,
+            route_cache: self.route_cache,
         }
     }
 }
@@ -102,7 +108,7 @@ pub fn run_study_into(
     config: &StudyConfig,
     sc_sink: &mut impl RecordSink,
     atlas_sink: &mut impl RecordSink,
-) -> Result<(), String> {
+) -> Result<(), MeasureError> {
     let world = build(&WorldConfig {
         seed: config.seed,
         isps_per_country: config.isps_per_country,

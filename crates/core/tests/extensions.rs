@@ -151,6 +151,7 @@ fn early_5g_probes_flow_through_the_pipeline() {
         plan: PlanConfig { seed: 911, duration_days: 4, min_probes_per_country: 2, ..Default::default() },
         artifacts: ArtifactConfig::clean(),
         threads: 4,
+        route_cache: true,
     };
     let ds = run_campaign(&cfg, &sim, &pop);
     let resolver = Resolver::new(&sim.net.prefixes);

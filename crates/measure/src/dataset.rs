@@ -5,6 +5,7 @@
 //! here. The binary codec (via `bytes`) is for fast local round-trips of
 //! large campaigns.
 
+use crate::error::MeasureError;
 use crate::record::{PingRecord, TracerouteRecord};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cloudy_probes::Platform;
@@ -26,12 +27,12 @@ impl Dataset {
     /// Merge another dataset into this one. Errors (instead of panicking)
     /// when the platforms differ — mixed-platform merges are a caller bug
     /// the library must report, not abort on.
-    pub fn merge(&mut self, other: Dataset) -> Result<(), String> {
+    pub fn merge(&mut self, other: Dataset) -> Result<(), MeasureError> {
         if self.platform != other.platform {
-            return Err(format!(
+            return Err(MeasureError::dataset(format!(
                 "platform mismatch: {:?} vs {:?}",
                 self.platform, other.platform
-            ));
+            )));
         }
         self.pings.extend(other.pings);
         self.traces.extend(other.traces);
@@ -75,35 +76,38 @@ impl Dataset {
     /// Parse a JSON-lines export from a line iterator, so callers can feed
     /// e.g. `BufRead::lines` without loading the file into one string.
     /// [`Dataset::from_jsonl`] is a thin wrapper over this.
-    pub fn read_jsonl<'a>(mut lines: impl Iterator<Item = &'a str>) -> Result<Dataset, String> {
-        let header: Header = serde_json::from_str(lines.next().ok_or("empty input")?)
-            .map_err(|e| format!("bad header: {e}"))?;
+    pub fn read_jsonl<'a>(mut lines: impl Iterator<Item = &'a str>) -> Result<Dataset, MeasureError> {
+        let header: Header = serde_json::from_str(
+            lines.next().ok_or_else(|| MeasureError::dataset("empty input"))?,
+        )
+        .map_err(|e| MeasureError::dataset(format!("bad header: {e}")))?;
         let mut ds = Dataset::new(header.platform);
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let rec: Line =
-                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+                serde_json::from_str(line)
+                .map_err(|e| MeasureError::dataset(format!("line {}: {e}", i + 2)))?;
             match rec {
                 Line::Ping(p) => ds.pings.push(p),
                 Line::Trace(t) => ds.traces.push(t),
             }
         }
         if ds.pings.len() != header.pings || ds.traces.len() != header.traces {
-            return Err(format!(
+            return Err(MeasureError::dataset(format!(
                 "count mismatch: header says {}/{}, got {}/{}",
                 header.pings,
                 header.traces,
                 ds.pings.len(),
                 ds.traces.len()
-            ));
+            )));
         }
         Ok(ds)
     }
 
     /// Parse a JSON-lines export.
-    pub fn from_jsonl(s: &str) -> Result<Dataset, String> {
+    pub fn from_jsonl(s: &str) -> Result<Dataset, MeasureError> {
         Self::read_jsonl(s.lines())
     }
 
@@ -131,19 +135,19 @@ impl Dataset {
     }
 
     /// Decode a binary encoding.
-    pub fn from_bytes(mut buf: Bytes) -> Result<Dataset, String> {
+    pub fn from_bytes(mut buf: Bytes) -> Result<Dataset, MeasureError> {
         if buf.remaining() < MAGIC.len() + 17 {
-            return Err("truncated header".into());
+            return Err(MeasureError::dataset("truncated header"));
         }
         let mut magic = [0u8; 6];
         buf.copy_to_slice(&mut magic);
         if magic != *MAGIC {
-            return Err("bad magic".into());
+            return Err(MeasureError::dataset("bad magic"));
         }
         let platform = match buf.get_u8() {
             0 => Platform::Speedchecker,
             1 => Platform::RipeAtlas,
-            other => return Err(format!("unknown platform tag {other}")),
+            other => return Err(MeasureError::dataset(format!("unknown platform tag {other}"))),
         };
         let n_pings = buf.get_u64_le() as usize;
         let n_traces = buf.get_u64_le() as usize;
@@ -169,16 +173,16 @@ impl Dataset {
 
 const MAGIC: &[u8; 6] = b"CLDYv1";
 
-fn read_frame<T: for<'de> Deserialize<'de>>(buf: &mut Bytes) -> Result<T, String> {
+fn read_frame<T: for<'de> Deserialize<'de>>(buf: &mut Bytes) -> Result<T, MeasureError> {
     if buf.remaining() < 4 {
-        return Err("truncated frame length".into());
+        return Err(MeasureError::dataset("truncated frame length"));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
-        return Err("truncated frame".into());
+        return Err(MeasureError::dataset("truncated frame"));
     }
     let frame = buf.split_to(len);
-    serde_json::from_slice(&frame).map_err(|e| format!("bad frame: {e}"))
+    serde_json::from_slice(&frame).map_err(|e| MeasureError::dataset(format!("bad frame: {e}")))
 }
 
 #[derive(Serialize, Deserialize)]
@@ -357,7 +361,7 @@ mod tests {
         let mut a = sample();
         let b = Dataset::new(Platform::RipeAtlas);
         let err = a.merge(b).unwrap_err();
-        assert!(err.contains("platform mismatch"), "{err}");
+        assert!(err.to_string().contains("platform mismatch"), "{err}");
         // The failed merge must leave the receiver untouched.
         assert_eq!(a, sample());
     }

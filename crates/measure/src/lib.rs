@@ -22,13 +22,17 @@
 
 pub mod campaign;
 pub mod dataset;
+pub mod error;
 pub mod plan;
 pub mod record;
 pub mod sink;
 
-pub use campaign::{execute_into, run_campaign, run_campaign_into, CampaignConfig};
+pub use campaign::{
+    execute_into, run_campaign, run_campaign_into, CampaignConfig, CampaignConfigBuilder,
+};
 pub use dataset::Dataset;
-pub use plan::{MeasurementPlan, Task, TaskKind};
+pub use error::MeasureError;
+pub use plan::{MeasurementPlan, Task, TaskKind, TaskKindSet};
 pub use record::{HopRecord, PingRecord, TracerouteRecord};
 pub use sink::{CountingSink, RecordSink, TeeSink};
 

@@ -33,6 +33,32 @@ pub enum TaskKind {
     Traceroute(Protocol),
 }
 
+/// Which task kinds the planner emits per granted measurement. The paper's
+/// campaign pairs every ping with a traceroute ([`TaskKindSet::BOTH`],
+/// the default); route-heavy benchmarks and ping-only studies narrow it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskKindSet {
+    pub pings: bool,
+    pub traceroutes: bool,
+}
+
+impl TaskKindSet {
+    pub const BOTH: TaskKindSet = TaskKindSet { pings: true, traceroutes: true };
+    pub const PINGS_ONLY: TaskKindSet = TaskKindSet { pings: true, traceroutes: false };
+    pub const TRACEROUTES_ONLY: TaskKindSet = TaskKindSet { pings: false, traceroutes: true };
+
+    /// An empty set schedules nothing; builder validation rejects it.
+    pub fn is_empty(&self) -> bool {
+        !self.pings && !self.traceroutes
+    }
+}
+
+impl Default for TaskKindSet {
+    fn default() -> Self {
+        TaskKindSet::BOTH
+    }
+}
+
 /// One scheduled measurement sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Task {
@@ -74,6 +100,8 @@ pub struct PlanConfig {
     /// Daily API quota and census reserve.
     pub quota_per_day: u32,
     pub census_reserve: u32,
+    /// Task kinds emitted per granted measurement (default: both).
+    pub kinds: TaskKindSet,
 }
 
 impl Default for PlanConfig {
@@ -88,6 +116,7 @@ impl Default for PlanConfig {
             samples_per_measurement: 4,
             quota_per_day: 1440, // one request per minute, §3.3
             census_reserve: 6,   // four-hourly census
+            kinds: TaskKindSet::BOTH,
         }
     }
 }
@@ -201,6 +230,21 @@ fn select_targets(
     chosen
 }
 
+/// Distinct (probe, region) pairs of a task slice, in first-appearance
+/// order. The batched executor routes each pair once per block instead of
+/// once per task; first-appearance order keeps the pass deterministic and
+/// independent of how many threads later consume the block.
+pub fn block_pairs(tasks: &[Task]) -> Vec<(u32, RegionId)> {
+    let mut seen = std::collections::HashSet::with_capacity(tasks.len() / 4);
+    let mut out = Vec::new();
+    for t in tasks {
+        if seen.insert((t.probe_ix, t.region)) {
+            out.push((t.probe_ix, t.region));
+        }
+    }
+    out
+}
+
 /// Build the schedule.
 pub fn plan(cfg: &PlanConfig, pop: &Population) -> MeasurementPlan {
     let avail = Availability::new(cfg.seed);
@@ -281,20 +325,24 @@ pub fn plan(cfg: &PlanConfig, pop: &Population) -> MeasurementPlan {
                     let hour = day * 24 + mix(&[cfg.seed, probe.id.0, day, k as u64, 0x40]) % 24;
                     for rep in 0..cfg.samples_per_measurement as u64 {
                         let seq = day * 1024 + (k as u64) * 16 + rep;
-                        tasks.push(Task {
-                            probe_ix: ix,
-                            region,
-                            kind: TaskKind::Ping(ping_proto),
-                            hour,
-                            seq,
-                        });
-                        tasks.push(Task {
-                            probe_ix: ix,
-                            region,
-                            kind: TaskKind::Traceroute(trace_proto),
-                            hour,
-                            seq,
-                        });
+                        if cfg.kinds.pings {
+                            tasks.push(Task {
+                                probe_ix: ix,
+                                region,
+                                kind: TaskKind::Ping(ping_proto),
+                                hour,
+                                seq,
+                            });
+                        }
+                        if cfg.kinds.traceroutes {
+                            tasks.push(Task {
+                                probe_ix: ix,
+                                region,
+                                kind: TaskKind::Traceroute(trace_proto),
+                                hour,
+                                seq,
+                            });
+                        }
                     }
                 }
             }
@@ -443,6 +491,43 @@ mod tests {
             "pairs with >=4 traceroutes: {with_4_plus}/{}",
             per_pair.len()
         );
+    }
+
+    #[test]
+    fn kinds_filter_narrows_the_schedule() {
+        let p = pop();
+        let both = plan(&PlanConfig::default(), &p);
+        let pings_only =
+            plan(&PlanConfig { kinds: TaskKindSet::PINGS_ONLY, ..Default::default() }, &p);
+        assert!(!pings_only.tasks.is_empty());
+        assert!(pings_only.tasks.iter().all(|t| matches!(t.kind, TaskKind::Ping(_))));
+        // Ping tasks themselves are unchanged — only the traceroutes drop.
+        let both_pings: Vec<_> =
+            both.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Ping(_))).collect();
+        assert_eq!(pings_only.tasks.len(), both_pings.len());
+        let traces_only =
+            plan(&PlanConfig { kinds: TaskKindSet::TRACEROUTES_ONLY, ..Default::default() }, &p);
+        assert!(traces_only.tasks.iter().all(|t| matches!(t.kind, TaskKind::Traceroute(_))));
+        assert!(TaskKindSet { pings: false, traceroutes: false }.is_empty());
+        assert_eq!(TaskKindSet::default(), TaskKindSet::BOTH);
+    }
+
+    #[test]
+    fn block_pairs_dedupes_in_first_appearance_order() {
+        let p = pop();
+        let m = plan(&PlanConfig::default(), &p);
+        let block = &m.tasks[..m.tasks.len().min(2048)];
+        let pairs = block_pairs(block);
+        // Far fewer pairs than tasks: the workload is cache-shaped.
+        assert!(pairs.len() * 2 <= block.len(), "{} pairs / {} tasks", pairs.len(), block.len());
+        // No duplicates, and ordered by first appearance.
+        let mut seen = std::collections::HashSet::new();
+        assert!(pairs.iter().all(|p| seen.insert(*p)));
+        let first = (block[0].probe_ix, block[0].region);
+        assert_eq!(pairs[0], first);
+        for t in block {
+            assert!(seen.contains(&(t.probe_ix, t.region)));
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn arb_plan_config() -> impl Strategy<Value = PlanConfig> {
                 samples_per_measurement: spm,
                 quota_per_day: quota,
                 census_reserve: 6.min(quota),
+                kinds: crate::plan::TaskKindSet::BOTH,
             },
         )
 }

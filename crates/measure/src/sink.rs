@@ -6,6 +6,7 @@
 //! resident, so runs scale past what a `Vec<Record>` can hold.
 
 use crate::dataset::Dataset;
+use crate::error::MeasureError;
 use crate::record::{PingRecord, TracerouteRecord};
 
 /// A destination for campaign records, fed in deterministic plan order.
@@ -15,17 +16,17 @@ use crate::record::{PingRecord, TracerouteRecord};
 /// guarantees the record sequence is identical for every thread count, so
 /// a deterministic sink yields byte-identical output across thread counts.
 pub trait RecordSink {
-    fn sink_ping(&mut self, r: PingRecord) -> Result<(), String>;
-    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), String>;
+    fn sink_ping(&mut self, r: PingRecord) -> Result<(), MeasureError>;
+    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError>;
 }
 
 impl RecordSink for Dataset {
-    fn sink_ping(&mut self, r: PingRecord) -> Result<(), String> {
+    fn sink_ping(&mut self, r: PingRecord) -> Result<(), MeasureError> {
         self.pings.push(r);
         Ok(())
     }
 
-    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), String> {
+    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError> {
         self.traces.push(r);
         Ok(())
     }
@@ -45,12 +46,12 @@ impl<'a, A: RecordSink, B: RecordSink> TeeSink<'a, A, B> {
 }
 
 impl<A: RecordSink, B: RecordSink> RecordSink for TeeSink<'_, A, B> {
-    fn sink_ping(&mut self, r: PingRecord) -> Result<(), String> {
+    fn sink_ping(&mut self, r: PingRecord) -> Result<(), MeasureError> {
         self.a.sink_ping(r.clone())?;
         self.b.sink_ping(r)
     }
 
-    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), String> {
+    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError> {
         self.a.sink_trace(r.clone())?;
         self.b.sink_trace(r)
     }
@@ -64,12 +65,12 @@ pub struct CountingSink {
 }
 
 impl RecordSink for CountingSink {
-    fn sink_ping(&mut self, _r: PingRecord) -> Result<(), String> {
+    fn sink_ping(&mut self, _r: PingRecord) -> Result<(), MeasureError> {
         self.pings += 1;
         Ok(())
     }
 
-    fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), String> {
+    fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), MeasureError> {
         self.traces += 1;
         Ok(())
     }

@@ -28,8 +28,13 @@
 //! * [`network::Network`] — the assembled world: AS graph, prefix plan,
 //!   IXPs, provider PoP sets, peering policy, region endpoints.
 //! * [`sim::Simulator`] — route construction + RTT/traceroute sampling.
+//! * [`cache::RouteCache`] — sharded memoization of finished route plans
+//!   (`Arc<RoutePath>`), shared by all campaign threads; keyed by exactly
+//!   the inputs routing reads, so cached and uncached output is
+//!   bit-identical.
 
 pub mod build;
+pub mod cache;
 pub mod client;
 pub mod hop;
 pub mod hubs;
@@ -39,6 +44,7 @@ pub mod path;
 pub mod rng;
 pub mod sim;
 
+pub use cache::{CacheStats, RouteCache, RouteKey};
 pub use client::ClientCtx;
 pub use hop::{Hop, HopKind};
 pub use network::{Network, RegionEndpoint};

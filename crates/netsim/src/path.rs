@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 /// A fully-materialised route. Structure is deterministic per
 /// (client, region); only the latency *samples* drawn over it vary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoutePath {
     /// Ground-truth interconnection kind (what the analysis pipeline should
     /// ideally recover from the traceroute).

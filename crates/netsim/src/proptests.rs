@@ -127,7 +127,7 @@ proptest! {
         let (sim, _) = world();
         let path = sim.route(&client, region);
         let proto = if icmp { Protocol::Icmp } else { Protocol::Tcp };
-        let rtt = sim.sample_rtt(&client, &path, proto, seq);
+        let rtt = sim.ping(&client, &path, proto, seq);
         prop_assert!(rtt.is_finite());
         prop_assert!(rtt > 1.0, "impossibly fast {rtt}");
         prop_assert!(rtt < 5_000.0, "impossibly slow {rtt}");
@@ -135,7 +135,7 @@ proptest! {
         let prop_bound = crate::latency::propagation_rtt_ms(path.total_km());
         prop_assert!(rtt >= prop_bound, "rtt {rtt} below light-in-fiber bound {prop_bound}");
         // Determinism.
-        prop_assert_eq!(rtt, sim.sample_rtt(&client, &path, proto, seq));
+        prop_assert_eq!(rtt, sim.ping(&client, &path, proto, seq));
     }
 
     #[test]
@@ -160,6 +160,44 @@ proptest! {
         }
         // Destination always responds.
         prop_assert!(tr.last().unwrap().ip.is_some());
+    }
+
+    #[test]
+    fn route_key_captures_every_routing_input(
+        client in arb_client(),
+        region in arb_region(),
+        other_vpn in any::<bool>(),
+        ip_salt in any::<u64>(),
+        access_pick in 0usize..3,
+    ) {
+        // The cache-correctness obligation, stated as a property: two
+        // clients with equal `RouteKey`s must route identically even when
+        // every input *excluded* from the key differs. If `route` ever
+        // grows a dependence on an excluded field, this test fails before
+        // the cache can serve a stale plan.
+        let (sim, _) = world();
+        let mut other = client.clone();
+        other.artifacts.behind_vpn = other_vpn;
+        other.public_ip = sim.net.router_ip(other.isp, mix(&[ip_salt, 0xF00]));
+        // Vary the access profile without crossing the WifiHome boundary
+        // (the only access fact the key — and routing — reads).
+        other.access = if client.access.access == AccessType::WifiHome {
+            // Same type, different latency processes: still off-key.
+            AccessProfile::baseline(AccessType::WifiHome).personalized(1.7)
+        } else {
+            let non_wifi = [AccessType::Cellular, AccessType::Cellular5g, AccessType::Wired];
+            AccessProfile::baseline(non_wifi[access_pick])
+        };
+        prop_assert_eq!(
+            crate::cache::RouteKey::new(&client, region),
+            crate::cache::RouteKey::new(&other, region)
+        );
+        let a = sim.route_uncached(&client, region);
+        let b = sim.route_uncached(&other, region);
+        prop_assert_eq!(&a, &b);
+        // And the shared cache hands back exactly the uncached plan.
+        let cached = sim.route(&client, region);
+        prop_assert_eq!(&*cached, &a);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `<probe, datacenter>` measurements assume. Latency *samples* over a route
 //! vary per measurement through [`FlowRng`] — reproducibly, given the seed.
 
+use crate::cache::{RouteCache, RouteKey};
 use crate::client::ClientCtx;
 use crate::hop::{Hop, HopKind};
 use crate::hubs;
@@ -68,6 +69,7 @@ struct WideArea {
 pub struct Simulator {
     pub net: Network,
     wide_cache: RwLock<WideCache>,
+    route_cache: RouteCache,
 }
 
 /// Memoized wide-area geometry keyed by (ISP, coarse location, region).
@@ -97,12 +99,43 @@ fn city_continent(name: &str) -> Continent {
 
 impl Simulator {
     pub fn new(net: Network) -> Self {
-        Simulator { net, wide_cache: RwLock::new(HashMap::new()) }
+        Simulator {
+            net,
+            wide_cache: RwLock::new(HashMap::new()),
+            route_cache: RouteCache::default(),
+        }
     }
 
-    /// Build (or fetch) the full route for a client→region pair.
-    pub fn route(&self, client: &ClientCtx, region: RegionId) -> RoutePath {
-        let wa = self.wide_area(client, region);
+    /// The route for a client→region pair, served from the sharded
+    /// route-plan cache ([`crate::cache::RouteCache`]). The cached plan is
+    /// bit-identical to [`Simulator::route_uncached`] output — the cache
+    /// changes when a route is computed, never what it contains — so
+    /// sampling over either is byte-equivalent.
+    pub fn route(&self, client: &ClientCtx, region: RegionId) -> Arc<RoutePath> {
+        let key = RouteKey::new(client, region);
+        self.route_cache
+            .get_or_insert_with(key, || self.assemble_route(client, region, &self.wide_area(client, region)))
+    }
+
+    /// The route-plan cache, for stats (`hit_rate`) and explicit `clear`.
+    pub fn route_cache(&self) -> &RouteCache {
+        &self.route_cache
+    }
+
+    /// Build the full route from scratch, bypassing every layer of route
+    /// memoization — the sharded route-plan cache *and* the wide-area
+    /// geometry cache. Wide-area geometry is a pure function of the grid
+    /// cell (see [`grid_center`]), so the result is bit-identical to the
+    /// cached plan; only the cost differs. This is the `--no-route-cache`
+    /// escape hatch and the reference leg of the audit race check.
+    pub fn route_uncached(&self, client: &ClientCtx, region: RegionId) -> RoutePath {
+        self.assemble_route(client, region, &self.build_wide_area(client, region))
+    }
+
+    /// Assemble the per-probe route around shared wide-area geometry:
+    /// client-side hops (home router / CGN / ISP access+core) plus the
+    /// memoizable middle and destination hops.
+    fn assemble_route(&self, client: &ClientCtx, region: RegionId, wa: &WideArea) -> RoutePath {
         let salt_base = mix(&[loc_key(client.location).0 as u64, loc_key(client.location).1 as u64]);
         let mut hops: Vec<Hop> = Vec::with_capacity(wa.middle.len() + 4);
 
@@ -166,19 +199,21 @@ impl Simulator {
         }
     }
 
-    /// Sample one ping RTT (ms) over a previously-built route under neutral
-    /// (midday-average) load and no loss — the conditional expectation used
-    /// by unit tests and benches. Campaigns use [`Simulator::ping_at`].
-    pub fn sample_rtt(&self, client: &ClientCtx, path: &RoutePath, proto: Protocol, seq: u64) -> f64 {
+    /// Thin hour-less wrapper over the canonical [`Simulator::ping_at`]
+    /// semantics: one ping RTT (ms) under neutral (midday-average) load
+    /// with loss disabled — the conditional expectation used by unit tests
+    /// and benches. Campaigns use [`Simulator::ping_at`]. (Distinct flow
+    /// derivation, so the two are independent sample streams by design.)
+    pub fn ping(&self, client: &ClientCtx, path: &RoutePath, proto: Protocol, seq: u64) -> f64 {
         let flow = mix(&[client.probe_hash, path_region_tag(path), proto.tag(), seq]);
         let mut rng = FlowRng::new(self.net.seed, flow);
         self.sample_rtt_with(&mut rng, client, path, proto, 1.0)
     }
 
-    /// One ping at a campaign hour: diurnal congestion applies (evening
-    /// peaks in the probe's local time) and the ping may be lost entirely
-    /// (`None`) — public paths lose ~2.5 % of probes, engineered WANs
-    /// almost none.
+    /// Canonical ping: one probe at a campaign hour. Diurnal congestion
+    /// applies (evening peaks in the probe's local time) and the ping may
+    /// be lost entirely (`None`) — public paths lose ~2.5 % of probes,
+    /// engineered WANs almost none.
     pub fn ping_at(
         &self,
         client: &ClientCtx,
@@ -236,13 +271,16 @@ impl Simulator {
         LogNormal::from_median_cv(median.max(0.01), 0.8).sample(rng)
     }
 
-    /// Run one traceroute over a route: per-hop responses with realistic
-    /// non-response and latency inflation, under neutral load.
+    /// Thin hour-less wrapper over the canonical [`Simulator::traceroute_at`]
+    /// semantics: one traceroute under neutral load (both delegate to the
+    /// same per-hop sampling core, differing only in the load factor).
     pub fn traceroute(&self, client: &ClientCtx, path: &RoutePath, proto: Protocol, seq: u64) -> Vec<TraceHop> {
         self.traceroute_with(client, path, proto, seq, 1.0)
     }
 
-    /// A traceroute at a campaign hour (diurnal congestion applied).
+    /// Canonical traceroute: per-hop responses with realistic non-response
+    /// and latency inflation at a campaign hour (diurnal congestion
+    /// applied).
     pub fn traceroute_at(
         &self,
         client: &ClientCtx,
@@ -703,7 +741,7 @@ mod tests {
         let c = client_in(&sim, "DE", known::DTAG, AccessType::WifiHome, 5);
         let rid = region_of(&sim, Provider::AmazonEc2, "Frankfurt");
         let p = sim.route(&c, rid);
-        let mut rtts: Vec<f64> = (0..500).map(|s| sim.sample_rtt(&c, &p, Protocol::Tcp, s)).collect();
+        let mut rtts: Vec<f64> = (0..500).map(|s| sim.ping(&c, &p, Protocol::Tcp, s)).collect();
         rtts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = rtts[rtts.len() / 2];
         // Last-mile ~22ms + short path: Fig. 3 puts Germany in the 30-60 band.
@@ -718,7 +756,7 @@ mod tests {
             let c = client_in(&sim, "DE", known::DTAG, access, 6);
             let p = sim.route(&c, rid);
             let mut r: Vec<f64> =
-                (0..400).map(|s| sim.sample_rtt(&c, &p, Protocol::Tcp, s)).collect();
+                (0..400).map(|s| sim.ping(&c, &p, Protocol::Tcp, s)).collect();
             r.sort_by(|a, b| a.partial_cmp(b).unwrap());
             r[r.len() / 2]
         };
@@ -749,7 +787,7 @@ mod tests {
             pp.as_path
         );
         let spread = |c: &ClientCtx, p: &RoutePath| {
-            let mut r: Vec<f64> = (0..600).map(|s| sim.sample_rtt(c, p, Protocol::Tcp, s)).collect();
+            let mut r: Vec<f64> = (0..600).map(|s| sim.ping(c, p, Protocol::Tcp, s)).collect();
             r.sort_by(|a, b| a.partial_cmp(b).unwrap());
             (r[r.len() / 2], r[(r.len() * 3) / 4] - r[r.len() / 4])
         };
@@ -777,7 +815,7 @@ mod tests {
         let rid = region_of(&sim, Provider::Microsoft, "Johannesburg");
         let p = sim.route(&c, rid);
         let med = |proto| {
-            let mut r: Vec<f64> = (0..600).map(|s| sim.sample_rtt(&c, &p, proto, s)).collect();
+            let mut r: Vec<f64> = (0..600).map(|s| sim.ping(&c, &p, proto, s)).collect();
             r.sort_by(|a, b| a.partial_cmp(b).unwrap());
             r[r.len() / 2]
         };
@@ -857,13 +895,13 @@ mod tests {
         let p = sim.route(&c, rid);
         for seq in 0..20 {
             assert_eq!(
-                sim.sample_rtt(&c, &p, Protocol::Tcp, seq),
-                sim.sample_rtt(&c, &p, Protocol::Tcp, seq)
+                sim.ping(&c, &p, Protocol::Tcp, seq),
+                sim.ping(&c, &p, Protocol::Tcp, seq)
             );
         }
         assert_ne!(
-            sim.sample_rtt(&c, &p, Protocol::Tcp, 0),
-            sim.sample_rtt(&c, &p, Protocol::Tcp, 1)
+            sim.ping(&c, &p, Protocol::Tcp, 0),
+            sim.ping(&c, &p, Protocol::Tcp, 1)
         );
     }
 
@@ -944,7 +982,7 @@ mod tests {
         let pp = sim.route(&pub_c, rid_public);
         assert!(pp.intermediate_as_count() >= 1, "{:?}", pp.as_path);
         let med = |c: &ClientCtx, p: &RoutePath| {
-            let mut r: Vec<f64> = (0..400).map(|s| sim.sample_rtt(c, p, Protocol::Tcp, s)).collect();
+            let mut r: Vec<f64> = (0..400).map(|s| sim.ping(c, p, Protocol::Tcp, s)).collect();
             r.sort_by(|a, b| a.partial_cmp(b).unwrap());
             r[r.len() / 2]
         };

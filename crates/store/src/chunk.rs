@@ -14,6 +14,7 @@
 //! | hour              | delta + zigzag + varint                    |
 //! | hop ip / hop rtt  | presence bitmap + packed present values    |
 
+use crate::error::StoreError;
 use crate::codec::{
     get_bitmap, get_block, get_delta_u64, get_indices, get_rtts, put_bitmap, put_block,
     put_delta_u64, put_indices, put_rtts, put_varint, Cursor, DictBuilder,
@@ -291,7 +292,7 @@ struct MetaDecoded {
     proto: Vec<cloudy_netsim::Protocol>,
 }
 
-fn decode_country_block(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<CountryCode>, String> {
+fn decode_country_block(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<CountryCode>, StoreError> {
     let mut blk = get_block(cur)?;
     let n = blk.varint()? as usize;
     let mut dict = Vec::with_capacity(n);
@@ -306,7 +307,7 @@ fn decode_country_block(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<Country
     Ok(ix.into_iter().map(|i| dict[i as usize]).collect())
 }
 
-fn decode_meta(cur: &mut Cursor<'_>, rows: usize) -> Result<MetaDecoded, String> {
+fn decode_meta(cur: &mut Cursor<'_>, rows: usize) -> Result<MetaDecoded, StoreError> {
     let mut probe_blk = get_block(cur)?;
     let probe = get_delta_u64(&mut probe_blk, rows)?;
 
@@ -352,8 +353,8 @@ fn decode_meta(cur: &mut Cursor<'_>, rows: usize) -> Result<MetaDecoded, String>
     Ok(MetaDecoded { probe, country, continent, city, isp, access, region, proto })
 }
 
-fn region_of(raw: u64) -> Result<RegionId, String> {
-    u16::try_from(raw).map(RegionId).map_err(|_| format!("region id {raw} overflows u16"))
+fn region_of(raw: u64) -> Result<RegionId, StoreError> {
+    u16::try_from(raw).map(RegionId).map_err(|_| StoreError::corrupt(format!("region id {raw} overflows u16")))
 }
 
 /// Decode a ping chunk body into full records.
@@ -362,7 +363,7 @@ pub fn decode_pings(
     rows: usize,
     platform: Platform,
     provider: Provider,
-) -> Result<Vec<PingRecord>, String> {
+) -> Result<Vec<PingRecord>, StoreError> {
     let mut cur = Cursor::new(body);
     let m = decode_meta(&mut cur, rows)?;
     let mut rtt_blk = get_block(&mut cur)?;
@@ -396,7 +397,7 @@ pub fn decode_traces(
     rows: usize,
     platform: Platform,
     provider: Provider,
-) -> Result<Vec<TracerouteRecord>, String> {
+) -> Result<Vec<TracerouteRecord>, StoreError> {
     let mut cur = Cursor::new(body);
     let m = decode_meta(&mut cur, rows)?;
 
@@ -494,7 +495,7 @@ pub fn decode_ping_rtts(
     body: &[u8],
     rows: usize,
     provider: Provider,
-) -> Result<Vec<RttRow>, String> {
+) -> Result<Vec<RttRow>, StoreError> {
     let mut cur = Cursor::new(body);
     skip_block(&mut cur)?; // probe
     let country = decode_country_block(&mut cur, rows)?;
@@ -531,7 +532,7 @@ pub fn decode_trace_rtts(
     body: &[u8],
     rows: usize,
     provider: Provider,
-) -> Result<Vec<RttRow>, String> {
+) -> Result<Vec<RttRow>, StoreError> {
     let mut cur = Cursor::new(body);
     skip_block(&mut cur)?; // probe
     let country = decode_country_block(&mut cur, rows)?;
@@ -628,7 +629,7 @@ pub fn put_chunk_meta(out: &mut Vec<u8>, m: &ChunkMeta) {
 }
 
 /// Deserialize one directory entry.
-pub fn get_chunk_meta(cur: &mut Cursor<'_>) -> Result<ChunkMeta, String> {
+pub fn get_chunk_meta(cur: &mut Cursor<'_>) -> Result<ChunkMeta, StoreError> {
     let kind = RecordKind::from_tag(cur.u8()?)?;
     let provider = crate::schema::provider_from_tag(cur.u8()?)?;
     let offset = cur.varint()?;

@@ -1,8 +1,10 @@
 //! Low-level column encodings: LEB128 varints, zigzag, delta streams,
 //! dictionaries, presence bitmaps, and the lossless hybrid RTT codec.
 //!
-//! Every encoder is paired with a decoder returning `Result<_, String>` —
+//! Every encoder is paired with a decoder returning `Result<_, StoreError>` —
 //! a store file is external input and must never abort the process.
+
+use crate::error::StoreError;
 
 /// Append a LEB128 varint.
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -32,13 +34,13 @@ impl<'a> Cursor<'a> {
         self.buf.len() - self.pos
     }
 
-    pub fn u8(&mut self) -> Result<u8, String> {
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
         let b = *self.buf.get(self.pos).ok_or("truncated: expected u8")?;
         self.pos += 1;
         Ok(b)
     }
 
-    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
         let end = self.pos.checked_add(n).ok_or("length overflow")?;
         let s = self.buf.get(self.pos..end).ok_or_else(|| {
             format!("truncated: expected {n} bytes, {} remain", self.remaining())
@@ -47,7 +49,7 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    pub fn varint(&mut self) -> Result<u64, String> {
+    pub fn varint(&mut self) -> Result<u64, StoreError> {
         let mut v: u64 = 0;
         let mut shift = 0u32;
         loop {
@@ -63,7 +65,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    pub fn u64_le(&mut self) -> Result<u64, String> {
+    pub fn u64_le(&mut self) -> Result<u64, StoreError> {
         let b = self.bytes(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
@@ -92,7 +94,7 @@ pub fn put_delta_u64(out: &mut Vec<u8>, values: impl Iterator<Item = u64>) {
 }
 
 /// Decode `n` values written by [`put_delta_u64`].
-pub fn get_delta_u64(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u64>, String> {
+pub fn get_delta_u64(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u64>, StoreError> {
     let mut prev = 0u64;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -120,7 +122,7 @@ pub fn put_bitmap(out: &mut Vec<u8>, present: &[bool]) {
 }
 
 /// Decode a bitmap of `n` slots.
-pub fn get_bitmap(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<bool>, String> {
+pub fn get_bitmap(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<bool>, StoreError> {
     let bytes = cur.bytes(n.div_ceil(8))?;
     Ok((0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect())
 }
@@ -164,12 +166,12 @@ pub fn put_indices(out: &mut Vec<u8>, indices: &[u32]) {
 }
 
 /// Decode `n` dictionary indices, validating against `dict_len`.
-pub fn get_indices(cur: &mut Cursor<'_>, n: usize, dict_len: usize) -> Result<Vec<u32>, String> {
+pub fn get_indices(cur: &mut Cursor<'_>, n: usize, dict_len: usize) -> Result<Vec<u32>, StoreError> {
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let ix = cur.varint()?;
         if ix >= dict_len as u64 {
-            return Err(format!("dictionary index {ix} out of range (dict has {dict_len})"));
+            return Err(StoreError::corrupt(format!("dictionary index {ix} out of range (dict has {dict_len})")));
         }
         out.push(ix as u32);
     }
@@ -213,13 +215,13 @@ pub fn put_rtts(out: &mut Vec<u8>, values: &[f64]) {
 }
 
 /// Decode `n` RTT values written by [`put_rtts`].
-pub fn get_rtts(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<f64>, String> {
+pub fn get_rtts(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<f64>, StoreError> {
     let tag = cur.u8()?;
     let raw = get_delta_u64(cur, n)?;
     match tag {
         RTT_MICROS => Ok(raw.into_iter().map(|us| us as f64 / 1000.0).collect()),
         RTT_F64BITS => Ok(raw.into_iter().map(f64::from_bits).collect()),
-        other => Err(format!("unknown rtt encoding tag {other}")),
+        other => Err(StoreError::corrupt(format!("unknown rtt encoding tag {other}"))),
     }
 }
 
@@ -231,13 +233,13 @@ pub fn put_block(out: &mut Vec<u8>, body: &[u8]) {
 }
 
 /// Read one length-prefixed block.
-pub fn get_block<'a>(cur: &mut Cursor<'a>) -> Result<Cursor<'a>, String> {
+pub fn get_block<'a>(cur: &mut Cursor<'a>) -> Result<Cursor<'a>, StoreError> {
     let len = cur.varint()? as usize;
     Ok(Cursor::new(cur.bytes(len)?))
 }
 
 /// Skip one length-prefixed block without decoding it.
-pub fn skip_block(cur: &mut Cursor<'_>) -> Result<(), String> {
+pub fn skip_block(cur: &mut Cursor<'_>) -> Result<(), StoreError> {
     let len = cur.varint()? as usize;
     cur.bytes(len)?;
     Ok(())

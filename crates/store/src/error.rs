@@ -1,0 +1,120 @@
+//! Typed errors for the columnar store.
+//!
+//! Store files are external input, so every decode path returns
+//! [`StoreError`] instead of panicking — and instead of the original
+//! stringly `Result<_, String>`. `From<String>` / `From<&str>` map legacy
+//! message-style failures onto [`StoreError::Corrupt`], which is what the
+//! codec layer's truncation/validation errors are; I/O and option errors
+//! use their own variants so callers can tell a bad disk from bad bytes.
+
+use cloudy_measure::MeasureError;
+use cloudy_probes::Platform;
+use std::fmt;
+
+/// What went wrong reading or writing a store file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying byte sink/source failed (disk full, short write…).
+    Io(String),
+    /// The store bytes are malformed, truncated, or internally
+    /// inconsistent.
+    Corrupt(String),
+    /// Invalid writer/reader options (e.g. `chunk_rows == 0`).
+    InvalidOptions(String),
+    /// A record's platform does not match the store header.
+    PlatformMismatch { store: Platform, record: Platform },
+}
+
+impl StoreError {
+    pub fn io(reason: impl Into<String>) -> Self {
+        StoreError::Io(reason.into())
+    }
+
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        StoreError::Corrupt(reason.into())
+    }
+
+    pub fn invalid_options(reason: impl Into<String>) -> Self {
+        StoreError::InvalidOptions(reason.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(reason) => write!(f, "store i/o error: {reason}"),
+            StoreError::Corrupt(reason) => write!(f, "corrupt store: {reason}"),
+            StoreError::InvalidOptions(reason) => write!(f, "invalid store options: {reason}"),
+            StoreError::PlatformMismatch { store, record } => {
+                write!(f, "platform mismatch: store is {store:?}, record is {record:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Decode-layer messages are corruption reports by construction.
+impl From<String> for StoreError {
+    fn from(reason: String) -> Self {
+        StoreError::Corrupt(reason)
+    }
+}
+
+impl From<&str> for StoreError {
+    fn from(reason: &str) -> Self {
+        StoreError::Corrupt(reason.to_string())
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Lets legacy `Result<_, String>` call sites (CLI, analysis entry points)
+/// keep using `?` across the typed boundary.
+impl From<StoreError> for String {
+    fn from(e: StoreError) -> String {
+        e.to_string()
+    }
+}
+
+/// A store-backed [`cloudy_measure::RecordSink`] failing is a sink
+/// failure from the campaign's point of view. (Lives here: `cloudy-store`
+/// depends on `cloudy-measure`, not the other way around.)
+impl From<StoreError> for MeasureError {
+    fn from(e: StoreError) -> MeasureError {
+        MeasureError::sink(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_variants() {
+        assert!(StoreError::io("disk full").to_string().contains("i/o"));
+        assert!(StoreError::corrupt("bad magic").to_string().contains("corrupt"));
+        assert!(StoreError::invalid_options("x").to_string().contains("options"));
+        let e = StoreError::PlatformMismatch {
+            store: Platform::Speedchecker,
+            record: Platform::RipeAtlas,
+        };
+        assert!(e.to_string().contains("platform mismatch"));
+    }
+
+    #[test]
+    fn conversions_bridge_legacy_and_measure() {
+        let e: StoreError = "truncated".into();
+        assert_eq!(e, StoreError::Corrupt("truncated".into()));
+        let e: StoreError = String::from("short read").into();
+        assert!(matches!(e, StoreError::Corrupt(_)));
+        let m: MeasureError = StoreError::io("disk full").into();
+        assert!(matches!(m, MeasureError::Sink(_)));
+        let s: String = StoreError::corrupt("bad frame").into();
+        assert!(s.contains("bad frame"));
+    }
+}

@@ -31,6 +31,7 @@
 pub mod agg;
 pub mod chunk;
 pub mod codec;
+pub mod error;
 pub mod reader;
 pub mod schema;
 pub mod writer;
@@ -40,6 +41,7 @@ pub(crate) mod testutil;
 
 pub use agg::{GroupedMoments, GroupedRtts, Moments, P2Quantile, P2Sketch};
 pub use chunk::{ChunkFooter, ChunkMeta, RttRow};
+pub use error::StoreError;
 pub use reader::{read_to_dataset, ChunkRows, Reader, ScanFilter, ScanStats};
 pub use schema::RecordKind;
 pub use writer::{write_dataset, StoreSummary, Writer, WriterOptions};

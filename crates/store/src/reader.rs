@@ -11,6 +11,7 @@
 //! come back grouped by partition, not in insert order. Order *within* a
 //! partition is preserved.
 
+use crate::error::StoreError;
 use crate::chunk::{
     decode_ping_rtts, decode_pings, decode_trace_rtts, decode_traces, get_chunk_meta, ChunkMeta,
     RttRow,
@@ -110,11 +111,11 @@ pub struct Reader {
 impl Reader {
     /// Parse a store file. Validates magic, trailer, directory, and every
     /// chunk's byte range before any scan touches the data.
-    pub fn from_bytes(data: Vec<u8>) -> Result<Reader, String> {
+    pub fn from_bytes(data: Vec<u8>) -> Result<Reader, StoreError> {
         let header_len = MAGIC.len() + 1;
         let trailer_len = 16 + END_MAGIC.len();
         if data.len() < header_len + trailer_len {
-            return Err(format!("store file too short: {} bytes", data.len()));
+            return Err(StoreError::corrupt(format!("store file too short: {} bytes", data.len())));
         }
         if &data[..MAGIC.len()] != MAGIC {
             return Err("bad store magic".into());
@@ -131,7 +132,7 @@ impl Reader {
                 .checked_add(dir_len)
                 .is_none_or(|end| end != data.len() - trailer_len)
         {
-            return Err(format!("directory range {dir_offset}+{dir_len} out of bounds"));
+            return Err(StoreError::corrupt(format!("directory range {dir_offset}+{dir_len} out of bounds")));
         }
         let mut dcur = Cursor::new(&data[dir_offset..dir_offset + dir_len]);
         let n = dcur.varint()? as usize;
@@ -140,10 +141,10 @@ impl Reader {
             let m = get_chunk_meta(&mut dcur)?;
             let end = m.offset.checked_add(m.len).ok_or("chunk range overflow")?;
             if (m.offset as usize) < header_len || end as usize > dir_offset {
-                return Err(format!(
+                return Err(StoreError::corrupt(format!(
                     "chunk range {}+{} overlaps header or directory",
                     m.offset, m.len
-                ));
+                )));
             }
             dir.push(m);
         }
@@ -167,7 +168,7 @@ impl Reader {
     }
 
     /// Decode every row of one chunk.
-    pub fn decode_chunk(&self, m: &ChunkMeta) -> Result<ChunkRows, String> {
+    pub fn decode_chunk(&self, m: &ChunkMeta) -> Result<ChunkRows, StoreError> {
         let body = self.chunk_body(m);
         let rows = m.footer.rows as usize;
         match m.footer.kind {
@@ -179,7 +180,7 @@ impl Reader {
         }
     }
 
-    fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, String> {
+    fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, StoreError> {
         let body = self.chunk_body(m);
         let rows = m.footer.rows as usize;
         match m.footer.kind {
@@ -193,7 +194,7 @@ impl Reader {
         &self,
         filter: &ScanFilter,
         mut f: impl FnMut(&ChunkRows),
-    ) -> Result<ScanStats, String> {
+    ) -> Result<ScanStats, StoreError> {
         let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
         for m in &self.dir {
             if !filter.matches_chunk(m) {
@@ -217,7 +218,7 @@ impl Reader {
         &self,
         filter: &ScanFilter,
         mut f: impl FnMut(RttRow),
-    ) -> Result<ScanStats, String> {
+    ) -> Result<ScanStats, StoreError> {
         let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
         for m in &self.dir {
             if !filter.matches_chunk(m) {
@@ -244,7 +245,7 @@ impl Reader {
         filter: &ScanFilter,
         threads: usize,
         map: F,
-    ) -> Result<(Vec<T>, ScanStats), String>
+    ) -> Result<(Vec<T>, ScanStats), StoreError>
     where
         T: Send,
         F: Fn(&ChunkMeta, ChunkRows) -> T + Sync,
@@ -260,7 +261,7 @@ impl Reader {
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
         // Each shard yields chunk results in order; shards concatenate in
         // order, so the merged output is directory-ordered.
-        let shard_results: Vec<Vec<Result<(u64, T), String>>> =
+        let shard_results: Vec<Vec<Result<(u64, T), StoreError>>> =
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = shards
                     .iter()
@@ -302,7 +303,7 @@ impl Reader {
         &self,
         filter: &ScanFilter,
         threads: usize,
-    ) -> Result<(Vec<RttRow>, ScanStats), String> {
+    ) -> Result<(Vec<RttRow>, ScanStats), StoreError> {
         let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
         let survivors: Vec<&ChunkMeta> =
             self.dir.iter().filter(|m| filter.matches_chunk(m)).collect();
@@ -312,7 +313,7 @@ impl Reader {
         let threads = threads.max(1);
         let per = survivors.len().div_ceil(threads).max(1);
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
-        let shard_results: Vec<Result<Vec<RttRow>, String>> = crossbeam::thread::scope(|s| {
+        let shard_results: Vec<Result<Vec<RttRow>, StoreError>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|shard| {
@@ -344,7 +345,7 @@ impl Reader {
     /// Decode the whole store back into an in-memory [`Dataset`]. Records
     /// come back grouped by (kind, provider) partition — the store's scan
     /// order — not in original insert order.
-    pub fn to_dataset(&self) -> Result<Dataset, String> {
+    pub fn to_dataset(&self) -> Result<Dataset, StoreError> {
         let mut ds = Dataset::new(self.platform);
         self.for_each(&ScanFilter::default(), |rows| match rows {
             ChunkRows::Pings(p) => ds.pings.extend(p.iter().cloned()),
@@ -355,7 +356,7 @@ impl Reader {
 }
 
 /// Convenience: parse store bytes straight into a [`Dataset`].
-pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, String> {
+pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, StoreError> {
     Reader::from_bytes(data)?.to_dataset()
 }
 

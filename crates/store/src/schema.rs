@@ -4,6 +4,7 @@
 //! adding a variant extends the tag space without renumbering. Decoding an
 //! unknown tag is an error, never a panic: store files are external input.
 
+use crate::error::StoreError;
 use cloudy_cloud::Provider;
 use cloudy_geo::Continent;
 use cloudy_lastmile::AccessType;
@@ -25,11 +26,11 @@ impl RecordKind {
         }
     }
 
-    pub fn from_tag(t: u8) -> Result<RecordKind, String> {
+    pub fn from_tag(t: u8) -> Result<RecordKind, StoreError> {
         match t {
             0 => Ok(RecordKind::Ping),
             1 => Ok(RecordKind::Trace),
-            other => Err(format!("unknown record kind tag {other}")),
+            other => Err(StoreError::corrupt(format!("unknown record kind tag {other}"))),
         }
     }
 
@@ -48,11 +49,11 @@ pub fn platform_tag(p: Platform) -> u8 {
     }
 }
 
-pub fn platform_from_tag(t: u8) -> Result<Platform, String> {
+pub fn platform_from_tag(t: u8) -> Result<Platform, StoreError> {
     match t {
         0 => Ok(Platform::Speedchecker),
         1 => Ok(Platform::RipeAtlas),
-        other => Err(format!("unknown platform tag {other}")),
+        other => Err(StoreError::corrupt(format!("unknown platform tag {other}"))),
     }
 }
 
@@ -61,33 +62,33 @@ pub fn provider_tag(p: Provider) -> u8 {
     Provider::ALL.iter().position(|x| *x == p).unwrap_or(0) as u8
 }
 
-pub fn provider_from_tag(t: u8) -> Result<Provider, String> {
+pub fn provider_from_tag(t: u8) -> Result<Provider, StoreError> {
     Provider::ALL
         .get(t as usize)
         .copied()
-        .ok_or_else(|| format!("unknown provider tag {t}"))
+        .ok_or_else(|| StoreError::corrupt(format!("unknown provider tag {t}")))
 }
 
 pub fn continent_tag(c: Continent) -> u8 {
     Continent::ALL.iter().position(|x| *x == c).unwrap_or(0) as u8
 }
 
-pub fn continent_from_tag(t: u8) -> Result<Continent, String> {
+pub fn continent_from_tag(t: u8) -> Result<Continent, StoreError> {
     Continent::ALL
         .get(t as usize)
         .copied()
-        .ok_or_else(|| format!("unknown continent tag {t}"))
+        .ok_or_else(|| StoreError::corrupt(format!("unknown continent tag {t}")))
 }
 
 pub fn access_tag(a: AccessType) -> u8 {
     AccessType::ALL.iter().position(|x| *x == a).unwrap_or(0) as u8
 }
 
-pub fn access_from_tag(t: u8) -> Result<AccessType, String> {
+pub fn access_from_tag(t: u8) -> Result<AccessType, StoreError> {
     AccessType::ALL
         .get(t as usize)
         .copied()
-        .ok_or_else(|| format!("unknown access-type tag {t}"))
+        .ok_or_else(|| StoreError::corrupt(format!("unknown access-type tag {t}")))
 }
 
 pub fn proto_tag(p: Protocol) -> u8 {
@@ -97,11 +98,11 @@ pub fn proto_tag(p: Protocol) -> u8 {
     }
 }
 
-pub fn proto_from_tag(t: u8) -> Result<Protocol, String> {
+pub fn proto_from_tag(t: u8) -> Result<Protocol, StoreError> {
     match t {
         0 => Ok(Protocol::Tcp),
         1 => Ok(Protocol::Icmp),
-        other => Err(format!("unknown protocol tag {other}")),
+        other => Err(StoreError::corrupt(format!("unknown protocol tag {other}"))),
     }
 }
 

@@ -24,10 +24,11 @@
 //! byte-identical store files across thread counts.
 
 use crate::chunk::{encode_pings, encode_traces, put_chunk_meta, ChunkMeta};
+use crate::error::StoreError;
 use crate::codec::put_varint;
 use crate::schema::{platform_tag, provider_tag};
 use cloudy_cloud::Provider;
-use cloudy_measure::{Dataset, PingRecord, RecordSink, TracerouteRecord};
+use cloudy_measure::{Dataset, MeasureError, PingRecord, RecordSink, TracerouteRecord};
 use cloudy_probes::Platform;
 use std::io::Write;
 
@@ -74,12 +75,12 @@ pub struct Writer<W: Write> {
 
 impl<W: Write> Writer<W> {
     /// Start a store file: writes the header immediately.
-    pub fn new(mut out: W, platform: Platform, options: WriterOptions) -> Result<Self, String> {
+    pub fn new(mut out: W, platform: Platform, options: WriterOptions) -> Result<Self, StoreError> {
         if options.chunk_rows == 0 {
-            return Err("chunk_rows must be positive".into());
+            return Err(StoreError::invalid_options("chunk_rows must be positive"));
         }
-        out.write_all(MAGIC).map_err(|e| format!("write header: {e}"))?;
-        out.write_all(&[platform_tag(platform)]).map_err(|e| format!("write header: {e}"))?;
+        out.write_all(MAGIC).map_err(|e| StoreError::io(format!("write header: {e}")))?;
+        out.write_all(&[platform_tag(platform)]).map_err(|e| StoreError::io(format!("write header: {e}")))?;
         let n = Provider::ALL.len();
         Ok(Writer {
             out,
@@ -110,26 +111,23 @@ impl<W: Write> Writer<W> {
         self.offset
     }
 
-    fn check_platform(&self, platform: Platform) -> Result<(), String> {
+    fn check_platform(&self, platform: Platform) -> Result<(), StoreError> {
         if platform == self.platform {
             Ok(())
         } else {
-            Err(format!(
-                "platform mismatch: store is {:?}, record is {platform:?}",
-                self.platform
-            ))
+            Err(StoreError::PlatformMismatch { store: self.platform, record: platform })
         }
     }
 
-    fn emit(&mut self, body: Vec<u8>, footer: crate::chunk::ChunkFooter) -> Result<(), String> {
+    fn emit(&mut self, body: Vec<u8>, footer: crate::chunk::ChunkFooter) -> Result<(), StoreError> {
         let meta = ChunkMeta { footer, offset: self.offset, len: body.len() as u64 };
-        self.out.write_all(&body).map_err(|e| format!("write chunk: {e}"))?;
+        self.out.write_all(&body).map_err(|e| StoreError::io(format!("write chunk: {e}")))?;
         self.offset += body.len() as u64;
         self.directory.push(meta);
         Ok(())
     }
 
-    fn flush_ping_slot(&mut self, slot: usize) -> Result<(), String> {
+    fn flush_ping_slot(&mut self, slot: usize) -> Result<(), StoreError> {
         let rows = std::mem::take(&mut self.ping_slots[slot]);
         if rows.is_empty() {
             return Ok(());
@@ -138,7 +136,7 @@ impl<W: Write> Writer<W> {
         self.emit(body, footer)
     }
 
-    fn flush_trace_slot(&mut self, slot: usize) -> Result<(), String> {
+    fn flush_trace_slot(&mut self, slot: usize) -> Result<(), StoreError> {
         let rows = std::mem::take(&mut self.trace_slots[slot]);
         if rows.is_empty() {
             return Ok(());
@@ -148,7 +146,7 @@ impl<W: Write> Writer<W> {
     }
 
     /// Append one ping record.
-    pub fn push_ping(&mut self, r: PingRecord) -> Result<(), String> {
+    pub fn push_ping(&mut self, r: PingRecord) -> Result<(), StoreError> {
         self.check_platform(r.platform)?;
         let slot = provider_tag(r.provider) as usize;
         self.ping_slots[slot].push(r);
@@ -160,7 +158,7 @@ impl<W: Write> Writer<W> {
     }
 
     /// Append one traceroute record.
-    pub fn push_trace(&mut self, r: TracerouteRecord) -> Result<(), String> {
+    pub fn push_trace(&mut self, r: TracerouteRecord) -> Result<(), StoreError> {
         self.check_platform(r.platform)?;
         let slot = provider_tag(r.provider) as usize;
         self.trace_slots[slot].push(r);
@@ -173,7 +171,7 @@ impl<W: Write> Writer<W> {
 
     /// Flush remaining partitions (ping slots in provider order, then trace
     /// slots), write the directory and trailer, and return the sink.
-    pub fn finish(mut self) -> Result<(W, StoreSummary), String> {
+    pub fn finish(mut self) -> Result<(W, StoreSummary), StoreError> {
         for slot in 0..Provider::ALL.len() {
             self.flush_ping_slot(slot)?;
         }
@@ -186,13 +184,13 @@ impl<W: Write> Writer<W> {
             put_chunk_meta(&mut dir, m);
         }
         let dir_offset = self.offset;
-        self.out.write_all(&dir).map_err(|e| format!("write directory: {e}"))?;
+        self.out.write_all(&dir).map_err(|e| StoreError::io(format!("write directory: {e}")))?;
         let mut trailer = Vec::with_capacity(24);
         trailer.extend_from_slice(&dir_offset.to_le_bytes());
         trailer.extend_from_slice(&(dir.len() as u64).to_le_bytes());
         trailer.extend_from_slice(END_MAGIC);
-        self.out.write_all(&trailer).map_err(|e| format!("write trailer: {e}"))?;
-        self.out.flush().map_err(|e| format!("flush: {e}"))?;
+        self.out.write_all(&trailer).map_err(|e| StoreError::io(format!("write trailer: {e}")))?;
+        self.out.flush().map_err(|e| StoreError::io(format!("flush: {e}")))?;
         let bytes = self.offset + dir.len() as u64 + trailer.len() as u64;
         let summary = StoreSummary {
             chunks: self.directory.len(),
@@ -205,12 +203,12 @@ impl<W: Write> Writer<W> {
 }
 
 impl<W: Write> RecordSink for Writer<W> {
-    fn sink_ping(&mut self, r: PingRecord) -> Result<(), String> {
-        self.push_ping(r)
+    fn sink_ping(&mut self, r: PingRecord) -> Result<(), MeasureError> {
+        Ok(self.push_ping(r)?)
     }
 
-    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), String> {
-        self.push_trace(r)
+    fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError> {
+        Ok(self.push_trace(r)?)
     }
 }
 
@@ -219,7 +217,7 @@ impl<W: Write> RecordSink for Writer<W> {
 /// record *arrival* order: a dataset written via this helper and the same
 /// records streamed live through [`Writer`] in campaign order produce the
 /// same chunks only if the orders agree.
-pub fn write_dataset(ds: &Dataset, options: WriterOptions) -> Result<(Vec<u8>, StoreSummary), String> {
+pub fn write_dataset(ds: &Dataset, options: WriterOptions) -> Result<(Vec<u8>, StoreSummary), StoreError> {
     let mut w = Writer::new(Vec::new(), ds.platform, options)?;
     for p in &ds.pings {
         w.push_ping(p.clone())?;

@@ -38,11 +38,12 @@ fn main() {
     );
     let at = atlas::population(&world, 0.25, seed ^ 0xA7);
     let sim = Simulator::new(world.net);
-    let cfg = CampaignConfig {
-        plan: PlanConfig { seed, duration_days: 8, min_probes_per_country: 2, ..Default::default() },
-        artifacts: ArtifactConfig::realistic(),
-        threads: 8,
-    };
+    let cfg = CampaignConfig::builder()
+        .plan(PlanConfig { seed, duration_days: 8, min_probes_per_country: 2, ..Default::default() })
+        .artifacts(ArtifactConfig::realistic())
+        .threads(8)
+        .build()
+        .expect("a valid campaign config");
     println!("running mixed-access Speedchecker + Atlas campaigns...\n");
     let sc_ds = run_campaign(&cfg, &sim, &sc);
     let at_ds = run_campaign(&cfg, &sim, &at);

@@ -5,6 +5,9 @@
 //! cloudy-repro world       [--seed N]
 //! cloudy-repro run         [--seed N] [--days N] [--sc-fraction F]
 //!                          [--atlas-fraction F] [--threads N] [--out DIR]
+//! cloudy-repro campaign    [--seed N] [--days N] [--sc-fraction F]
+//!                          [--threads N] [--pings-only] [--no-route-cache]
+//!                          [--out FILE]
 //! cloudy-repro experiment  <id>... [run options]
 //! cloudy-repro all         [run options] [--out FILE]
 //! cloudy-repro store write    [run options] [--out DIR] [--chunk-rows N]
@@ -43,6 +46,7 @@ fn main() -> ExitCode {
         "audit" => audit(&args[1..]),
         "analyze" => analyze(&args[1..]),
         "run" => run(&args[1..]),
+        "campaign" => campaign(&args[1..]),
         "experiment" => experiment(&args[1..]),
         "all" => all(&args[1..]),
         "store" => store(&args[1..]),
@@ -263,6 +267,70 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run a single Speedchecker campaign through the batched executor and
+/// report route-cache effectiveness. `--no-route-cache` replays the exact
+/// legacy per-task route computation — output bytes are identical either
+/// way (that is the cache's contract; `cloudy-repro audit` enforces it).
+fn campaign(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let route_cache = !positional.iter().any(|p| p == "--no-route-cache");
+    let pings_only = positional.iter().any(|p| p == "--pings-only");
+    let out = match out_value(&positional, "--out") {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let mut builder = cloudy::measure::CampaignConfig::builder()
+        .plan(cfg.campaign_config().plan)
+        .artifacts(cfg.artifacts)
+        .threads(cfg.threads)
+        .route_cache(route_cache);
+    if pings_only {
+        builder = builder.pings_only();
+    }
+    let campaign_cfg = match builder.build() {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let world = cloudy::netsim::build::build(&cloudy::netsim::build::WorldConfig {
+        seed: cfg.seed,
+        isps_per_country: cfg.isps_per_country,
+        countries: None,
+    });
+    let pop = cloudy::probes::speedchecker::population(&world, cfg.sc_fraction, cfg.seed ^ 0x5C);
+    let sim = cloudy::netsim::Simulator::new(world.net);
+    eprintln!(
+        "running campaign (seed {}, {} days, {} threads, route cache {})...",
+        cfg.seed,
+        cfg.duration_days,
+        cfg.threads,
+        if route_cache { "on" } else { "off" }
+    );
+    let ds = cloudy::measure::run_campaign(&campaign_cfg, &sim, &pop);
+    let summary = ds.summary();
+    println!(
+        "campaign: {} pings + {} traceroutes from {} probes in {} countries",
+        summary.pings, summary.traces, summary.probes, summary.countries
+    );
+    let stats = sim.route_cache().stats();
+    println!(
+        "route cache: {} hits, {} misses, {} entries ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate() * 100.0
+    );
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, ds.to_jsonl()) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn experiment(args: &[String]) -> ExitCode {
     let (cfg, positional) = match parse_config(args) {
         Ok(v) => v,
@@ -362,7 +430,7 @@ fn analyze(args: &[String]) -> ExitCode {
     let load = |name: &str| -> Result<cloudy::measure::Dataset, String> {
         let raw = std::fs::read_to_string(format!("{dir}/{name}"))
             .map_err(|e| format!("read {dir}/{name}: {e}"))?;
-        cloudy::measure::Dataset::from_jsonl(&raw)
+        Ok(cloudy::measure::Dataset::from_jsonl(&raw)?)
     };
     let (sc, atlas) = match (load("speedchecker.jsonl"), load("atlas.jsonl")) {
         (Ok(s), Ok(a)) => (s, a),
@@ -439,13 +507,13 @@ fn store_write(args: &[String]) -> ExitCode {
     };
     eprintln!("streaming study (seed {}, {} days) into stores...", cfg.seed, cfg.duration_days);
     if let Err(e) = run_study_into(&cfg, &mut sc, &mut atlas) {
-        return fail(&e);
+        return fail(&e.to_string());
     }
     for (path, writer) in [(sc_path, sc), (atlas_path, atlas)] {
         use std::io::Write as _;
         let (mut out, summary) = match writer.finish() {
             Ok(v) => v,
-            Err(e) => return fail(&e),
+            Err(e) => return fail(&e.to_string()),
         };
         if let Err(e) = out.flush() {
             return fail(&format!("flush {path}: {e}"));
@@ -575,7 +643,7 @@ fn store_query(args: &[String]) -> ExitCode {
     }
     let (rows, stats) = match reader.par_collect_rtts(&filter, threads) {
         Ok(v) => v,
-        Err(e) => return fail(&e),
+        Err(e) => return fail(&e.to_string()),
     };
     println!(
         "rows matched: {}  (chunks: {} scanned, {} pruned of {})",

@@ -23,6 +23,7 @@ fn campaign_cfg(seed: u64, threads: usize) -> CampaignConfig {
         plan: PlanConfig { seed, duration_days: 3, min_probes_per_country: 2, ..Default::default() },
         artifacts: ArtifactConfig::realistic(),
         threads,
+        route_cache: true,
     }
 }
 
@@ -83,6 +84,36 @@ fn different_seeds_differ() {
     let a = run(1);
     let b = run(2);
     assert_ne!(a.pings.first().map(|p| p.rtt_ms), b.pings.first().map(|p| p.rtt_ms));
+}
+
+#[test]
+fn route_cache_is_invisible_in_store_bytes() {
+    // The route-plan cache may change *when* a route is computed, never
+    // *what* it contains: store files must be byte-identical with the cache
+    // on or off, serially and under shard contention at 8 threads.
+    let world = build(&world_cfg(7));
+    let pop = speedchecker::population(&world, 0.01, 7);
+    let store_bytes = |threads: usize, route_cache: bool| {
+        // Fresh simulator per leg so a warm cache can't mask a cold-path bug.
+        let sim = Simulator::new(build(&world_cfg(7)).net);
+        let cfg = CampaignConfig { route_cache, ..campaign_cfg(7, threads) };
+        let mut w =
+            Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 128 })
+                .expect("valid writer options");
+        run_campaign_into(&cfg, &sim, &pop, &mut w)
+            .expect("Vec-backed store sink is infallible");
+        let (bytes, summary) = w.finish().expect("finish succeeds");
+        assert!(summary.ping_rows > 0, "campaign produced no pings");
+        bytes
+    };
+    let reference = store_bytes(1, true);
+    for (threads, route_cache) in [(8, true), (1, false), (8, false)] {
+        assert_eq!(
+            store_bytes(threads, route_cache),
+            reference,
+            "store bytes changed at threads={threads} route_cache={route_cache}"
+        );
+    }
 }
 
 #[test]

@@ -25,6 +25,7 @@ fn small_campaign() -> (Simulator, Dataset) {
         plan: PlanConfig { seed: 99, duration_days: 4, min_probes_per_country: 2, ..Default::default() },
         artifacts: ArtifactConfig::realistic(),
         threads: 3,
+        route_cache: true,
     };
     let ds = run_campaign(&cfg, &sim, &pop);
     (sim, ds)

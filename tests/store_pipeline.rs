@@ -30,6 +30,7 @@ fn campaign_with_store(chunk_rows: usize) -> (Dataset, Reader) {
         plan: PlanConfig { seed: 13, duration_days: 2, ..PlanConfig::default() },
         artifacts: ArtifactConfig::realistic(),
         threads: 4,
+        route_cache: true,
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     let mut writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows })
