@@ -75,9 +75,10 @@ pub fn matched_median_differences(a: &[&PingRecord], b: &[&PingRecord]) -> Vec<f
     let group = |records: &[&PingRecord]| -> HashMap<MatchKey, Vec<f64>> {
         let mut m: HashMap<MatchKey, Vec<f64>> = HashMap::new();
         for r in records {
+            let Some(rtt) = r.rtt_ms() else { continue };
             m.entry(MatchKey { city: r.city.clone(), isp: r.isp, region: r.region })
                 .or_default()
-                .push(r.rtt_ms);
+                .push(rtt);
         }
         m
     };
@@ -133,7 +134,7 @@ mod tests {
             region: RegionId(region),
             provider: Provider::Google,
             proto: Protocol::Tcp,
-            rtt_ms: rtt,
+            outcome: cloudy_measure::TaskOutcome::Ok(rtt),
             hour: 0,
         }
     }

@@ -162,6 +162,12 @@ mod tests {
     }
 
     fn trace_with(hops: Vec<Option<Ipv4Addr>>, city: &str) -> TracerouteRecord {
+        let hops: Vec<HopRecord> = hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, ip)| HopRecord { ttl: (i + 1) as u8, ip, rtt_ms: ip.map(|_| 5.0) })
+            .collect();
+        let outcome = cloudy_measure::outcome_for_hops(&hops);
         TracerouteRecord {
             probe: ProbeId(1),
             platform: Platform::Speedchecker,
@@ -174,11 +180,8 @@ mod tests {
             provider: Provider::Google,
             proto: Protocol::Icmp,
             src_ip: Ipv4Addr::new(11, 0, 0, 2),
-            hops: hops
-                .into_iter()
-                .enumerate()
-                .map(|(i, ip)| HopRecord { ttl: (i + 1) as u8, ip, rtt_ms: ip.map(|_| 5.0) })
-                .collect(),
+            hops,
+            outcome,
             hour: 0,
         }
     }

@@ -121,6 +121,16 @@ mod tests {
     }
 
     fn trace(hops: Vec<(Option<[u8; 4]>, f64)>) -> TracerouteRecord {
+        let hops: Vec<HopRecord> = hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ip, rtt))| HopRecord {
+                ttl: (i + 1) as u8,
+                ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
+                rtt_ms: ip.map(|_| rtt),
+            })
+            .collect();
+        let outcome = cloudy_measure::outcome_for_hops(&hops);
         TracerouteRecord {
             probe: ProbeId(1),
             platform: Platform::Speedchecker,
@@ -133,15 +143,8 @@ mod tests {
             provider: Provider::Google,
             proto: Protocol::Icmp,
             src_ip: Ipv4Addr::new(11, 0, 0, 2),
-            hops: hops
-                .into_iter()
-                .enumerate()
-                .map(|(i, (ip, rtt))| HopRecord {
-                    ttl: (i + 1) as u8,
-                    ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
-                    rtt_ms: ip.map(|_| rtt),
-                })
-                .collect(),
+            hops,
+            outcome,
             hour: 0,
         }
     }

@@ -29,6 +29,8 @@
 //!   trombone/detour analysis of located paths.
 //! * [`compare`] — §4.2's platform comparison: quantile-difference distributions and
 //!   the `<city, ASN>`-matched subset (Fig. 16).
+//! * [`quality`] — per-probe loss-rate reporting and the paper's
+//!   minimum-sample pre-filter; failed tasks are counted, never averaged.
 //! * [`report`] — plain-text table/CDF rendering shared by examples and
 //!   benches.
 //!
@@ -50,6 +52,7 @@ pub mod nearest;
 pub mod paths;
 pub mod peering;
 pub mod pervasiveness;
+pub mod quality;
 pub mod report;
 pub mod stats;
 
@@ -58,4 +61,5 @@ pub use lastmile::{InferredAccess, LastMile};
 pub use latency_groups::{LatencyBand, HPL_MS, HRT_MS, MTP_MS};
 pub use paths::AsLevelPath;
 pub use peering::Interconnection;
+pub use quality::{LossReport, ProbeQuality};
 pub use stats::{BoxStats, Cdf};

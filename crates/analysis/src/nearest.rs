@@ -15,11 +15,13 @@ pub fn nearest_by_mean<F>(pings: &[PingRecord], filter: F) -> HashMap<ProbeId, (
 where
     F: Fn(&PingRecord) -> bool,
 {
-    // (probe, region) -> (sum, count)
+    // (probe, region) -> (sum, count). Failed tasks carry no RTT and are
+    // excluded before they can bias a mean toward zero.
     let mut acc: HashMap<(ProbeId, RegionId), (f64, u64)> = HashMap::new();
     for p in pings.iter().filter(|p| filter(p)) {
+        let Some(rtt) = p.rtt_ms() else { continue };
         let e = acc.entry((p.probe, p.region)).or_insert((0.0, 0));
-        e.0 += p.rtt_ms;
+        e.0 += rtt;
         e.1 += 1;
     }
     let mut best: HashMap<ProbeId, (RegionId, f64)> = HashMap::new();
@@ -71,7 +73,7 @@ mod tests {
             region: RegionId(region),
             provider: Provider::Google,
             proto: Protocol::Tcp,
-            rtt_ms: rtt,
+            outcome: cloudy_measure::TaskOutcome::Ok(rtt),
             hour: 0,
         }
     }

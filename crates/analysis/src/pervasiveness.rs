@@ -94,6 +94,16 @@ mod tests {
     }
 
     fn trace(hops: Vec<Option<[u8; 4]>>) -> TracerouteRecord {
+        let hops: Vec<HopRecord> = hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, ip)| HopRecord {
+                ttl: (i + 1) as u8,
+                ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
+                rtt_ms: ip.map(|_| 10.0),
+            })
+            .collect();
+        let outcome = cloudy_measure::outcome_for_hops(&hops);
         TracerouteRecord {
             probe: ProbeId(1),
             platform: Platform::Speedchecker,
@@ -106,15 +116,8 @@ mod tests {
             provider: Provider::Google,
             proto: Protocol::Icmp,
             src_ip: Ipv4Addr::new(11, 0, 0, 2),
-            hops: hops
-                .into_iter()
-                .enumerate()
-                .map(|(i, ip)| HopRecord {
-                    ttl: (i + 1) as u8,
-                    ip: ip.map(|o| Ipv4Addr::new(o[0], o[1], o[2], o[3])),
-                    rtt_ms: ip.map(|_| 10.0),
-                })
-                .collect(),
+            hops,
+            outcome,
             hour: 0,
         }
     }

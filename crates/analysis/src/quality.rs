@@ -1,0 +1,194 @@
+//! Data quality under failure: per-probe loss accounting and the paper's
+//! minimum-sample filter.
+//!
+//! The paper never aggregates over raw rows: §3.3 derives its sample-size
+//! bound (`confidence`), and probes that delivered too few measurements —
+//! because they churned offline, were rate-limited, or sat behind lossy
+//! last miles — are excluded before any figure is drawn. This module is
+//! that pre-filter, plus the loss-rate report operators need to see *why*
+//! a probe was dropped.
+//!
+//! Everything here keys on [`TaskOutcome`]: failed tasks are first-class
+//! rows in the dataset and must be counted, but only delivered rows ever
+//! contribute latency samples.
+
+use cloudy_measure::{PingRecord, TaskOutcome};
+use cloudy_probes::ProbeId;
+use std::collections::BTreeMap;
+
+/// Per-probe outcome tally over ping rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeQuality {
+    pub delivered: u64,
+    pub lost: u64,
+    pub timeout: u64,
+    pub offline: u64,
+    pub rate_limited: u64,
+}
+
+impl ProbeQuality {
+    pub fn total(&self) -> u64 {
+        self.delivered + self.failed()
+    }
+
+    pub fn failed(&self) -> u64 {
+        self.lost + self.timeout + self.offline + self.rate_limited
+    }
+
+    /// Fraction of this probe's tasks that failed (0.0 for an empty tally).
+    pub fn loss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.failed() as f64 / self.total() as f64
+        }
+    }
+
+    fn observe(&mut self, outcome: &TaskOutcome) {
+        match outcome {
+            TaskOutcome::Ok(_) => self.delivered += 1,
+            TaskOutcome::Lost => self.lost += 1,
+            TaskOutcome::Timeout(_) => self.timeout += 1,
+            TaskOutcome::ProbeOffline => self.offline += 1,
+            TaskOutcome::RateLimited => self.rate_limited += 1,
+        }
+    }
+}
+
+/// Per-probe loss report over a campaign's ping rows. BTreeMap keeps the
+/// report's iteration (and any rendering of it) deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LossReport {
+    pub probes: BTreeMap<ProbeId, ProbeQuality>,
+}
+
+impl LossReport {
+    pub fn totals(&self) -> ProbeQuality {
+        let mut t = ProbeQuality::default();
+        for q in self.probes.values() {
+            t.delivered += q.delivered;
+            t.lost += q.lost;
+            t.timeout += q.timeout;
+            t.offline += q.offline;
+            t.rate_limited += q.rate_limited;
+        }
+        t
+    }
+
+    /// Probes with fewer than `min_samples` *delivered* pings — the set the
+    /// paper's minimum-sample filter drops.
+    pub fn below_min_samples(&self, min_samples: u64) -> Vec<ProbeId> {
+        self.probes
+            .iter()
+            .filter(|(_, q)| q.delivered < min_samples)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// Tally every ping row (delivered and failed) per probe.
+pub fn loss_report(pings: &[PingRecord]) -> LossReport {
+    let mut probes: BTreeMap<ProbeId, ProbeQuality> = BTreeMap::new();
+    for p in pings {
+        probes.entry(p.probe).or_default().observe(&p.outcome);
+    }
+    LossReport { probes }
+}
+
+/// The delivered subset: rows failed tasks can never reach. Analysis over a
+/// faulted dataset equals analysis over this subset by construction, since
+/// every aggregation opts in to RTTs via [`PingRecord::rtt_ms`].
+pub fn clean_subset(pings: &[PingRecord]) -> Vec<&PingRecord> {
+    pings.iter().filter(|p| p.outcome.is_ok()).collect()
+}
+
+/// The paper's minimum-sample filter: delivered rows from probes with at
+/// least `min_samples` delivered pings.
+pub fn filter_min_samples(pings: &[PingRecord], min_samples: u64) -> Vec<&PingRecord> {
+    let report = loss_report(pings);
+    pings
+        .iter()
+        .filter(|p| {
+            p.outcome.is_ok()
+                && report.probes.get(&p.probe).is_some_and(|q| q.delivered >= min_samples)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::{Continent, CountryCode};
+    use cloudy_lastmile::AccessType;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::Platform;
+    use cloudy_topology::Asn;
+
+    fn ping(probe: u64, outcome: TaskOutcome) -> PingRecord {
+        PingRecord {
+            probe: ProbeId(probe),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(10),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::Google,
+            proto: Protocol::Tcp,
+            outcome,
+            hour: 0,
+        }
+    }
+
+    fn mixed() -> Vec<PingRecord> {
+        let mut rows = Vec::new();
+        // Probe 1: 4 delivered, 2 failed.
+        for i in 0..4 {
+            rows.push(ping(1, TaskOutcome::Ok(10.0 + i as f64)));
+        }
+        rows.push(ping(1, TaskOutcome::Lost));
+        rows.push(ping(1, TaskOutcome::Timeout(800.0)));
+        // Probe 2: 1 delivered, 3 failed — below a min-sample bar of 2.
+        rows.push(ping(2, TaskOutcome::Ok(50.0)));
+        rows.push(ping(2, TaskOutcome::ProbeOffline));
+        rows.push(ping(2, TaskOutcome::ProbeOffline));
+        rows.push(ping(2, TaskOutcome::RateLimited));
+        // Probe 3: all failed.
+        rows.push(ping(3, TaskOutcome::Lost));
+        rows
+    }
+
+    #[test]
+    fn loss_report_counts_every_outcome_class() {
+        let report = loss_report(&mixed());
+        let q1 = report.probes[&ProbeId(1)];
+        assert_eq!((q1.delivered, q1.lost, q1.timeout), (4, 1, 1));
+        assert!((q1.loss_rate() - 2.0 / 6.0).abs() < 1e-12);
+        let q2 = report.probes[&ProbeId(2)];
+        assert_eq!((q2.delivered, q2.offline, q2.rate_limited), (1, 2, 1));
+        let totals = report.totals();
+        assert_eq!(totals.total(), 11);
+        assert_eq!(totals.failed(), 6);
+        assert_eq!(totals.delivered, 5);
+    }
+
+    #[test]
+    fn min_sample_filter_drops_thin_probes() {
+        let rows = mixed();
+        let report = loss_report(&rows);
+        assert_eq!(report.below_min_samples(2), vec![ProbeId(2), ProbeId(3)]);
+        let kept = filter_min_samples(&rows, 2);
+        assert_eq!(kept.len(), 4);
+        assert!(kept.iter().all(|p| p.probe == ProbeId(1) && p.outcome.is_ok()));
+    }
+
+    #[test]
+    fn clean_subset_is_exactly_the_delivered_rows() {
+        let rows = mixed();
+        let clean = clean_subset(&rows);
+        assert_eq!(clean.len(), 5);
+        assert!(clean.iter().all(|p| p.rtt_ms().is_some()));
+    }
+}

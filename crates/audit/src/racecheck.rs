@@ -15,13 +15,18 @@
 //! uncached legs: memoizing routes may change *when* a route is computed,
 //! never *what* it contains, so every leg — serial/parallel ×
 //! cached/uncached — must produce byte-identical JSONL and store files.
+//!
+//! With the fault-injection layer, the same matrix runs again under the
+//! default fault profile: fault draws, retries, and offline windows are
+//! keyed only by stable task identity, so a faulted campaign must be every
+//! bit as thread- and cache-invariant as a clean one.
 
 use crate::finding::{AuditReport, Severity};
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::plan::PlanConfig;
 use cloudy_measure::{run_campaign_into, CampaignConfig, Dataset, TeeSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
-use cloudy_netsim::Simulator;
+use cloudy_netsim::{FaultProfile, Simulator};
 use cloudy_probes::{speedchecker, Platform};
 use cloudy_store::{Writer, WriterOptions};
 
@@ -55,7 +60,12 @@ fn small_world(seed: u64) -> BuiltWorld {
 /// Run the campaign at `threads` workers, teeing every record into both a
 /// `Dataset` (serialized to JSONL) and a columnar store writer: two
 /// independent byte encodings of the same record stream to compare.
-fn campaign_outputs(seed: u64, threads: usize, route_cache: bool) -> (String, Vec<u8>) {
+fn campaign_outputs(
+    seed: u64,
+    threads: usize,
+    route_cache: bool,
+    faults: FaultProfile,
+) -> (String, Vec<u8>) {
     let world = small_world(seed);
     let pop = speedchecker::population(&world, 0.02, seed);
     let sim = Simulator::new(world.net);
@@ -64,6 +74,7 @@ fn campaign_outputs(seed: u64, threads: usize, route_cache: bool) -> (String, Ve
         artifacts: ArtifactConfig::realistic(),
         threads,
         route_cache,
+        faults,
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     // Small chunks so the race check exercises many flush boundaries.
@@ -99,8 +110,9 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         );
         return report;
     }
-    let (serial, serial_store) = campaign_outputs(cfg.seed, 1, true);
-    let (parallel, parallel_store) = campaign_outputs(cfg.seed, cfg.threads, true);
+    let (serial, serial_store) = campaign_outputs(cfg.seed, 1, true, FaultProfile::none());
+    let (parallel, parallel_store) =
+        campaign_outputs(cfg.seed, cfg.threads, true, FaultProfile::none());
     let (h1, hn) = (fnv1a(serial.as_bytes()), fnv1a(parallel.as_bytes()));
     if serial != parallel {
         let first_diff = serial
@@ -147,7 +159,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     // serially or under thread contention on the shared cache shards.
     for (label, threads) in [("1-thread", 1usize), ("N-thread", cfg.threads)] {
         report.checks_run += 1;
-        let (jsonl, store) = campaign_outputs(cfg.seed, threads, false);
+        let (jsonl, store) = campaign_outputs(cfg.seed, threads, false, FaultProfile::none());
         if jsonl != serial || store != serial_store {
             let (hu, hc) = (fnv1a(jsonl.as_bytes()), fnv1a(serial.as_bytes()));
             report.push(
@@ -159,6 +171,43 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
                      the route cache changed observable output",
                     store.len(),
                     serial_store.len(),
+                ),
+            );
+        }
+    }
+    // Faulted legs: retries, offline windows, and failure rows must be
+    // exactly as deterministic as clean samples — same matrix, default
+    // fault profile, one faulted serial/cached run as the reference.
+    let profile = FaultProfile::default_profile();
+    report.checks_run += 1;
+    let (faulted_ref, faulted_ref_store) = campaign_outputs(cfg.seed, 1, true, profile);
+    if faulted_ref == serial {
+        report.push(
+            Severity::Error,
+            "race",
+            "the default fault profile injected no failures — the faulted legs race-check \
+             nothing"
+                .into(),
+        );
+    }
+    for (label, threads, route_cache) in [
+        ("N-thread cached", cfg.threads, true),
+        ("1-thread uncached", 1, false),
+        ("N-thread uncached", cfg.threads, false),
+    ] {
+        report.checks_run += 1;
+        let (jsonl, store) = campaign_outputs(cfg.seed, threads, route_cache, profile);
+        if jsonl != faulted_ref || store != faulted_ref_store {
+            let (hu, hc) = (fnv1a(jsonl.as_bytes()), fnv1a(faulted_ref.as_bytes()));
+            report.push(
+                Severity::Error,
+                "race",
+                format!(
+                    "{label} faulted campaign diverges from the faulted reference \
+                     (jsonl fnv1a {hu:016x} vs {hc:016x}, store lengths {} vs {}) — \
+                     fault injection depends on execution order",
+                    store.len(),
+                    faulted_ref_store.len(),
                 ),
             );
         }

@@ -60,6 +60,7 @@ fn bench(c: &mut Criterion) {
         artifacts: s.config.artifacts,
         threads: 4,
         route_cache: true,
+        faults: cloudy_netsim::FaultProfile::none(),
     };
     let counterfactual = run_campaign(&cfg, &s.sim, &pop);
 
@@ -82,10 +83,11 @@ fn bench(c: &mut Criterion) {
     ]);
     for cont in Continent::ALL {
         let sc: Vec<f64> =
-            sc_nearest.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
+            sc_nearest.iter().filter(|p| p.continent == cont).filter_map(|p| p.rtt_ms()).collect();
         let real: Vec<f64> =
-            real_at.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
-        let cf: Vec<f64> = cf_at.iter().filter(|p| p.continent == cont).map(|p| p.rtt_ms).collect();
+            real_at.iter().filter(|p| p.continent == cont).filter_map(|p| p.rtt_ms()).collect();
+        let cf: Vec<f64> =
+            cf_at.iter().filter(|p| p.continent == cont).filter_map(|p| p.rtt_ms()).collect();
         if sc.len() < 20 || real.len() < 20 || cf.len() < 20 {
             continue;
         }

@@ -1,11 +1,14 @@
-//! Campaign executor throughput: route-plan cache on vs. off.
+//! Campaign executor throughput: route-plan cache on vs. off, plus the
+//! retry overhead of the default fault profile.
 //!
 //! The route cache memoizes valley-free path construction across the
 //! campaign's repeated `<probe, datacenter>` measurements; this bench runs
 //! a route-heavy ping-only campaign both ways on fresh simulators, checks
 //! the outputs agree record-for-record (the cache's determinism contract),
-//! and reports wall-clock speedup to `BENCH_campaign.json` at the
-//! workspace root so CI and reviewers can diff baselines across commits.
+//! runs a third leg under `FaultProfile::default_profile()` to price the
+//! fault-draw + retry/backoff machinery, and reports wall-clock numbers to
+//! `BENCH_campaign.json` at the workspace root so CI and reviewers can
+//! diff baselines across commits.
 //!
 //! Like `store_throughput`, it keeps its own timer — Criterion's
 //! per-iteration model fits a run-twice-and-compare bench poorly. Set
@@ -15,7 +18,7 @@
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::{run_campaign_into, CampaignConfig, CountingSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
-use cloudy_netsim::{CacheStats, Simulator};
+use cloudy_netsim::{CacheStats, FaultProfile, Simulator};
 use cloudy_probes::{speedchecker, Population};
 use std::time::Instant;
 
@@ -23,7 +26,7 @@ fn world(seed: u64) -> BuiltWorld {
     build(&WorldConfig { seed, isps_per_country: 3, countries: None })
 }
 
-fn config(seed: u64, days: u32, route_cache: bool) -> CampaignConfig {
+fn config(seed: u64, days: u32, route_cache: bool, faults: FaultProfile) -> CampaignConfig {
     // Ping-only and many samples per grant: the schedule revisits each
     // <probe, region> pair over and over, which is exactly the
     // paper-shaped workload the cache exists for.
@@ -35,6 +38,7 @@ fn config(seed: u64, days: u32, route_cache: bool) -> CampaignConfig {
         .artifacts(ArtifactConfig::realistic())
         .threads(4)
         .route_cache(route_cache)
+        .faults(faults)
         .build()
         .expect("a valid campaign config")
 }
@@ -61,22 +65,36 @@ fn main() {
         pop.probes.len()
     );
 
-    let (cached_records, cached_s, stats) = leg(&w, &pop, &config(seed, days, true), seed);
-    let (uncached_records, uncached_s, _) = leg(&w, &pop, &config(seed, days, false), seed);
+    let none = FaultProfile::none();
+    let (cached_records, cached_s, stats) =
+        leg(&w, &pop, &config(seed, days, true, none), seed);
+    let (uncached_records, uncached_s, _) =
+        leg(&w, &pop, &config(seed, days, false, none), seed);
     assert_eq!(
         cached_records, uncached_records,
         "route cache changed the record count — determinism contract broken"
     );
     assert!(cached_records > 0, "campaign produced no records");
 
+    // Retry-overhead leg: same cached workload under the default fault
+    // profile. The faulted executor records every planned task (failures
+    // included) and spends retry attempts, so wall-clock per *task* is the
+    // fair comparison, not per record.
+    let profile = FaultProfile::default_profile();
+    let (faulted_records, faulted_s, _) =
+        leg(&w, &pop, &config(seed, days, true, profile), seed);
+    assert!(faulted_records >= cached_records, "faulted leg dropped planned tasks");
+
     let speedup = uncached_s / cached_s;
+    let fault_overhead = faulted_s / cached_s;
     let json = format!(
         "{{\n  \"records\": {cached_records},\n  \"smoke\": {smoke},\n  \
          \"cached_s\": {cached_s:.3},\n  \"uncached_s\": {uncached_s:.3},\n  \
          \"speedup\": {speedup:.2},\n  \"cached_records_s\": {:.0},\n  \
          \"uncached_records_s\": {:.0},\n  \"cache_hits\": {},\n  \
          \"cache_misses\": {},\n  \"cache_entries\": {},\n  \
-         \"cache_hit_rate\": {:.4}\n}}\n",
+         \"cache_hit_rate\": {:.4},\n  \"faulted_records\": {faulted_records},\n  \
+         \"faulted_s\": {faulted_s:.3},\n  \"fault_overhead\": {fault_overhead:.2}\n}}\n",
         cached_records as f64 / cached_s,
         uncached_records as f64 / uncached_s,
         stats.hits,
@@ -87,6 +105,11 @@ fn main() {
     print!("{json}");
     if !smoke && speedup < 2.0 {
         eprintln!("WARNING: cached campaign only {speedup:.2}x faster (target >= 2x)");
+    }
+    if !smoke && fault_overhead > 1.5 {
+        eprintln!(
+            "WARNING: default fault profile costs {fault_overhead:.2}x wall-clock (target <= 1.5x)"
+        );
     }
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     match std::fs::write(out, &json) {

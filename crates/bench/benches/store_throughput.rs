@@ -56,7 +56,7 @@ fn synthetic_pings(rows: usize) -> Vec<PingRecord> {
                 region: RegionId((i % 40) as u16),
                 provider: Provider::ALL[i % Provider::ALL.len()],
                 proto: if i % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
-                rtt_ms: micros as f64 / 1000.0,
+                outcome: cloudy_measure::TaskOutcome::Ok(micros as f64 / 1000.0),
                 hour: (i as u64) / 10_000,
             }
         })

@@ -57,11 +57,12 @@ pub fn run(study: &Study) -> Diurnal {
     let mut acc: HashMap<(Continent, usize), Vec<f64>> = HashMap::new();
     let mut counts: HashMap<Continent, usize> = HashMap::new();
     for p in samples {
+        let Some(rtt) = p.rtt_ms() else { continue };
         let Some((_, c)) = city::by_name(&p.city) else { continue };
         let local =
             cloudy_netsim::latency::diurnal::local_hour(p.hour, c.location().lon());
         let bucket = ((local / 24.0 * BUCKETS as f64) as usize).min(BUCKETS - 1);
-        acc.entry((p.continent, bucket)).or_default().push(p.rtt_ms);
+        acc.entry((p.continent, bucket)).or_default().push(rtt);
         *counts.entry(p.continent).or_default() += 1;
     }
     let mut rows = Vec::new();

@@ -59,7 +59,7 @@ fn rows_for(
             let samples: Vec<f64> = nearest::samples_to_nearest(&study.sc.pings, &nearest)
                 .iter()
                 .filter(|p| p.country == cc)
-                .map(|p| p.rtt_ms)
+                .filter_map(|p| p.rtt_ms())
                 .collect();
             if samples.len() < 5 {
                 continue;

@@ -151,14 +151,15 @@ pub fn run(study: &Study, case: CaseStudy) -> PeeringCase {
         if !case.isps().iter().any(|(a, _)| *a == ping.isp) {
             continue;
         }
+        let Some(rtt) = ping.rtt_ms() else { continue };
         let Some(b) = breakdowns.get(&(ping.isp, ping.provider)) else { continue };
         let Some((dom, _)) = b.dominant() else { continue };
         match dom {
             Interconnection::Direct | Interconnection::OneIxp => {
-                direct.entry(ping.provider).or_default().push(ping.rtt_ms)
+                direct.entry(ping.provider).or_default().push(rtt)
             }
             Interconnection::OneAs | Interconnection::TwoPlusAs => {
-                transit.entry(ping.provider).or_default().push(ping.rtt_ms)
+                transit.entry(ping.provider).or_default().push(rtt)
             }
         }
     }

@@ -38,7 +38,9 @@ pub fn run(study: &Study) -> ProtocolCompare {
     let mut tcp: HashMap<(CountryCode, RegionId), Vec<f64>> = HashMap::new();
     for p in &study.sc.pings {
         if p.proto == cloudy_netsim::Protocol::Tcp {
-            tcp.entry((p.country, p.region)).or_default().push(p.rtt_ms);
+            if let Some(rtt) = p.rtt_ms() {
+                tcp.entry((p.country, p.region)).or_default().push(rtt);
+            }
         }
     }
     let mut icmp: HashMap<(CountryCode, RegionId), Vec<f64>> = HashMap::new();

@@ -28,7 +28,9 @@ where
 {
     let mut out: HashMap<K, Vec<f64>> = HashMap::new();
     for s in samples {
-        out.entry(key(s)).or_default().push(s.rtt_ms);
+        // Failed tasks carry no RTT; they never join a latency group.
+        let Some(rtt) = s.rtt_ms() else { continue };
+        out.entry(key(s)).or_default().push(rtt);
     }
     out
 }

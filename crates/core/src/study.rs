@@ -4,9 +4,9 @@ use cloudy_geo::CountryCode;
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::campaign::{run_campaign, run_campaign_into, CampaignConfig};
 use cloudy_measure::plan::{PlanConfig, TaskKindSet};
-use cloudy_measure::{Dataset, MeasureError, RecordSink};
+use cloudy_measure::{Dataset, FailureStats, MeasureError, RecordSink};
 use cloudy_netsim::build::{build, WorldConfig};
-use cloudy_netsim::Simulator;
+use cloudy_netsim::{FaultProfile, Simulator};
 use cloudy_probes::{atlas, speedchecker};
 use cloudy_topology::registry::RegistryEntry;
 use cloudy_topology::{Asn, Registry};
@@ -34,6 +34,9 @@ pub struct StudyConfig {
     pub artifacts: ArtifactConfig,
     /// Memoize route computation across tasks (never changes results).
     pub route_cache: bool,
+    /// Fault-injection profile for both campaigns (`FaultProfile::none()`
+    /// reproduces the legacy zero-fault byte stream exactly).
+    pub faults: FaultProfile,
 }
 
 impl StudyConfig {
@@ -50,6 +53,7 @@ impl StudyConfig {
             regions_per_probe: 6,
             artifacts: ArtifactConfig::realistic(),
             route_cache: true,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -66,6 +70,7 @@ impl StudyConfig {
             regions_per_probe: 8,
             artifacts: ArtifactConfig::realistic(),
             route_cache: true,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -95,6 +100,7 @@ impl StudyConfig {
             artifacts: self.artifacts,
             threads: self.threads,
             route_cache: self.route_cache,
+            faults: self.faults,
         }
     }
 }
@@ -103,12 +109,13 @@ impl StudyConfig {
 /// instead of materialising `Dataset`s — e.g. two `cloudy_store::Writer`s,
 /// so a study far larger than memory still runs in bounded space. Record
 /// order per sink is identical to the corresponding [`Study::run`] dataset
-/// (and invariant under `threads`).
+/// (and invariant under `threads`). Returns the (Speedchecker, Atlas)
+/// failure accounting.
 pub fn run_study_into(
     config: &StudyConfig,
     sc_sink: &mut impl RecordSink,
     atlas_sink: &mut impl RecordSink,
-) -> Result<(), MeasureError> {
+) -> Result<(FailureStats, FailureStats), MeasureError> {
     let world = build(&WorldConfig {
         seed: config.seed,
         isps_per_country: config.isps_per_country,
@@ -119,8 +126,9 @@ pub fn run_study_into(
     let sim = Simulator::new(world.net);
 
     let campaign_cfg = config.campaign_config();
-    run_campaign_into(&campaign_cfg, &sim, &sc_pop, sc_sink)?;
-    run_campaign_into(&campaign_cfg, &sim, &atlas_pop, atlas_sink)
+    let sc_stats = run_campaign_into(&campaign_cfg, &sim, &sc_pop, sc_sink)?;
+    let atlas_stats = run_campaign_into(&campaign_cfg, &sim, &atlas_pop, atlas_sink)?;
+    Ok((sc_stats, atlas_stats))
 }
 
 /// The executed study: simulator + both datasets + registry.

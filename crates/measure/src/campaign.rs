@@ -20,12 +20,12 @@
 use crate::dataset::Dataset;
 use crate::error::MeasureError;
 use crate::plan::{self, MeasurementPlan, PlanConfig, TaskKind, TaskKindSet};
-use crate::record::{HopRecord, PingRecord, TracerouteRecord};
+use crate::record::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 use crate::sink::RecordSink;
 use cloudy_cloud::RegionId;
 use cloudy_lastmile::ArtifactConfig;
-use cloudy_netsim::{ClientCtx, RoutePath, Simulator};
-use cloudy_probes::Population;
+use cloudy_netsim::{ClientCtx, FaultDraw, FaultModel, FaultProfile, RoutePath, Simulator};
+use cloudy_probes::{Availability, Population};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -45,6 +45,13 @@ pub struct CampaignConfig {
     /// each block by (probe, region). Off = the legacy per-task path; both
     /// produce byte-identical output (enforced by the audit race check).
     pub route_cache: bool,
+    /// Fault-injection profile. [`FaultProfile::none`] (the default) runs
+    /// the legacy zero-fault path: intrinsically lost pings produce no
+    /// record and output is byte-identical to the pre-fault executor. Any
+    /// faulted profile records *every* planned task with a typed
+    /// [`TaskOutcome`] and retries wire-level failures under the profile's
+    /// bounded backoff policy.
+    pub faults: FaultProfile,
 }
 
 impl Default for CampaignConfig {
@@ -54,6 +61,7 @@ impl Default for CampaignConfig {
             artifacts: ArtifactConfig::realistic(),
             threads: 4,
             route_cache: true,
+            faults: FaultProfile::none(),
         }
     }
 }
@@ -127,6 +135,12 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Fault-injection profile (`--faults <profile>` on the CLI).
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.cfg.faults = profile;
+        self
+    }
+
     /// Validate and return the configuration.
     pub fn build(self) -> Result<CampaignConfig, MeasureError> {
         let cfg = self.cfg;
@@ -154,8 +168,100 @@ impl CampaignConfigBuilder {
         if cfg.plan.regions_per_probe == 0 {
             return Err(MeasureError::config("regions_per_probe", "must be >= 1"));
         }
+        let f = &cfg.faults;
+        let probs =
+            [f.extra_loss, f.timeout_probability, f.rate_limit_probability, f.offline_probability];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err(MeasureError::config("faults", "probabilities must be in [0, 1]"));
+        }
+        if f.timeout_probability > 0.0 && f.timeout_budget_ms <= 0.0 {
+            return Err(MeasureError::config(
+                "faults",
+                "timeout_budget_ms must be > 0 when timeouts are enabled",
+            ));
+        }
+        if f.offline_probability > 0.0
+            && (f.offline_min_hours == 0
+                || f.offline_max_hours < f.offline_min_hours
+                || f.offline_max_hours > 24)
+        {
+            return Err(MeasureError::config(
+                "faults",
+                "offline window must satisfy 1 <= min <= max <= 24 hours",
+            ));
+        }
         Ok(cfg)
     }
+}
+
+/// Per-campaign failure accounting: final outcomes by class plus retry
+/// effort. Per-block stats are merged in drain (block) order, so the totals
+/// are invariant under the thread count, and with a faulted profile they
+/// reconcile exactly with the stored outcome tags (every planned task
+/// produces one record).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FailureStats {
+    /// Tasks whose final outcome delivered an RTT.
+    pub ok: u64,
+    /// Final outcome lost (intrinsic path loss or injected platform loss).
+    pub lost: u64,
+    /// Final outcome timed out at the profile's budget.
+    pub timeout: u64,
+    /// Final outcome rejected by the rate limiter.
+    pub rate_limited: u64,
+    /// Tasks scheduled inside a probe-offline window (never retried).
+    pub probe_offline: u64,
+    /// Retry attempts spent (beyond each task's first attempt).
+    pub retries: u64,
+    /// Tasks that failed at least once but delivered after a retry.
+    pub recovered: u64,
+    /// Total virtual backoff accumulated by the retry policy (ms).
+    pub backoff_ms: f64,
+}
+
+impl FailureStats {
+    /// Count one task's *final* outcome.
+    fn record(&mut self, outcome: &TaskOutcome) {
+        match outcome {
+            TaskOutcome::Ok(_) => self.ok += 1,
+            TaskOutcome::Lost => self.lost += 1,
+            TaskOutcome::Timeout(_) => self.timeout += 1,
+            TaskOutcome::ProbeOffline => self.probe_offline += 1,
+            TaskOutcome::RateLimited => self.rate_limited += 1,
+        }
+    }
+
+    /// Fold another block's stats into this one.
+    pub fn merge(&mut self, other: &FailureStats) {
+        self.ok += other.ok;
+        self.lost += other.lost;
+        self.timeout += other.timeout;
+        self.rate_limited += other.rate_limited;
+        self.probe_offline += other.probe_offline;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// Tasks whose final outcome failed.
+    pub fn failures(&self) -> u64 {
+        self.lost + self.timeout + self.rate_limited + self.probe_offline
+    }
+
+    /// Tasks accounted (failures + deliveries).
+    pub fn total(&self) -> u64 {
+        self.ok + self.failures()
+    }
+}
+
+/// Per-block fault context: the seeded draw model plus the availability
+/// model driving probe-offline windows. Both are pure functions of stable
+/// task identity, so sharing them across threads is free of ordering
+/// effects.
+#[derive(Clone, Copy)]
+struct FaultCtx {
+    model: FaultModel,
+    avail: Availability,
 }
 
 /// Execute a campaign for one platform population.
@@ -164,13 +270,17 @@ pub fn run_campaign(cfg: &CampaignConfig, sim: &Simulator, pop: &Population) -> 
     execute(cfg, sim, pop, &schedule)
 }
 
-/// Plan and execute a campaign, streaming records into `sink`.
+/// Plan and execute a campaign, streaming records into `sink`. Returns the
+/// campaign's failure accounting. Under the zero-fault profile the legacy
+/// semantics hold: intrinsically lost pings are *counted* as `lost` but
+/// produce no record; with a faulted profile every planned task produces a
+/// record and the stats reconcile exactly with the stored outcome tags.
 pub fn run_campaign_into(
     cfg: &CampaignConfig,
     sim: &Simulator,
     pop: &Population,
     sink: &mut impl RecordSink,
-) -> Result<(), MeasureError> {
+) -> Result<FailureStats, MeasureError> {
     let schedule = plan::plan(&cfg.plan, pop);
     execute_into(cfg, sim, pop, &schedule, sink)
 }
@@ -185,6 +295,87 @@ pub fn execute(
     let mut ds = Dataset::new(pop.platform);
     execute_into(cfg, sim, pop, schedule, &mut ds).expect("Dataset sink is infallible");
     ds
+}
+
+/// Run one task's bounded retry loop and return its final outcome (and, for
+/// traceroutes, the delivered hops). One attempt = one fault draw; a
+/// `Deliver` draw falls through to the simulator, whose sample may still be
+/// intrinsically lost or exceed the timeout budget. Wire-level failures
+/// retry up to `max_retries` times with deterministic (virtual) backoff;
+/// every retry re-keys both the fault draw and the latency flow by the
+/// attempt number, so the whole loop is a pure function of task identity.
+fn run_attempts(
+    sim: &Simulator,
+    fc: &FaultCtx,
+    client: &ClientCtx,
+    path: &RoutePath,
+    t: &plan::Task,
+    stats: &mut FailureStats,
+) -> (TaskOutcome, Vec<HopRecord>) {
+    let profile = fc.model.profile();
+    let budget = profile.timeout_budget_ms;
+    let region_tag = t.region.0 as u64;
+    // Offline windows are per (probe, day) and not retryable: the probe is
+    // gone for hours, not one scheduler tick.
+    let day = t.hour / 24;
+    let offline = fc
+        .avail
+        .offline_window(client.probe_hash, day, profile)
+        .is_some_and(|(start, end)| t.hour >= start && t.hour < end);
+    if offline {
+        stats.record(&TaskOutcome::ProbeOffline);
+        return (TaskOutcome::ProbeOffline, Vec::new());
+    }
+    let (kind_tag, proto) = match t.kind {
+        TaskKind::Ping(p) => (0xD1A1u64, p),
+        TaskKind::Traceroute(p) => (0x7124CEu64, p),
+    };
+    let mut attempt = 0u32;
+    let (outcome, hops) = loop {
+        let drawn = fc.model.draw(client.probe_hash, region_tag, kind_tag, t.hour, t.seq, attempt);
+        let result = match drawn {
+            FaultDraw::RateLimited => (TaskOutcome::RateLimited, Vec::new()),
+            FaultDraw::Lost => (TaskOutcome::Lost, Vec::new()),
+            FaultDraw::Timeout => (TaskOutcome::Timeout(budget), Vec::new()),
+            FaultDraw::Deliver => match t.kind {
+                TaskKind::Ping(_) => {
+                    match sim.ping_at_attempt(client, path, proto, t.seq, t.hour, attempt) {
+                        None => (TaskOutcome::Lost, Vec::new()),
+                        Some(rtt) if budget > 0.0 && rtt >= budget => {
+                            (TaskOutcome::Timeout(budget), Vec::new())
+                        }
+                        Some(rtt) => (TaskOutcome::Ok(rtt), Vec::new()),
+                    }
+                }
+                TaskKind::Traceroute(_) => {
+                    let hops: Vec<HopRecord> = sim
+                        .traceroute_at_attempt(client, path, proto, t.seq, t.hour, attempt)
+                        .into_iter()
+                        .map(HopRecord::from)
+                        .collect();
+                    let e2e = hops.last().and_then(|h| h.rtt_ms).unwrap_or(0.0);
+                    if budget > 0.0 && e2e >= budget {
+                        // Aborted at the budget: the partial hop list is
+                        // discarded, as a real scheduler would.
+                        (TaskOutcome::Timeout(budget), Vec::new())
+                    } else {
+                        (outcome_for_hops(&hops), hops)
+                    }
+                }
+            },
+        };
+        if !result.0.is_retryable() || attempt >= profile.max_retries {
+            break result;
+        }
+        attempt += 1;
+        stats.retries += 1;
+        stats.backoff_ms += fc.model.backoff_ms(attempt);
+    };
+    if outcome.is_ok() && attempt > 0 {
+        stats.recovered += 1;
+    }
+    stats.record(&outcome);
+    (outcome, hops)
 }
 
 /// Run all tasks of one block sequentially; this is the unit of work a
@@ -203,9 +394,11 @@ fn run_block(
     artifacts: &ArtifactConfig,
     tasks: &[plan::Task],
     route_cache: bool,
-) -> (Vec<PingRecord>, Vec<TracerouteRecord>) {
+    faults: Option<&FaultCtx>,
+) -> (Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats) {
     let mut pings = Vec::new();
     let mut traces = Vec::new();
+    let mut stats = FailureStats::default();
     let mut clients: HashMap<u32, ClientCtx> = HashMap::new();
     let mut routes: HashMap<(u32, RegionId), Arc<RoutePath>> = HashMap::new();
     if route_cache {
@@ -228,13 +421,54 @@ fn run_block(
             (c, p)
         };
         let ep = sim.net.region(t.region);
+        if let Some(fc) = faults {
+            // Faulted mode: every planned task produces exactly one record
+            // carrying its final typed outcome, so failure counters
+            // reconcile with the stored outcome tags.
+            let (outcome, hops) = run_attempts(sim, fc, client, path, t, &mut stats);
+            match t.kind {
+                TaskKind::Ping(proto) => pings.push(PingRecord {
+                    probe: probe.id,
+                    platform: probe.platform,
+                    country: probe.country,
+                    continent: probe.continent,
+                    city: probe.city.clone(),
+                    isp: probe.isp,
+                    access: probe.access,
+                    region: t.region,
+                    provider: ep.region.provider,
+                    proto,
+                    outcome,
+                    hour: t.hour,
+                }),
+                TaskKind::Traceroute(proto) => traces.push(TracerouteRecord {
+                    probe: probe.id,
+                    platform: probe.platform,
+                    country: probe.country,
+                    continent: probe.continent,
+                    city: probe.city.clone(),
+                    isp: probe.isp,
+                    access: probe.access,
+                    region: t.region,
+                    provider: ep.region.provider,
+                    proto,
+                    src_ip: client.public_ip,
+                    hops,
+                    outcome,
+                    hour: t.hour,
+                }),
+            }
+            continue;
+        }
         match t.kind {
             TaskKind::Ping(proto) => {
                 // Diurnal load + loss: timed-out pings produce no record,
-                // as on the real platform.
+                // as on the real platform (legacy zero-fault semantics).
                 let Some(rtt) = sim.ping_at(client, path, proto, t.seq, t.hour) else {
+                    stats.lost += 1;
                     continue;
                 };
+                stats.ok += 1;
                 pings.push(PingRecord {
                     probe: probe.id,
                     platform: probe.platform,
@@ -246,7 +480,7 @@ fn run_block(
                     region: t.region,
                     provider: ep.region.provider,
                     proto,
-                    rtt_ms: rtt,
+                    outcome: TaskOutcome::Ok(rtt),
                     hour: t.hour,
                 });
             }
@@ -256,6 +490,8 @@ fn run_block(
                     .into_iter()
                     .map(HopRecord::from)
                     .collect();
+                stats.ok += 1;
+                let outcome = outcome_for_hops(&hops);
                 traces.push(TracerouteRecord {
                     probe: probe.id,
                     platform: probe.platform,
@@ -269,12 +505,13 @@ fn run_block(
                     proto,
                     src_ip: client.public_ip,
                     hops,
+                    outcome,
                     hour: t.hour,
                 });
             }
         }
     }
-    (pings, traces)
+    (pings, traces, stats)
 }
 
 /// Execute a pre-built plan, streaming records into `sink` with bounded
@@ -291,35 +528,46 @@ pub fn execute_into(
     pop: &Population,
     schedule: &MeasurementPlan,
     sink: &mut impl RecordSink,
-) -> Result<(), MeasureError> {
+) -> Result<FailureStats, MeasureError> {
     let threads = cfg.threads.max(1);
     let blocks: Vec<&[plan::Task]> = schedule.tasks.chunks(BLOCK_TASKS).collect();
+    let fault_ctx = (!cfg.faults.is_none()).then(|| FaultCtx {
+        model: FaultModel::new(sim.net.seed, cfg.faults),
+        avail: Availability::new(cfg.plan.seed),
+    });
+    let mut totals = FailureStats::default();
 
     for round in blocks.chunks(threads) {
-        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>)> =
+        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats)> =
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = round
                     .iter()
                     .map(|tasks| {
                         let artifacts = cfg.artifacts;
                         let route_cache = cfg.route_cache;
-                        s.spawn(move |_| run_block(sim, pop, &artifacts, tasks, route_cache))
+                        let fc = fault_ctx;
+                        s.spawn(move |_| {
+                            run_block(sim, pop, &artifacts, tasks, route_cache, fc.as_ref())
+                        })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
             })
             .expect("crossbeam scope");
 
-        for (pings, traces) in results {
+        // Drain in block order: both the record stream and the stats totals
+        // are invariant under the thread count.
+        for (pings, traces, stats) in results {
             for p in pings {
                 sink.sink_ping(p)?;
             }
             for t in traces {
                 sink.sink_trace(t)?;
             }
+            totals.merge(&stats);
         }
     }
-    Ok(())
+    Ok(totals)
 }
 
 #[cfg(test)]
@@ -339,7 +587,12 @@ mod tests {
             artifacts: ArtifactConfig::realistic(),
             threads,
             route_cache: true,
+            faults: FaultProfile::none(),
         }
+    }
+
+    fn faulted_cfg(threads: usize) -> CampaignConfig {
+        CampaignConfig { faults: FaultProfile::default_profile(), ..small_cfg(threads) }
     }
 
     #[test]
@@ -357,7 +610,8 @@ mod tests {
             assert!(t.hops.len() >= 4, "too few hops: {}", t.hops.len());
         }
         for p in ds.pings.iter().take(50) {
-            assert!(p.rtt_ms > 0.0 && p.rtt_ms < 2_000.0, "rtt {}", p.rtt_ms);
+            let rtt = p.rtt_ms().expect("zero-fault pings always deliver");
+            assert!(rtt > 0.0 && rtt < 2_000.0, "rtt {rtt}");
         }
     }
 
@@ -421,6 +675,124 @@ mod tests {
     }
 
     #[test]
+    fn faulted_campaign_records_every_task_and_reconciles() {
+        let (sim, pop) = setup();
+        let cfg = faulted_cfg(3);
+        let mut ds = Dataset::new(pop.platform);
+        let stats = run_campaign_into(&cfg, &sim, &pop, &mut ds).unwrap();
+        // Every planned task produced exactly one record.
+        assert_eq!(stats.total() as usize, ds.pings.len() + ds.traces.len());
+        // Counters reconcile exactly with the recorded outcome tags.
+        let mut tally = FailureStats::default();
+        for p in &ds.pings {
+            tally.record(&p.outcome);
+        }
+        for t in &ds.traces {
+            tally.record(&t.outcome);
+        }
+        assert_eq!(
+            (tally.ok, tally.lost, tally.timeout, tally.rate_limited, tally.probe_offline),
+            (stats.ok, stats.lost, stats.timeout, stats.rate_limited, stats.probe_offline)
+        );
+        // The default profile exercises the wire-level failure channels
+        // (offline windows are too rare to guarantee in this tiny world;
+        // see `offline_windows_take_probes_out`).
+        assert!(stats.ok > 0, "{stats:?}");
+        assert!(stats.lost > 0, "{stats:?}");
+        assert!(stats.timeout > 0, "{stats:?}");
+        assert!(stats.rate_limited > 0, "{stats:?}");
+        assert!(stats.retries > 0 && stats.recovered > 0, "{stats:?}");
+        assert!(stats.backoff_ms > 0.0, "{stats:?}");
+        // Failed records carry no RTT and (for traces) no hops.
+        for p in &ds.pings {
+            assert_eq!(p.outcome.is_ok(), p.rtt_ms().is_some());
+        }
+        for t in &ds.traces {
+            if !t.outcome.is_ok() {
+                assert!(t.hops.is_empty(), "failed trace kept hops: {:?}", t.outcome);
+                assert_eq!(t.end_to_end_ms(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_is_thread_and_cache_invariant() {
+        let (sim, pop) = setup();
+        let mut reference = Dataset::new(pop.platform);
+        let ref_stats = run_campaign_into(&faulted_cfg(1), &sim, &pop, &mut reference).unwrap();
+        for (threads, cache) in [(7, true), (1, false), (7, false)] {
+            let cfg =
+                CampaignConfig { route_cache: cache, ..faulted_cfg(threads) };
+            let mut ds = Dataset::new(pop.platform);
+            let stats = run_campaign_into(&cfg, &sim, &pop, &mut ds).unwrap();
+            assert_eq!(ds, reference, "threads={threads} cache={cache}");
+            assert_eq!(stats, ref_stats, "threads={threads} cache={cache}");
+        }
+    }
+
+    #[test]
+    fn offline_windows_take_probes_out() {
+        let (sim, pop) = setup();
+        // Near-certain daily windows so the small test world reliably
+        // schedules tasks inside them.
+        let churny = FaultProfile {
+            offline_probability: 0.9,
+            offline_min_hours: 8,
+            offline_max_hours: 24,
+            ..FaultProfile::default_profile()
+        };
+        let cfg = CampaignConfig { faults: churny, ..small_cfg(2) };
+        let mut ds = Dataset::new(pop.platform);
+        let stats = run_campaign_into(&cfg, &sim, &pop, &mut ds).unwrap();
+        assert!(stats.probe_offline > 0, "{stats:?}");
+        // Offline tasks are recorded, carry no data, and are never retried.
+        let offline_pings =
+            ds.pings.iter().filter(|p| p.outcome == TaskOutcome::ProbeOffline).count();
+        let offline_traces =
+            ds.traces.iter().filter(|t| t.outcome == TaskOutcome::ProbeOffline).count();
+        assert_eq!(offline_pings + offline_traces, stats.probe_offline as usize);
+        for t in &ds.traces {
+            if t.outcome == TaskOutcome::ProbeOffline {
+                assert!(t.hops.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn retry_budget_and_backoff_are_deterministic() {
+        let (sim, pop) = setup();
+        // Every attempt is lost: each task must burn exactly its retry
+        // budget and accumulate the exact exponential backoff schedule.
+        let always_lost = FaultProfile {
+            extra_loss: 1.0,
+            timeout_probability: 0.0,
+            rate_limit_probability: 0.0,
+            offline_probability: 0.0,
+            max_retries: 2,
+            ..FaultProfile::default_profile()
+        };
+        let cfg = CampaignConfig { faults: always_lost, ..small_cfg(2) };
+        let mut ds = Dataset::new(pop.platform);
+        let stats = run_campaign_into(&cfg, &sim, &pop, &mut ds).unwrap();
+        assert_eq!(stats.ok, 0);
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.lost, stats.total());
+        let retries_per_task = always_lost.max_retries as u64;
+        assert_eq!(stats.retries, stats.total() * retries_per_task);
+        // backoff(1) + backoff(2) = 250 + 500 per task.
+        let per_task_backoff = 750.0;
+        let expected = stats.total() as f64 * per_task_backoff;
+        assert!(
+            (stats.backoff_ms - expected).abs() < 1e-6 * expected.max(1.0),
+            "backoff {} vs {expected}",
+            stats.backoff_ms
+        );
+        for p in &ds.pings {
+            assert_eq!(p.outcome, TaskOutcome::Lost);
+        }
+    }
+
+    #[test]
     fn builder_validates_and_defaults_agree() {
         let built = CampaignConfig::builder()
             .seed(9)
@@ -432,6 +804,36 @@ mod tests {
         assert_eq!(built.plan.duration_days, 3);
         assert_eq!(built.threads, 2);
         assert!(built.route_cache, "cache defaults on");
+        assert!(built.faults.is_none(), "faults default off");
+
+        let err = CampaignConfig::builder()
+            .faults(FaultProfile { extra_loss: 1.5, ..FaultProfile::none() })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::Config { field: "faults", .. }), "{err}");
+        let err = CampaignConfig::builder()
+            .faults(FaultProfile {
+                timeout_probability: 0.1,
+                timeout_budget_ms: 0.0,
+                ..FaultProfile::none()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::Config { field: "faults", .. }), "{err}");
+        let err = CampaignConfig::builder()
+            .faults(FaultProfile {
+                offline_probability: 0.1,
+                offline_min_hours: 6,
+                offline_max_hours: 2,
+                ..FaultProfile::none()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::Config { field: "faults", .. }), "{err}");
+        assert!(CampaignConfig::builder()
+            .faults(FaultProfile::default_profile())
+            .build()
+            .is_ok());
 
         let err = CampaignConfig::builder().threads(0).build().unwrap_err();
         assert!(matches!(err, MeasureError::Config { field: "threads", .. }), "{err}");

@@ -255,7 +255,7 @@ mod tests {
     use cloudy_netsim::Protocol;
     use cloudy_probes::ProbeId;
     use cloudy_topology::Asn;
-    use crate::record::HopRecord;
+    use crate::record::{outcome_for_hops, HopRecord, TaskOutcome};
     use std::net::Ipv4Addr;
 
     fn sample() -> Dataset {
@@ -271,7 +271,7 @@ mod tests {
             region: RegionId(0),
             provider: Provider::AmazonEc2,
             proto: Protocol::Tcp,
-            rtt_ms: 34.5,
+            outcome: TaskOutcome::Ok(34.5),
             hour: 12,
         });
         ds.traces.push(TracerouteRecord {
@@ -291,9 +291,46 @@ mod tests {
                 HopRecord { ttl: 2, ip: None, rtt_ms: None },
                 HopRecord { ttl: 3, ip: Some(Ipv4Addr::new(11, 0, 0, 1)), rtt_ms: Some(25.0) },
             ],
+            outcome: TaskOutcome::Ok(25.0),
             hour: 12,
         });
         ds
+    }
+
+    #[test]
+    fn failed_outcomes_survive_both_codecs() {
+        let mut ds = sample();
+        for (i, outcome) in [
+            TaskOutcome::Lost,
+            TaskOutcome::Timeout(800.0),
+            TaskOutcome::ProbeOffline,
+            TaskOutcome::RateLimited,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut p = ds.pings[0].clone();
+            p.probe = ProbeId(10 + i as u64);
+            p.outcome = outcome;
+            ds.pings.push(p);
+            let mut t = ds.traces[0].clone();
+            t.probe = ProbeId(10 + i as u64);
+            t.hops.clear();
+            t.outcome = outcome;
+            ds.traces.push(t);
+        }
+        let jsonl = Dataset::from_jsonl(&ds.to_jsonl()).unwrap();
+        assert_eq!(jsonl, ds);
+        let bin = Dataset::from_bytes(ds.to_bytes()).unwrap();
+        assert_eq!(bin, ds);
+        // Failed rows expose no RTT anywhere.
+        for p in &jsonl.pings[1..] {
+            assert_eq!(p.rtt_ms(), None);
+        }
+        for t in &jsonl.traces[1..] {
+            assert_eq!(t.end_to_end_ms(), None);
+        }
+        assert_eq!(outcome_for_hops(&ds.traces[0].hops), TaskOutcome::Ok(25.0));
     }
 
     #[test]

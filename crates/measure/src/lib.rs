@@ -14,7 +14,11 @@
 //!   EU+NA, South America → NA).
 //! * [`campaign`] — deterministic parallel execution of a plan over the
 //!   simulator (crossbeam-sharded; results are identical regardless of
-//!   thread count).
+//!   thread count), including the failure-aware path: under a
+//!   `netsim::FaultProfile` every task resolves to a typed
+//!   [`TaskOutcome`], retryable failures get bounded seeded retries with
+//!   exponential backoff, and [`FailureStats`] tallies the outcome of
+//!   every planned task thread-invariantly.
 //! * [`sink`] — the [`RecordSink`] trait: campaigns can stream records
 //!   into any sink (in-memory [`Dataset`], the `cloudy-store` columnar
 //!   writer, tees, counters) with bounded memory via
@@ -29,11 +33,12 @@ pub mod sink;
 
 pub use campaign::{
     execute_into, run_campaign, run_campaign_into, CampaignConfig, CampaignConfigBuilder,
+    FailureStats,
 };
 pub use dataset::Dataset;
 pub use error::MeasureError;
 pub use plan::{MeasurementPlan, Task, TaskKind, TaskKindSet};
-pub use record::{HopRecord, PingRecord, TracerouteRecord};
+pub use record::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 pub use sink::{CountingSink, RecordSink, TeeSink};
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 
 use crate::dataset::Dataset;
 use crate::plan::{self, PlanConfig, TaskKind};
-use crate::record::{HopRecord, PingRecord, TracerouteRecord};
+use crate::record::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 use cloudy_cloud::{Provider, RegionId};
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_lastmile::AccessType;
@@ -125,10 +125,28 @@ proptest! {
                 region: RegionId((i % 195) as u16),
                 provider: Provider::Google,
                 proto: Protocol::Tcp,
-                rtt_ms: *rtt,
+                // Cycle through every outcome class so the codecs round-trip
+                // failures as faithfully as deliveries.
+                outcome: match i % 5 {
+                    0 => TaskOutcome::Ok(*rtt),
+                    1 => TaskOutcome::Lost,
+                    2 => TaskOutcome::Timeout(*rtt),
+                    3 => TaskOutcome::ProbeOffline,
+                    _ => TaskOutcome::RateLimited,
+                },
                 hour,
             });
         }
+        let hops: Vec<HopRecord> = hops
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| HopRecord {
+                ttl: (i + 1) as u8,
+                ip: h.map(|(ip, _)| Ipv4Addr::from(ip)),
+                rtt_ms: h.map(|(_, r)| r),
+            })
+            .collect();
+        let outcome = outcome_for_hops(&hops);
         ds.traces.push(TracerouteRecord {
             probe: ProbeId(0),
             platform: Platform::Speedchecker,
@@ -141,15 +159,8 @@ proptest! {
             provider: Provider::Vultr,
             proto: Protocol::Icmp,
             src_ip: Ipv4Addr::new(11, 0, 0, 1),
-            hops: hops
-                .into_iter()
-                .enumerate()
-                .map(|(i, h)| HopRecord {
-                    ttl: (i + 1) as u8,
-                    ip: h.map(|(ip, _)| Ipv4Addr::from(ip)),
-                    rtt_ms: h.map(|(_, r)| r),
-                })
-                .collect(),
+            hops,
+            outcome,
             hour,
         });
         let jsonl = Dataset::from_jsonl(&ds.to_jsonl()).unwrap();

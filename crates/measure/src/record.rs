@@ -16,8 +16,55 @@ use cloudy_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
+/// How one measurement task resolved after its (bounded) retries.
+///
+/// Failures are first-class rows: they persist through every codec and the
+/// store, and analysis must *opt in* to RTTs via [`TaskOutcome::rtt_ms`] —
+/// a missing RTT can never silently aggregate as a zero-latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// Delivered; the end-to-end RTT in milliseconds.
+    Ok(f64),
+    /// Lost on the wire (intrinsic path loss or injected platform loss).
+    Lost,
+    /// Aborted at the scheduler's budget (ms).
+    Timeout(f64),
+    /// The probe was inside an offline window; never retried.
+    ProbeOffline,
+    /// Rejected by the platform's rate limiter.
+    RateLimited,
+}
+
+impl TaskOutcome {
+    /// The RTT, when the measurement delivered.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        match self {
+            TaskOutcome::Ok(rtt) => Some(*rtt),
+            _ => None,
+        }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+
+    /// Worth another attempt? Offline probes are gone for the whole
+    /// window, so only wire-level failures retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TaskOutcome::Lost | TaskOutcome::Timeout(_) | TaskOutcome::RateLimited
+        )
+    }
+}
+
 /// One ping measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written for wire compatibility: a delivered ping
+/// writes its RTT as the historical `rtt_ms` field and a failed one writes
+/// an explicit `outcome` field instead, so zero-fault exports stay
+/// byte-identical to datasets collected before fault injection existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PingRecord {
     pub probe: ProbeId,
     pub platform: Platform,
@@ -34,9 +81,17 @@ pub struct PingRecord {
     pub region: RegionId,
     pub provider: Provider,
     pub proto: Protocol,
-    pub rtt_ms: f64,
+    /// How the task resolved; [`TaskOutcome::Ok`] carries the RTT.
+    pub outcome: TaskOutcome,
     /// Campaign hour of the measurement.
     pub hour: u64,
+}
+
+impl PingRecord {
+    /// The RTT when the ping delivered; `None` for failed tasks.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        self.outcome.rtt_ms()
+    }
 }
 
 /// One traceroute hop response.
@@ -54,7 +109,12 @@ impl From<TraceHop> for HopRecord {
 }
 
 /// One traceroute measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written for wire compatibility: when the outcome
+/// is exactly [`outcome_for_hops`] of the hop list (every delivered trace)
+/// the `outcome` field is omitted and re-derived on read, so zero-fault
+/// exports keep the historical record shape byte for byte.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TracerouteRecord {
     pub probe: ProbeId,
     pub platform: Platform,
@@ -69,13 +129,124 @@ pub struct TracerouteRecord {
     /// The probe's public source address.
     pub src_ip: Ipv4Addr,
     pub hops: Vec<HopRecord>,
+    /// How the task resolved. Failed traceroutes carry no hops; for
+    /// delivered ones `Ok` holds the destination hop's RTT (see
+    /// [`outcome_for_hops`]).
+    pub outcome: TaskOutcome,
     pub hour: u64,
+}
+
+/// The one derivation rule tying a delivered traceroute's hop list to its
+/// outcome: `Ok(end-to-end RTT of the last hop)`. Used identically by the
+/// executor, the store decoder, and test generators so round trips agree.
+pub fn outcome_for_hops(hops: &[HopRecord]) -> TaskOutcome {
+    TaskOutcome::Ok(hops.last().and_then(|h| h.rtt_ms).unwrap_or(0.0))
+}
+
+impl Serialize for PingRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("probe".to_string(), self.probe.to_value()),
+            ("platform".to_string(), self.platform.to_value()),
+            ("country".to_string(), self.country.to_value()),
+            ("continent".to_string(), self.continent.to_value()),
+            ("city".to_string(), self.city.to_value()),
+            ("isp".to_string(), self.isp.to_value()),
+            ("access".to_string(), self.access.to_value()),
+            ("region".to_string(), self.region.to_value()),
+            ("provider".to_string(), self.provider.to_value()),
+            ("proto".to_string(), self.proto.to_value()),
+        ];
+        match self.outcome {
+            TaskOutcome::Ok(rtt) => fields.push(("rtt_ms".to_string(), rtt.to_value())),
+            ref failed => fields.push(("outcome".to_string(), failed.to_value())),
+        }
+        fields.push(("hour".to_string(), self.hour.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for PingRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let outcome = match v.get("rtt_ms") {
+            Some(rtt) => TaskOutcome::Ok(
+                f64::from_value(rtt)
+                    .map_err(|e| serde::Error::custom(format!("field `rtt_ms`: {e}")))?,
+            ),
+            None => serde::object_field::<TaskOutcome>(v, "outcome")?,
+        };
+        Ok(PingRecord {
+            probe: serde::object_field(v, "probe")?,
+            platform: serde::object_field(v, "platform")?,
+            country: serde::object_field(v, "country")?,
+            continent: serde::object_field(v, "continent")?,
+            city: serde::object_field(v, "city")?,
+            isp: serde::object_field(v, "isp")?,
+            access: serde::object_field(v, "access")?,
+            region: serde::object_field(v, "region")?,
+            provider: serde::object_field(v, "provider")?,
+            proto: serde::object_field(v, "proto")?,
+            outcome,
+            hour: serde::object_field(v, "hour")?,
+        })
+    }
+}
+
+impl Serialize for TracerouteRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("probe".to_string(), self.probe.to_value()),
+            ("platform".to_string(), self.platform.to_value()),
+            ("country".to_string(), self.country.to_value()),
+            ("continent".to_string(), self.continent.to_value()),
+            ("city".to_string(), self.city.to_value()),
+            ("isp".to_string(), self.isp.to_value()),
+            ("access".to_string(), self.access.to_value()),
+            ("region".to_string(), self.region.to_value()),
+            ("provider".to_string(), self.provider.to_value()),
+            ("proto".to_string(), self.proto.to_value()),
+            ("src_ip".to_string(), self.src_ip.to_value()),
+            ("hops".to_string(), self.hops.to_value()),
+        ];
+        if self.outcome != outcome_for_hops(&self.hops) {
+            fields.push(("outcome".to_string(), self.outcome.to_value()));
+        }
+        fields.push(("hour".to_string(), self.hour.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for TracerouteRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let hops: Vec<HopRecord> = serde::object_field(v, "hops")?;
+        let outcome = match v.get("outcome") {
+            Some(o) => TaskOutcome::from_value(o)
+                .map_err(|e| serde::Error::custom(format!("field `outcome`: {e}")))?,
+            None => outcome_for_hops(&hops),
+        };
+        Ok(TracerouteRecord {
+            probe: serde::object_field(v, "probe")?,
+            platform: serde::object_field(v, "platform")?,
+            country: serde::object_field(v, "country")?,
+            continent: serde::object_field(v, "continent")?,
+            city: serde::object_field(v, "city")?,
+            isp: serde::object_field(v, "isp")?,
+            access: serde::object_field(v, "access")?,
+            region: serde::object_field(v, "region")?,
+            provider: serde::object_field(v, "provider")?,
+            proto: serde::object_field(v, "proto")?,
+            src_ip: serde::object_field(v, "src_ip")?,
+            hops,
+            outcome,
+            hour: serde::object_field(v, "hour")?,
+        })
+    }
 }
 
 impl TracerouteRecord {
     /// End-to-end RTT: the destination hop's response (the traceroute always
     /// reaches the VM in our simulator, as TCP traceroutes to an open port
-    /// do in practice).
+    /// do in practice). Failed tasks have no hops and thus no latency.
     pub fn end_to_end_ms(&self) -> Option<f64> {
         self.hops.last().and_then(|h| h.rtt_ms)
     }
@@ -95,6 +266,7 @@ mod tests {
     }
 
     fn trace(hops: Vec<HopRecord>) -> TracerouteRecord {
+        let outcome = outcome_for_hops(&hops);
         TracerouteRecord {
             probe: ProbeId(1),
             platform: Platform::Speedchecker,
@@ -108,7 +280,82 @@ mod tests {
             proto: Protocol::Icmp,
             src_ip: Ipv4Addr::new(11, 0, 0, 9),
             hops,
+            outcome,
             hour: 0,
+        }
+    }
+
+    #[test]
+    fn outcomes_expose_rtts_only_when_ok() {
+        assert_eq!(TaskOutcome::Ok(12.5).rtt_ms(), Some(12.5));
+        for o in [TaskOutcome::Lost, TaskOutcome::Timeout(800.0), TaskOutcome::ProbeOffline, TaskOutcome::RateLimited] {
+            assert_eq!(o.rtt_ms(), None);
+            assert!(!o.is_ok());
+        }
+        assert!(TaskOutcome::Lost.is_retryable());
+        assert!(TaskOutcome::Timeout(800.0).is_retryable());
+        assert!(TaskOutcome::RateLimited.is_retryable());
+        assert!(!TaskOutcome::ProbeOffline.is_retryable());
+        assert!(!TaskOutcome::Ok(1.0).is_retryable());
+        let json = serde_json::to_string(&TaskOutcome::Timeout(800.0)).unwrap();
+        let back: TaskOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TaskOutcome::Timeout(800.0));
+    }
+
+    fn ping(outcome: TaskOutcome) -> PingRecord {
+        PingRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent: Continent::Europe,
+            city: "Munich".into(),
+            isp: Asn(3320),
+            access: AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::AmazonEc2,
+            proto: Protocol::Tcp,
+            outcome,
+            hour: 3,
+        }
+    }
+
+    #[test]
+    fn delivered_records_keep_the_legacy_wire_shape() {
+        // Byte compatibility with pre-fault datasets: a delivered ping
+        // serializes its RTT as `rtt_ms` (no `outcome` field), and a
+        // delivered trace omits `outcome` entirely.
+        let json = serde_json::to_string(&ping(TaskOutcome::Ok(42.5))).unwrap();
+        assert!(json.contains("\"rtt_ms\":42.5"), "{json}");
+        assert!(!json.contains("outcome"), "{json}");
+        let t = trace(vec![hop(1, Some([192, 168, 0, 1]), Some(12.0))]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(!json.contains("outcome"), "{json}");
+        // And a legacy line (no outcome fields at all) still parses.
+        let back: TracerouteRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn failed_records_round_trip_through_json() {
+        for outcome in [
+            TaskOutcome::Lost,
+            TaskOutcome::Timeout(800.0),
+            TaskOutcome::ProbeOffline,
+            TaskOutcome::RateLimited,
+        ] {
+            let p = ping(outcome);
+            let json = serde_json::to_string(&p).unwrap();
+            assert!(json.contains("outcome"), "{json}");
+            assert!(!json.contains("rtt_ms"), "{json}");
+            let back: PingRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+
+            let mut t = trace(vec![]);
+            t.outcome = outcome;
+            let json = serde_json::to_string(&t).unwrap();
+            assert!(json.contains("outcome"), "{json}");
+            let back: TracerouteRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
         }
     }
 

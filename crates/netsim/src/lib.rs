@@ -28,6 +28,9 @@
 //! * [`network::Network`] — the assembled world: AS graph, prefix plan,
 //!   IXPs, provider PoP sets, peering policy, region endpoints.
 //! * [`sim::Simulator`] — route construction + RTT/traceroute sampling.
+//! * [`faults::FaultModel`] — seeded fault injection (loss, timeouts,
+//!   rate limits) keyed per (probe, region, kind, hour, seq, attempt), so
+//!   faulted campaigns stay byte-identical across thread counts.
 //! * [`cache::RouteCache`] — sharded memoization of finished route plans
 //!   (`Arc<RoutePath>`), shared by all campaign threads; keyed by exactly
 //!   the inputs routing reads, so cached and uncached output is
@@ -36,6 +39,7 @@
 pub mod build;
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod hop;
 pub mod hubs;
 pub mod latency;
@@ -46,6 +50,7 @@ pub mod sim;
 
 pub use cache::{CacheStats, RouteCache, RouteKey};
 pub use client::ClientCtx;
+pub use faults::{FaultDraw, FaultModel, FaultProfile};
 pub use hop::{Hop, HopKind};
 pub use network::{Network, RegionEndpoint};
 pub use path::RoutePath;

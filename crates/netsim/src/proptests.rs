@@ -201,6 +201,66 @@ proptest! {
     }
 
     #[test]
+    fn fault_draws_depend_only_on_task_identity(
+        probe_hash in any::<u64>(),
+        region_tag in any::<u64>(),
+        kind_tag in prop::sample::select(vec![0xD1A1u64, 0x7124CE]),
+        hour in 0u64..4320,
+        seq in any::<u64>(),
+        attempt in 0u32..4,
+        off_key in any::<u64>(),
+    ) {
+        // The fault model is a pure function of (seed, task identity):
+        // a rebuilt model instance, interleaved draws for *other* tasks,
+        // and backoff queries must never perturb the draw for this task —
+        // the property the campaign's thread-count invariance rests on.
+        let profile = crate::FaultProfile::default_profile();
+        let direct = crate::FaultModel::new(77, profile)
+            .draw(probe_hash, region_tag, kind_tag, hour, seq, attempt);
+        let other = crate::FaultModel::new(77, profile);
+        let _ = other.draw(off_key, region_tag ^ 1, kind_tag, hour + 1, seq ^ 7, attempt + 1);
+        let _ = other.backoff_ms(attempt + 1);
+        prop_assert_eq!(
+            other.draw(probe_hash, region_tag, kind_tag, hour, seq, attempt),
+            direct
+        );
+        // A different seed draws from a different stream; a none() profile
+        // never injects, whatever the key.
+        prop_assert_eq!(
+            crate::FaultModel::new(77, crate::FaultProfile::none())
+                .draw(probe_hash, region_tag, kind_tag, hour, seq, attempt),
+            crate::FaultDraw::Deliver
+        );
+    }
+
+    #[test]
+    fn attempt_zero_reproduces_the_legacy_sample(
+        client in arb_client(),
+        region in arb_region(),
+        seq in 0u64..500,
+        hour in 0u64..168,
+        icmp in any::<bool>(),
+    ) {
+        // Retry-aware sampling must be an extension, not a reshuffle: the
+        // first attempt draws from exactly the pre-fault flow (so zero-fault
+        // campaigns stay byte-identical), and each retry attempt is its own
+        // deterministic stream.
+        let (sim, _) = world();
+        let path = sim.route(&client, region);
+        let proto = if icmp { Protocol::Icmp } else { Protocol::Tcp };
+        prop_assert_eq!(
+            sim.ping_at(&client, &path, proto, seq, hour),
+            sim.ping_at_attempt(&client, &path, proto, seq, hour, 0)
+        );
+        prop_assert_eq!(
+            sim.traceroute_at(&client, &path, proto, seq, hour),
+            sim.traceroute_at_attempt(&client, &path, proto, seq, hour, 0)
+        );
+        let retry = sim.ping_at_attempt(&client, &path, proto, seq, hour, 1);
+        prop_assert_eq!(retry, sim.ping_at_attempt(&client, &path, proto, seq, hour, 1));
+    }
+
+    #[test]
     fn route_structure_is_location_stable(client in arb_client(), region in arb_region()) {
         // Probes in the same grid cell and ISP share wide-area structure;
         // calling twice must be identical (cache or not).

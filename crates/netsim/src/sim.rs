@@ -222,7 +222,23 @@ impl Simulator {
         seq: u64,
         utc_hour: u64,
     ) -> Option<f64> {
-        let flow = mix(&[client.probe_hash, path_region_tag(path), proto.tag(), 0xD1A1, seq]);
+        self.ping_at_attempt(client, path, proto, seq, utc_hour, 0)
+    }
+
+    /// [`Simulator::ping_at`] for one retry attempt. Attempt 0 derives the
+    /// exact legacy flow — `ping_at_attempt(.., 0)` is bit-identical to
+    /// [`Simulator::ping_at`] — while attempt > 0 salts the attempt number
+    /// into the flow so retries are fresh, reproducible samples.
+    pub fn ping_at_attempt(
+        &self,
+        client: &ClientCtx,
+        path: &RoutePath,
+        proto: Protocol,
+        seq: u64,
+        utc_hour: u64,
+        attempt: u32,
+    ) -> Option<f64> {
+        let flow = ping_flow(client.probe_hash, path_region_tag(path), proto, seq, attempt);
         let mut rng = FlowRng::new(self.net.seed, flow);
         let p_loss = latency::loss_probability(path.interconnect)
             + if client.access.access.is_wireless() { 0.008 } else { 0.002 };
@@ -275,7 +291,7 @@ impl Simulator {
     /// semantics: one traceroute under neutral load (both delegate to the
     /// same per-hop sampling core, differing only in the load factor).
     pub fn traceroute(&self, client: &ClientCtx, path: &RoutePath, proto: Protocol, seq: u64) -> Vec<TraceHop> {
-        self.traceroute_with(client, path, proto, seq, 1.0)
+        self.traceroute_with(client, path, proto, seq, 1.0, 0)
     }
 
     /// Canonical traceroute: per-hop responses with realistic non-response
@@ -289,8 +305,23 @@ impl Simulator {
         seq: u64,
         utc_hour: u64,
     ) -> Vec<TraceHop> {
+        self.traceroute_at_attempt(client, path, proto, seq, utc_hour, 0)
+    }
+
+    /// [`Simulator::traceroute_at`] for one retry attempt; attempt 0 is
+    /// bit-identical to [`Simulator::traceroute_at`], attempt > 0 salts the
+    /// flow (same contract as [`Simulator::ping_at_attempt`]).
+    pub fn traceroute_at_attempt(
+        &self,
+        client: &ClientCtx,
+        path: &RoutePath,
+        proto: Protocol,
+        seq: u64,
+        utc_hour: u64,
+        attempt: u32,
+    ) -> Vec<TraceHop> {
         let load = latency::diurnal::factor_at(utc_hour, client.location.lon());
-        self.traceroute_with(client, path, proto, seq, load)
+        self.traceroute_with(client, path, proto, seq, load, attempt)
     }
 
     fn traceroute_with(
@@ -300,8 +331,9 @@ impl Simulator {
         proto: Protocol,
         seq: u64,
         load: f64,
+        attempt: u32,
     ) -> Vec<TraceHop> {
-        let flow = mix(&[client.probe_hash, path_region_tag(path), proto.tag(), 0x7124CE, seq]);
+        let flow = trace_flow(client.probe_hash, path_region_tag(path), proto, seq, attempt);
         let mut base = FlowRng::new(self.net.seed, flow);
 
         let (w0, u0) = client.access.sample_segments(&mut base);
@@ -642,6 +674,27 @@ fn path_region_tag(path: &RoutePath) -> u64 {
     u32::from(dest.ip) as u64
 }
 
+/// Flow-id salt distinguishing retry attempts from the first try. Attempt 0
+/// keeps the exact legacy flow (no salt), so zero-retry campaigns are
+/// byte-identical to the pre-fault executor.
+const ATTEMPT_SALT: u64 = 0xA77E;
+
+fn ping_flow(probe_hash: u64, region_tag: u64, proto: Protocol, seq: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        mix(&[probe_hash, region_tag, proto.tag(), 0xD1A1, seq])
+    } else {
+        mix(&[probe_hash, region_tag, proto.tag(), 0xD1A1, seq, ATTEMPT_SALT, attempt as u64])
+    }
+}
+
+fn trace_flow(probe_hash: u64, region_tag: u64, proto: Protocol, seq: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        mix(&[probe_hash, region_tag, proto.tag(), 0x7124CE, seq])
+    } else {
+        mix(&[probe_hash, region_tag, proto.tag(), 0x7124CE, seq, ATTEMPT_SALT, attempt as u64])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,6 +998,29 @@ mod tests {
             sim.ping_at(&c, &p, Protocol::Tcp, 7, 12),
             sim.ping_at(&c, &p, Protocol::Tcp, 7, 12)
         );
+    }
+
+    #[test]
+    fn attempt_zero_is_bit_identical_and_retries_are_fresh() {
+        let sim = world();
+        let c = client_in(&sim, "DE", known::DTAG, AccessType::WifiHome, 33);
+        let rid = region_of(&sim, Provider::AmazonEc2, "Frankfurt");
+        let p = sim.route(&c, rid);
+        for seq in 0..50 {
+            assert_eq!(
+                sim.ping_at(&c, &p, Protocol::Tcp, seq, 9),
+                sim.ping_at_attempt(&c, &p, Protocol::Tcp, seq, 9, 0)
+            );
+            assert_eq!(
+                sim.traceroute_at(&c, &p, Protocol::Icmp, seq, 9),
+                sim.traceroute_at_attempt(&c, &p, Protocol::Icmp, seq, 9, 0)
+            );
+        }
+        // Retries draw fresh, reproducible samples.
+        let a = sim.ping_at_attempt(&c, &p, Protocol::Tcp, 3, 9, 1);
+        assert_eq!(a, sim.ping_at_attempt(&c, &p, Protocol::Tcp, 3, 9, 1));
+        assert_ne!(a, sim.ping_at_attempt(&c, &p, Protocol::Tcp, 3, 9, 0));
+        assert_ne!(a, sim.ping_at_attempt(&c, &p, Protocol::Tcp, 3, 9, 2));
     }
 
     #[test]

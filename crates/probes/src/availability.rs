@@ -55,6 +55,37 @@ impl Availability {
     pub fn epoch_of_hour(hour: u64) -> u64 {
         hour / EPOCH_HOURS
     }
+
+    /// Fault-injection offline window for one (probe, campaign day), keyed
+    /// by the probe hash so the campaign executor can evaluate it without a
+    /// [`Probe`] in hand. With probability `profile.offline_probability`
+    /// the probe is offline for a contiguous window of
+    /// `offline_min_hours..=offline_max_hours` hours starting at a
+    /// deterministic offset within the day; every scheduled task whose hour
+    /// falls inside `[start, end)` resolves to `ProbeOffline` without
+    /// retry. Returned hours are absolute campaign hours.
+    pub fn offline_window(
+        &self,
+        probe_hash: u64,
+        day: u64,
+        profile: &cloudy_netsim::FaultProfile,
+    ) -> Option<(u64, u64)> {
+        if profile.offline_probability <= 0.0 {
+            return None;
+        }
+        let gate = unit(mix(&[self.seed, probe_hash, day, 0x0FF]));
+        if gate >= profile.offline_probability {
+            return None;
+        }
+        let span = profile.offline_max_hours.max(profile.offline_min_hours);
+        let lo = profile.offline_min_hours.max(1);
+        let len =
+            lo + mix(&[self.seed, probe_hash, day, 0x1E4]) % (span.saturating_sub(lo) + 1);
+        let len = len.min(24);
+        let start_off = mix(&[self.seed, probe_hash, day, 0x57A]) % (24 - len + 1);
+        let start = day * 24 + start_off;
+        Some((start, start + len))
+    }
 }
 
 fn unit(h: u64) -> f64 {
@@ -123,6 +154,39 @@ mod tests {
         assert!(first > 100, "need samples");
         let cond = both as f64 / first as f64;
         assert!(cond > 0.35, "P(e1|e0) = {cond} should exceed base rate 0.25");
+    }
+
+    #[test]
+    fn offline_windows_are_deterministic_and_bounded() {
+        use cloudy_netsim::FaultProfile;
+        let a = Availability::new(42);
+        let profile = FaultProfile::default_profile();
+        let mut hits = 0usize;
+        let n = 4_000u64;
+        for probe_hash in 0..n {
+            for day in 0..3 {
+                let w = a.offline_window(probe_hash, day, &profile);
+                assert_eq!(w, a.offline_window(probe_hash, day, &profile));
+                if let Some((start, end)) = w {
+                    hits += 1;
+                    let len = end - start;
+                    assert!(
+                        (profile.offline_min_hours..=profile.offline_max_hours)
+                            .contains(&len),
+                        "window length {len}"
+                    );
+                    assert!(start >= day * 24 && end <= (day + 1) * 24, "window in day");
+                }
+            }
+        }
+        let rate = hits as f64 / (n * 3) as f64;
+        assert!(
+            (rate - profile.offline_probability).abs() < 0.015,
+            "offline rate {rate} vs {}",
+            profile.offline_probability
+        );
+        // The zero-fault profile never takes a probe offline.
+        assert_eq!(a.offline_window(7, 0, &FaultProfile::none()), None);
     }
 
     #[test]

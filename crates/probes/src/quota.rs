@@ -121,4 +121,32 @@ mod tests {
         q.request_measurement(0);
         assert_eq!(q.remaining_measurements(), 7);
     }
+
+    #[test]
+    fn failed_attempts_still_consume_quota() {
+        // The platform charges every API call — a ping that is lost or
+        // times out on the wire is not refunded, and each retry is a fresh
+        // charged attempt. The executor models this by requesting quota per
+        // attempt; here we assert the ledger counts failed attempts exactly
+        // like successful ones.
+        let mut q = DailyQuota::new(20, 4);
+        // 3 tasks, each retried twice after failures: 9 charged attempts.
+        for _task in 0..3 {
+            for _attempt in 0..3 {
+                assert_eq!(q.request_measurement(0), QuotaResult::Granted);
+            }
+        }
+        assert_eq!(q.used_today(), 9);
+        assert_eq!(q.remaining_measurements(), 16 - 9);
+        // Exhaustion counts attempts, not successes: 7 more grants hit the
+        // measurement cap regardless of their outcome on the wire.
+        for _ in 0..7 {
+            assert_eq!(q.request_measurement(0), QuotaResult::Granted);
+        }
+        assert_eq!(q.request_measurement(0), QuotaResult::Exhausted);
+        assert_eq!(q.used_today(), 16);
+        // The next day refreshes the ledger; failures never roll over.
+        assert_eq!(q.request_measurement(1), QuotaResult::Granted);
+        assert_eq!(q.used_today(), 1);
+    }
 }

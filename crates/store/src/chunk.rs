@@ -13,6 +13,13 @@
 //! | rtt (ms)          | hybrid: delta+varint µs when lossless, else delta+varint of f64 bits |
 //! | hour              | delta + zigzag + varint                    |
 //! | hop ip / hop rtt  | presence bitmap + packed present values    |
+//! | outcome           | trailing optional block: one tag per row + f64 budget per `Timeout` row |
+//!
+//! The outcome block is appended at the very end of the chunk body and
+//! *only when at least one row failed*; the rtt column then holds just the
+//! delivered (`Ok`) rows' values. All-`Ok` chunks are byte-identical to the
+//! pre-outcome format, which keeps zero-fault campaigns reproducible against
+//! historical store bytes and legacy files readable.
 
 use crate::error::StoreError;
 use crate::codec::{
@@ -20,12 +27,12 @@ use crate::codec::{
     put_delta_u64, put_indices, put_rtts, put_varint, Cursor, DictBuilder,
 };
 use crate::schema::{
-    access_from_tag, access_tag, continent_from_tag, continent_tag, proto_from_tag, proto_tag,
-    RecordKind,
+    access_from_tag, access_tag, continent_from_tag, continent_tag, outcome_from_tag,
+    outcome_tag, proto_from_tag, proto_tag, RecordKind, OUTCOME_OK, OUTCOME_TIMEOUT,
 };
 use cloudy_cloud::{Provider, RegionId};
 use cloudy_geo::CountryCode;
-use cloudy_measure::{HopRecord, PingRecord, TracerouteRecord};
+use cloudy_measure::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 use cloudy_probes::{Platform, ProbeId};
 use cloudy_topology::Asn;
 use std::net::Ipv4Addr;
@@ -198,13 +205,63 @@ fn put_meta(out: &mut Vec<u8>, m: &MetaColumns) {
     put_block(out, &m.proto);
 }
 
+/// Append the outcome column — only when at least one row failed. All-`Ok`
+/// chunks carry no outcome block, so zero-fault store files stay
+/// byte-identical to the pre-outcome format.
+fn put_outcomes<'a>(out: &mut Vec<u8>, outcomes: impl Iterator<Item = &'a TaskOutcome> + Clone) {
+    if outcomes.clone().all(|o| o.is_ok()) {
+        return;
+    }
+    let mut blk = Vec::new();
+    for o in outcomes.clone() {
+        blk.push(outcome_tag(o));
+    }
+    for o in outcomes {
+        if let TaskOutcome::Timeout(budget) = o {
+            blk.extend_from_slice(&budget.to_bits().to_le_bytes());
+        }
+    }
+    put_block(out, &blk);
+}
+
+/// Decoded optional outcome column: one tag per row plus the `Timeout`
+/// budgets in row order; `None` for legacy / all-`Ok` chunk bodies.
+type OutcomeColumn = Option<(Vec<u8>, Vec<f64>)>;
+
+/// Read the optional trailing outcome column: one validated tag per row
+/// plus the `Timeout` budgets in row order. `None` for legacy / all-`Ok`
+/// chunk bodies (no bytes remain after the preceding column).
+fn get_outcomes(cur: &mut Cursor<'_>, rows: usize) -> Result<OutcomeColumn, StoreError> {
+    if cur.remaining() == 0 {
+        return Ok(None);
+    }
+    let mut blk = get_block(cur)?;
+    let tags = blk.bytes(rows)?.to_vec();
+    let mut budgets = Vec::new();
+    for t in &tags {
+        outcome_from_tag(*t, 0.0)?;
+        if *t == OUTCOME_TIMEOUT {
+            budgets.push(f64::from_bits(blk.u64_le()?));
+        }
+    }
+    Ok(Some((tags, budgets)))
+}
+
+/// Delivered-row count: the rtt column holds exactly these rows' values.
+fn ok_count(outcomes: &OutcomeColumn, rows: usize) -> usize {
+    match outcomes {
+        Some((tags, _)) => tags.iter().filter(|t| **t == OUTCOME_OK).count(),
+        None => rows,
+    }
+}
+
 /// Encode one ping chunk; returns (body, footer).
 pub fn encode_pings(rows: &[PingRecord], provider: Provider) -> (Vec<u8>, ChunkFooter) {
     let meta = encode_meta(rows.iter().map(MetaRow::from));
     let mut out = Vec::new();
     put_meta(&mut out, &meta);
 
-    let rtt_vals: Vec<f64> = rows.iter().map(|r| r.rtt_ms).collect();
+    let rtt_vals: Vec<f64> = rows.iter().filter_map(|r| r.rtt_ms()).collect();
     let mut rtt = Vec::new();
     put_rtts(&mut rtt, &rtt_vals);
     put_block(&mut out, &rtt);
@@ -213,12 +270,14 @@ pub fn encode_pings(rows: &[PingRecord], provider: Provider) -> (Vec<u8>, ChunkF
     put_delta_u64(&mut hour, rows.iter().map(|r| r.hour));
     put_block(&mut out, &hour);
 
+    put_outcomes(&mut out, rows.iter().map(|r| &r.outcome));
+
     let hours: Vec<u64> = rows.iter().map(|r| r.hour).collect();
     let footer = ChunkFooter::from_rows(
         RecordKind::Ping,
         provider,
         rows.len() as u64,
-        rows.iter().map(|r| Some(r.rtt_ms)),
+        rows.iter().map(|r| r.rtt_ms()),
         &hours,
         &meta.countries_seen,
     );
@@ -269,12 +328,18 @@ pub fn encode_traces(rows: &[TracerouteRecord], provider: Provider) -> (Vec<u8>,
     put_rtts(&mut rtts, &present_rtts);
     put_block(&mut out, &rtts);
 
+    // Delivered rows' outcomes are *derived* at decode via
+    // `outcome_for_hops`, so only failure tags (and timeout budgets) are
+    // stored. Callers must keep `Ok` outcomes consistent with the hop list,
+    // as the campaign executor does.
+    put_outcomes(&mut out, rows.iter().map(|r| &r.outcome));
+
     let hours: Vec<u64> = rows.iter().map(|r| r.hour).collect();
     let footer = ChunkFooter::from_rows(
         RecordKind::Trace,
         provider,
         rows.len() as u64,
-        rows.iter().map(|r| r.end_to_end_ms()),
+        rows.iter().map(|r| if r.outcome.is_ok() { r.end_to_end_ms() } else { None }),
         &hours,
         &meta.countries_seen,
     );
@@ -366,13 +431,33 @@ pub fn decode_pings(
 ) -> Result<Vec<PingRecord>, StoreError> {
     let mut cur = Cursor::new(body);
     let m = decode_meta(&mut cur, rows)?;
+    // The rtt column holds only delivered rows' values, and how many there
+    // are is known once the trailing outcome block (if any) is read — so
+    // hold this block's cursor and decode it after.
     let mut rtt_blk = get_block(&mut cur)?;
-    let rtt = get_rtts(&mut rtt_blk, rows)?;
     let mut hour_blk = get_block(&mut cur)?;
     let hour = get_delta_u64(&mut hour_blk, rows)?;
+    let outcomes = get_outcomes(&mut cur, rows)?;
+    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
 
     let mut out = Vec::with_capacity(rows);
+    let mut rtt_ix = 0usize;
+    let mut budget_ix = 0usize;
     for i in 0..rows {
+        let tag = outcomes.as_ref().map_or(OUTCOME_OK, |(tags, _)| tags[i]);
+        let payload = match tag {
+            OUTCOME_OK => {
+                let v = rtt[rtt_ix];
+                rtt_ix += 1;
+                v
+            }
+            OUTCOME_TIMEOUT => {
+                let b = outcomes.as_ref().map_or(0.0, |(_, budgets)| budgets[budget_ix]);
+                budget_ix += 1;
+                b
+            }
+            _ => 0.0,
+        };
         out.push(PingRecord {
             probe: ProbeId(m.probe[i]),
             platform,
@@ -384,7 +469,7 @@ pub fn decode_pings(
             region: region_of(m.region[i])?,
             provider,
             proto: m.proto[i],
-            rtt_ms: rtt[i],
+            outcome: outcome_from_tag(tag, payload)?,
             hour: hour[i],
         });
     }
@@ -429,10 +514,13 @@ pub fn decode_traces(
     let mut rtts_blk = get_block(&mut cur)?;
     let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
 
+    let outcomes = get_outcomes(&mut cur, rows)?;
+
     let mut out = Vec::with_capacity(rows);
     let mut hop_ix = 0usize;
     let mut ip_ix = 0usize;
     let mut rtt_ix = 0usize;
+    let mut budget_ix = 0usize;
     for i in 0..rows {
         let mut hops = Vec::with_capacity(lens[i]);
         for _ in 0..lens[i] {
@@ -454,6 +542,19 @@ pub fn decode_traces(
             hop_ix += 1;
         }
         let src_v = u32::try_from(src[i]).map_err(|_| "src ip overflows u32")?;
+        let outcome = match &outcomes {
+            // Legacy / all-Ok chunk: the shared derivation rule.
+            None => outcome_for_hops(&hops),
+            Some((tags, budgets)) => match tags[i] {
+                OUTCOME_OK => outcome_for_hops(&hops),
+                OUTCOME_TIMEOUT => {
+                    let b = budgets[budget_ix];
+                    budget_ix += 1;
+                    TaskOutcome::Timeout(b)
+                }
+                t => outcome_from_tag(t, 0.0)?,
+            },
+        };
         out.push(TracerouteRecord {
             probe: ProbeId(m.probe[i]),
             platform,
@@ -467,6 +568,7 @@ pub fn decode_traces(
             proto: m.proto[i],
             src_ip: Ipv4Addr::from(src_v),
             hops,
+            outcome,
             hour: hour[i],
         });
     }
@@ -491,6 +593,8 @@ use crate::codec::skip_block;
 
 /// Projection decode of a ping chunk: country, region, rtt, hour only.
 /// Probe/continent/city/isp/access/proto blocks are skipped unread.
+/// Failed rows carry no RTT and are dropped — they can never aggregate as
+/// zero-latency samples.
 pub fn decode_ping_rtts(
     body: &[u8],
     rows: usize,
@@ -507,27 +611,35 @@ pub fn decode_ping_rtts(
     let region = get_delta_u64(&mut region_blk, rows)?;
     skip_block(&mut cur)?; // proto
     let mut rtt_blk = get_block(&mut cur)?;
-    let rtt = get_rtts(&mut rtt_blk, rows)?;
     let mut hour_blk = get_block(&mut cur)?;
     let hour = get_delta_u64(&mut hour_blk, rows)?;
+    let outcomes = get_outcomes(&mut cur, rows)?;
+    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
 
-    let mut out = Vec::with_capacity(rows);
+    let mut out = Vec::with_capacity(rtt.len());
+    let mut rtt_ix = 0usize;
     for i in 0..rows {
+        if outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK) {
+            continue;
+        }
         out.push(RttRow {
             kind: RecordKind::Ping,
             provider,
             country: country[i],
             region: region_of(region[i])?,
             hour: hour[i],
-            rtt_ms: rtt[i],
+            rtt_ms: rtt[rtt_ix],
         });
+        rtt_ix += 1;
     }
     Ok(out)
 }
 
 /// Projection decode of a traceroute chunk: country, region, hour, and the
 /// end-to-end RTT (last hop's response). Rows whose last hop did not
-/// respond are dropped, matching `TracerouteRecord::end_to_end_ms`.
+/// respond are dropped, matching `TracerouteRecord::end_to_end_ms`, as are
+/// failed rows (non-`Ok` outcome tags) — a failed traceroute can never
+/// aggregate as a latency sample.
 pub fn decode_trace_rtts(
     body: &[u8],
     rows: usize,
@@ -565,16 +677,19 @@ pub fn decode_trace_rtts(
     let mut rtts_blk = get_block(&mut cur)?;
     let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
 
+    let outcomes = get_outcomes(&mut cur, rows)?;
+
     let mut out = Vec::with_capacity(rows);
     let mut hop_ix = 0usize;
     let mut rtt_ix = 0usize;
     for i in 0..rows {
+        let failed = outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK);
         let mut last: Option<f64> = None;
         for j in 0..lens[i] {
             if rtt_present[hop_ix] {
                 let v = rtts[rtt_ix];
                 rtt_ix += 1;
-                if j == lens[i] - 1 {
+                if j == lens[i] - 1 && !failed {
                     last = Some(v);
                 }
             }
@@ -664,7 +779,114 @@ pub fn get_chunk_meta(cur: &mut Cursor<'_>) -> Result<ChunkMeta, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{sample_ping as ping, sample_trace as trace};
+    use crate::testutil::{
+        sample_failed_ping, sample_ping as ping, sample_trace as trace, trace_with_outcome,
+    };
+
+    fn mixed_pings() -> Vec<PingRecord> {
+        (0..50)
+            .map(|i| match i % 5 {
+                0 => sample_failed_ping(i, TaskOutcome::Lost),
+                1 => sample_failed_ping(i, TaskOutcome::Timeout(800.0 + i as f64)),
+                2 => sample_failed_ping(i, TaskOutcome::ProbeOffline),
+                3 => sample_failed_ping(i, TaskOutcome::RateLimited),
+                _ => ping(i, 15.0 + i as f64 * 0.25),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn faulted_ping_chunk_round_trips() {
+        let rows = mixed_pings();
+        let (body, footer) = encode_pings(&rows, Provider::Google);
+        // Footer bounds see only the delivered rows.
+        let (lo, hi) = footer.rtt_ms.unwrap();
+        assert!(lo >= 15.0 && hi < 100.0, "failure payloads leaked into footer: {lo}..{hi}");
+        let back = decode_pings(&body, rows.len(), Platform::Speedchecker, Provider::Google)
+            .unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn faulted_trace_chunk_round_trips() {
+        let rows: Vec<TracerouteRecord> = (0..30)
+            .map(|i| match i % 4 {
+                0 => trace_with_outcome(i, vec![], TaskOutcome::Lost),
+                1 => trace_with_outcome(i, vec![], TaskOutcome::Timeout(800.0)),
+                2 => trace_with_outcome(i, vec![], TaskOutcome::ProbeOffline),
+                _ => trace(
+                    i,
+                    vec![HopRecord {
+                        ttl: 1,
+                        ip: Some(Ipv4Addr::new(20, 0, 0, 1)),
+                        rtt_ms: Some(30.0 + i as f64),
+                    }],
+                ),
+            })
+            .collect();
+        let (body, footer) = encode_traces(&rows, Provider::AmazonEc2);
+        let (lo, _) = footer.rtt_ms.unwrap();
+        assert!(lo >= 30.0);
+        let back = decode_traces(&body, rows.len(), Platform::Speedchecker, Provider::AmazonEc2)
+            .unwrap();
+        assert_eq!(back, rows);
+        // Failed rows have no end-to-end RTT, so the projection drops them.
+        let proj = decode_trace_rtts(&body, rows.len(), Provider::AmazonEc2).unwrap();
+        assert_eq!(proj.len(), rows.iter().filter(|r| r.outcome.is_ok()).count());
+    }
+
+    #[test]
+    fn ping_projection_drops_failed_rows() {
+        let rows = mixed_pings();
+        let (body, _) = encode_pings(&rows, Provider::Google);
+        let proj = decode_ping_rtts(&body, rows.len(), Provider::Google).unwrap();
+        let ok_rows: Vec<&PingRecord> = rows.iter().filter(|r| r.outcome.is_ok()).collect();
+        assert_eq!(proj.len(), ok_rows.len());
+        for (p, r) in proj.iter().zip(&ok_rows) {
+            assert_eq!(Some(p.rtt_ms), r.rtt_ms());
+            assert_eq!(p.hour, r.hour);
+        }
+        // No projected row may surface a failure as a zero-latency sample.
+        assert!(proj.iter().all(|p| p.rtt_ms >= 15.0));
+    }
+
+    #[test]
+    fn all_ok_chunks_carry_no_outcome_block() {
+        let rows: Vec<PingRecord> = (0..20).map(|i| ping(i, 9.0 + i as f64)).collect();
+        let (body, _) = encode_pings(&rows, Provider::Google);
+        // Walk the legacy column layout: 8 meta blocks + rtt + hour. An
+        // all-Ok chunk must end exactly there (pre-outcome byte layout).
+        let mut cur = Cursor::new(&body);
+        for _ in 0..10 {
+            crate::codec::skip_block(&mut cur).unwrap();
+        }
+        assert_eq!(cur.remaining(), 0, "unexpected trailing outcome block");
+
+        let faulted = mixed_pings();
+        let (faulted_body, _) = encode_pings(&faulted, Provider::Google);
+        let mut cur = Cursor::new(&faulted_body);
+        for _ in 0..10 {
+            crate::codec::skip_block(&mut cur).unwrap();
+        }
+        assert!(cur.remaining() > 0, "outcome block missing from faulted chunk");
+    }
+
+    #[test]
+    fn corrupt_faulted_chunk_is_an_error_not_a_panic() {
+        let rows = mixed_pings();
+        let (body, _) = encode_pings(&rows, Provider::Google);
+        for cut in (body.len() - 80)..body.len() {
+            assert!(decode_pings(&body[..cut], rows.len(), Platform::Speedchecker, Provider::Google)
+                .is_err());
+        }
+        // A bogus outcome tag is corrupt, not a panic. The outcome block
+        // trails the body: 50 tag bytes then 10 × 8 budget bytes.
+        let mut bad = body.clone();
+        let n = bad.len();
+        bad[n - 81] = 9; // the last tag byte
+        assert!(decode_pings(&bad, rows.len(), Platform::Speedchecker, Provider::Google)
+            .is_err());
+    }
 
     #[test]
     fn ping_chunk_round_trips() {
@@ -704,7 +926,7 @@ mod tests {
         let proj = decode_ping_rtts(&body, 64, Provider::Google).unwrap();
         assert_eq!(proj.len(), 64);
         for (p, r) in proj.iter().zip(&rows) {
-            assert_eq!(p.rtt_ms, r.rtt_ms);
+            assert_eq!(Some(p.rtt_ms), r.rtt_ms());
             assert_eq!(p.country, r.country);
             assert_eq!(p.region, r.region);
             assert_eq!(p.hour, r.hour);

@@ -8,6 +8,7 @@ use crate::error::StoreError;
 use cloudy_cloud::Provider;
 use cloudy_geo::Continent;
 use cloudy_lastmile::AccessType;
+use cloudy_measure::TaskOutcome;
 use cloudy_netsim::Protocol;
 use cloudy_probes::Platform;
 
@@ -91,6 +92,36 @@ pub fn access_from_tag(t: u8) -> Result<AccessType, StoreError> {
         .ok_or_else(|| StoreError::corrupt(format!("unknown access-type tag {t}")))
 }
 
+/// Outcome tag for a delivered task; its RTT lives in the rtt column.
+pub const OUTCOME_OK: u8 = 0;
+/// Outcome tag for a scheduler timeout; its budget rides in the outcome
+/// block itself.
+pub const OUTCOME_TIMEOUT: u8 = 2;
+
+pub fn outcome_tag(o: &TaskOutcome) -> u8 {
+    match o {
+        TaskOutcome::Ok(_) => OUTCOME_OK,
+        TaskOutcome::Lost => 1,
+        TaskOutcome::Timeout(_) => OUTCOME_TIMEOUT,
+        TaskOutcome::ProbeOffline => 3,
+        TaskOutcome::RateLimited => 4,
+    }
+}
+
+/// Reconstruct an outcome from its tag. The payload is the `Ok` RTT (from
+/// the rtt column) or the `Timeout` budget (from the outcome block); it is
+/// ignored for the payload-free variants.
+pub fn outcome_from_tag(t: u8, payload: f64) -> Result<TaskOutcome, StoreError> {
+    match t {
+        OUTCOME_OK => Ok(TaskOutcome::Ok(payload)),
+        1 => Ok(TaskOutcome::Lost),
+        OUTCOME_TIMEOUT => Ok(TaskOutcome::Timeout(payload)),
+        3 => Ok(TaskOutcome::ProbeOffline),
+        4 => Ok(TaskOutcome::RateLimited),
+        other => Err(StoreError::corrupt(format!("unknown outcome tag {other}"))),
+    }
+}
+
 pub fn proto_tag(p: Protocol) -> u8 {
     match p {
         Protocol::Tcp => 0,
@@ -130,6 +161,20 @@ mod tests {
         for k in [RecordKind::Ping, RecordKind::Trace] {
             assert_eq!(RecordKind::from_tag(k.tag()).unwrap(), k);
         }
+        for o in [
+            TaskOutcome::Ok(12.5),
+            TaskOutcome::Lost,
+            TaskOutcome::Timeout(800.0),
+            TaskOutcome::ProbeOffline,
+            TaskOutcome::RateLimited,
+        ] {
+            let payload = match o {
+                TaskOutcome::Ok(r) => r,
+                TaskOutcome::Timeout(b) => b,
+                _ => 0.0,
+            };
+            assert_eq!(outcome_from_tag(outcome_tag(&o), payload).unwrap(), o);
+        }
     }
 
     #[test]
@@ -140,5 +185,6 @@ mod tests {
         assert!(access_from_tag(4).is_err());
         assert!(proto_from_tag(2).is_err());
         assert!(RecordKind::from_tag(2).is_err());
+        assert!(outcome_from_tag(5, 0.0).is_err());
     }
 }

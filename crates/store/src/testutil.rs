@@ -3,7 +3,7 @@
 use cloudy_cloud::{Provider, RegionId};
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_lastmile::AccessType;
-use cloudy_measure::{HopRecord, PingRecord, TracerouteRecord};
+use cloudy_measure::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 use cloudy_netsim::Protocol;
 use cloudy_probes::{Platform, ProbeId};
 use cloudy_topology::Asn;
@@ -21,12 +21,26 @@ pub fn sample_ping(i: u64, rtt: f64) -> PingRecord {
         region: RegionId((i % 7) as u16),
         provider: Provider::Google,
         proto: Protocol::Tcp,
-        rtt_ms: rtt,
+        outcome: TaskOutcome::Ok(rtt),
         hour: i / 3,
     }
 }
 
+/// A ping row that resolved to `outcome` (typically a failure variant).
+pub fn sample_failed_ping(i: u64, outcome: TaskOutcome) -> PingRecord {
+    let mut p = sample_ping(i, 0.0);
+    p.outcome = outcome;
+    p
+}
+
 pub fn sample_trace(i: u64, hops: Vec<HopRecord>) -> TracerouteRecord {
+    let outcome = outcome_for_hops(&hops);
+    trace_with_outcome(i, hops, outcome)
+}
+
+/// A traceroute row with an explicit outcome (failure variants carry an
+/// empty hop list in real campaigns).
+pub fn trace_with_outcome(i: u64, hops: Vec<HopRecord>, outcome: TaskOutcome) -> TracerouteRecord {
     TracerouteRecord {
         probe: ProbeId(i),
         platform: Platform::Speedchecker,
@@ -40,6 +54,7 @@ pub fn sample_trace(i: u64, hops: Vec<HopRecord>) -> TracerouteRecord {
         proto: Protocol::Icmp,
         src_ip: Ipv4Addr::new(11, 0, (i % 200) as u8, 1),
         hops,
+        outcome,
         hour: i,
     }
 }

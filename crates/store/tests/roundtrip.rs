@@ -5,7 +5,7 @@
 use cloudy_cloud::{Provider, RegionId};
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_lastmile::AccessType;
-use cloudy_measure::{Dataset, HopRecord, PingRecord, TracerouteRecord};
+use cloudy_measure::{outcome_for_hops, Dataset, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
 use cloudy_netsim::Protocol;
 use cloudy_probes::{Platform, ProbeId};
 use cloudy_store::{Reader, RecordKind, ScanFilter, Writer, WriterOptions};
@@ -44,8 +44,9 @@ fn arb_ping() -> impl Strategy<Value = PingRecord> {
         0u16..200,
         arb_rtt(),
         0u64..400,
+        0u8..8,
     )
-        .prop_map(|(probe, (cc, continent), prov, city, isp, region, rtt_ms, hour)| {
+        .prop_map(|(probe, (cc, continent), prov, city, isp, region, rtt_ms, hour, out)| {
             PingRecord {
                 probe: ProbeId(probe),
                 platform: Platform::Speedchecker,
@@ -57,7 +58,14 @@ fn arb_ping() -> impl Strategy<Value = PingRecord> {
                 region: RegionId(region),
                 provider: Provider::ALL[prov],
                 proto: if probe % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
-                rtt_ms,
+                // Weight deliveries ~50 % but hit every failure variant.
+                outcome: match out {
+                    0 => TaskOutcome::Lost,
+                    1 => TaskOutcome::Timeout(rtt_ms),
+                    2 => TaskOutcome::ProbeOffline,
+                    3 => TaskOutcome::RateLimited,
+                    _ => TaskOutcome::Ok(rtt_ms),
+                },
                 hour,
             }
         })
@@ -74,9 +82,29 @@ fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
         any::<u32>(),
         prop::collection::vec(prop::option::of((any::<u32>(), arb_rtt())), 0..10),
         0u64..400,
+        0u8..8,
     )
         .prop_map(
-            |(probe, (cc, continent), prov, city, isp, region, src, hops, hour)| {
+            |(probe, (cc, continent), prov, city, isp, region, src, hops, hour, out)| {
+                let hops: Vec<HopRecord> = hops
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| HopRecord {
+                        ttl: (i + 1) as u8,
+                        ip: h.map(|(ip, _)| Ipv4Addr::from(ip)),
+                        rtt_ms: h.map(|(_, r)| r),
+                    })
+                    .collect();
+                // Delivered rows must obey the shared derivation rule;
+                // failed rows keep arbitrary hop lists to stress the codec
+                // beyond what the executor emits (it stores them empty).
+                let outcome = match out {
+                    0 => TaskOutcome::Lost,
+                    1 => TaskOutcome::Timeout(1.5 + f64::from(region)),
+                    2 => TaskOutcome::ProbeOffline,
+                    3 => TaskOutcome::RateLimited,
+                    _ => outcome_for_hops(&hops),
+                };
                 TracerouteRecord {
                     probe: ProbeId(probe),
                     platform: Platform::Speedchecker,
@@ -89,15 +117,8 @@ fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
                     provider: Provider::ALL[prov],
                     proto: if probe % 2 == 0 { Protocol::Tcp } else { Protocol::Icmp },
                     src_ip: Ipv4Addr::from(src),
-                    hops: hops
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, h)| HopRecord {
-                            ttl: (i + 1) as u8,
-                            ip: h.map(|(ip, _)| Ipv4Addr::from(ip)),
-                            rtt_ms: h.map(|(_, r)| r),
-                        })
-                        .collect(),
+                    hops,
+                    outcome,
                     hour,
                 }
             },

@@ -38,7 +38,7 @@ fn main() {
         let samples: Vec<f64> = nearest::samples_to_nearest(&study.sc.pings, &nearest_map)
             .iter()
             .filter(|s| s.country == cc)
-            .map(|s| s.rtt_ms)
+            .filter_map(|s| s.rtt_ms())
             .collect();
         if samples.len() < 5 {
             continue;

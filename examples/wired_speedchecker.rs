@@ -60,12 +60,14 @@ fn main() {
     // Group medians per continent.
     let mut groups: HashMap<(Continent, &'static str), Vec<f64>> = HashMap::new();
     for p in nearest::samples_to_nearest(&sc_ds.pings, &sc_near) {
+        let Some(rtt) = p.rtt_ms() else { continue };
         let group = if p.access == AccessType::Wired { "SC wired" } else { "SC wireless" };
-        groups.entry((p.continent, group)).or_default().push(p.rtt_ms);
+        groups.entry((p.continent, group)).or_default().push(rtt);
     }
     for p in nearest::samples_to_nearest(&at_ds.pings, &at_near) {
         debug_assert_eq!(p.platform, Platform::RipeAtlas);
-        groups.entry((p.continent, "Atlas")).or_default().push(p.rtt_ms);
+        let Some(rtt) = p.rtt_ms() else { continue };
+        groups.entry((p.continent, "Atlas")).or_default().push(rtt);
     }
 
     let mut table = Table::new(vec![

@@ -70,6 +70,9 @@ fn usage() {
          \x20 world [--seed N]             print world statistics\n\
          \x20 audit [audit opts]           run the static-analysis passes\n\
          \x20 run [opts] [--out DIR]       run both campaigns, write datasets\n\
+         \x20 campaign [opts] [--out FILE] [--no-route-cache] [--pings-only]\n\
+         \x20                              one Speedchecker campaign with cache and\n\
+         \x20                              failure reporting\n\
          \x20 experiment <id>... [opts]    run specific experiments (see `list`)\n\
          \x20 all [opts] [--out FILE]      run every experiment\n\
          \x20 store write [opts] [--out DIR] [--chunk-rows N]\n\
@@ -83,7 +86,10 @@ fn usage() {
          \x20 --days N            campaign length in simulated days (default 10)\n\
          \x20 --sc-fraction F     Speedchecker population fraction (default 0.02)\n\
          \x20 --atlas-fraction F  Atlas population fraction (default 0.25)\n\
-         \x20 --threads N         worker threads (default 4)\n\n\
+         \x20 --threads N         worker threads (default 4)\n\
+         \x20 --faults P          fault-injection profile: none | default (default none);\n\
+         \x20                     `default` injects loss, timeouts, rate limits and\n\
+         \x20                     probe-offline windows, with bounded retry/backoff\n\n\
          audit options:\n\
          \x20 --static            skip the campaign race check\n\
          \x20 --json              machine-readable findings\n\
@@ -176,6 +182,11 @@ fn parse_config(args: &[String]) -> Result<(StudyConfig, Vec<String>), String> {
             }
             "--threads" => {
                 cfg.threads = take("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--faults" => {
+                let name = take("--faults")?;
+                cfg.faults = cloudy::netsim::FaultProfile::parse(&name)
+                    .ok_or_else(|| format!("--faults: unknown profile {name:?} (none | default)"))?
             }
             other => positional.push(other.to_string()),
         }
@@ -286,7 +297,8 @@ fn campaign(args: &[String]) -> ExitCode {
         .plan(cfg.campaign_config().plan)
         .artifacts(cfg.artifacts)
         .threads(cfg.threads)
-        .route_cache(route_cache);
+        .route_cache(route_cache)
+        .faults(cfg.faults);
     if pings_only {
         builder = builder.pings_only();
     }
@@ -308,7 +320,11 @@ fn campaign(args: &[String]) -> ExitCode {
         cfg.threads,
         if route_cache { "on" } else { "off" }
     );
-    let ds = cloudy::measure::run_campaign(&campaign_cfg, &sim, &pop);
+    let mut ds = cloudy::measure::Dataset::new(cloudy::probes::Platform::Speedchecker);
+    let fstats = match cloudy::measure::run_campaign_into(&campaign_cfg, &sim, &pop, &mut ds) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
     let summary = ds.summary();
     println!(
         "campaign: {} pings + {} traceroutes from {} probes in {} countries",
@@ -322,6 +338,13 @@ fn campaign(args: &[String]) -> ExitCode {
         stats.entries,
         stats.hit_rate() * 100.0
     );
+    println!("{}", failure_summary(&fstats));
+    if !campaign_cfg.faults.is_none() {
+        if let Err(e) = reconcile_outcomes(&ds, &fstats) {
+            return fail(&e);
+        }
+        println!("failure accounting reconciles with the stored outcome tags");
+    }
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, ds.to_jsonl()) {
             return fail(&format!("write {path}: {e}"));
@@ -329,6 +352,51 @@ fn campaign(args: &[String]) -> ExitCode {
         eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// One-line rendering of the executor's failure accounting.
+fn failure_summary(stats: &cloudy::measure::FailureStats) -> String {
+    format!(
+        "outcomes: {} delivered, {} lost, {} timeout, {} rate-limited, {} offline \
+         ({} retries, {} recovered, {:.0} ms virtual backoff)",
+        stats.ok,
+        stats.lost,
+        stats.timeout,
+        stats.rate_limited,
+        stats.probe_offline,
+        stats.retries,
+        stats.recovered,
+        stats.backoff_ms
+    )
+}
+
+/// With a faulted profile every planned task records exactly one outcome
+/// row, so the dataset's tags must reconcile with the executor's
+/// accounting class by class.
+fn reconcile_outcomes(
+    ds: &cloudy::measure::Dataset,
+    stats: &cloudy::measure::FailureStats,
+) -> Result<(), String> {
+    use cloudy::measure::TaskOutcome;
+    let mut tally = [0u64; 5]; // delivered, lost, timeout, offline, rate-limited
+    for o in ds.pings.iter().map(|p| &p.outcome).chain(ds.traces.iter().map(|t| &t.outcome)) {
+        match o {
+            TaskOutcome::Ok(_) => tally[0] += 1,
+            TaskOutcome::Lost => tally[1] += 1,
+            TaskOutcome::Timeout(_) => tally[2] += 1,
+            TaskOutcome::ProbeOffline => tally[3] += 1,
+            TaskOutcome::RateLimited => tally[4] += 1,
+        }
+    }
+    let expected = [stats.ok, stats.lost, stats.timeout, stats.probe_offline, stats.rate_limited];
+    if tally != expected {
+        return Err(format!(
+            "outcome tags do not reconcile with the failure accounting: \
+             stored [ok, lost, timeout, offline, rate-limited] = {tally:?}, executor reported \
+             {expected:?}"
+        ));
+    }
+    Ok(())
 }
 
 fn experiment(args: &[String]) -> ExitCode {
@@ -506,8 +574,12 @@ fn store_write(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     eprintln!("streaming study (seed {}, {} days) into stores...", cfg.seed, cfg.duration_days);
-    if let Err(e) = run_study_into(&cfg, &mut sc, &mut atlas) {
-        return fail(&e.to_string());
+    match run_study_into(&cfg, &mut sc, &mut atlas) {
+        Ok((sc_stats, atlas_stats)) => {
+            println!("speedchecker {}", failure_summary(&sc_stats));
+            println!("atlas {}", failure_summary(&atlas_stats));
+        }
+        Err(e) => return fail(&e.to_string()),
     }
     for (path, writer) in [(sc_path, sc), (atlas_path, atlas)] {
         use std::io::Write as _;

@@ -1,0 +1,139 @@
+//! Analysis under injected loss: failed tasks are first-class dataset rows,
+//! but every aggregation must behave as if it had been handed the delivered
+//! subset only — no failure may ever contribute a phantom zero-latency
+//! sample — and the loss accounting must reconcile exactly across the
+//! in-memory, store, and report views of the same campaign.
+
+use cloudy::analysis::{nearest, quality, Cdf};
+use cloudy::geo::CountryCode;
+use cloudy::lastmile::ArtifactConfig;
+use cloudy::measure::campaign::{run_campaign, CampaignConfig};
+use cloudy::measure::plan::PlanConfig;
+use cloudy::measure::{Dataset, PingRecord, TaskOutcome};
+use cloudy::netsim::build::{build, WorldConfig};
+use cloudy::netsim::{FaultProfile, Simulator};
+use cloudy::probes::speedchecker;
+use std::collections::BTreeMap;
+
+/// One small faulted campaign under the default fault profile.
+fn faulted_campaign() -> Dataset {
+    let world = build(&WorldConfig {
+        seed: 23,
+        isps_per_country: 2,
+        countries: Some(["DE", "JP", "BR", "KE"].iter().map(|c| CountryCode::new(c)).collect()),
+    });
+    let pop = speedchecker::population(&world, 0.02, 23);
+    let sim = Simulator::new(world.net);
+    let cfg = CampaignConfig {
+        plan: PlanConfig { seed: 23, duration_days: 2, ..PlanConfig::default() },
+        artifacts: ArtifactConfig::realistic(),
+        threads: 4,
+        route_cache: true,
+        faults: FaultProfile::default_profile(),
+    };
+    run_campaign(&cfg, &sim, &pop)
+}
+
+/// Per-(country, region) medians the way every figure computes them.
+fn medians(pings: &[PingRecord]) -> BTreeMap<(CountryCode, cloudy::cloud::RegionId), f64> {
+    let mut groups: BTreeMap<_, Vec<f64>> = BTreeMap::new();
+    for p in pings {
+        if let Some(rtt) = p.rtt_ms() {
+            groups.entry((p.country, p.region)).or_default().push(rtt);
+        }
+    }
+    groups.into_iter().map(|(k, v)| (k, Cdf::new(v).median())).collect()
+}
+
+#[test]
+fn faulted_analysis_equals_prefiltered_clean_subset() {
+    let ds = faulted_campaign();
+    let clean: Vec<PingRecord> =
+        quality::clean_subset(&ds.pings).into_iter().cloned().collect();
+    assert!(
+        clean.len() < ds.pings.len(),
+        "default profile injected no ping failures; the golden comparison is vacuous"
+    );
+    assert!(!clean.is_empty(), "faulted campaign delivered nothing");
+
+    // Medians: bit-for-bit equal, both paths sort the same multiset of f64s.
+    assert_eq!(medians(&ds.pings), medians(&clean));
+
+    // Nearest-datacenter selection: failure rows must not shift any
+    // probe's nearest region or its mean.
+    let on_faulted = nearest::nearest_by_mean(&ds.pings, |_| true);
+    let on_clean = nearest::nearest_by_mean(&clean, |_| true);
+    assert_eq!(on_faulted, on_clean);
+}
+
+#[test]
+fn loss_report_reconciles_with_dataset_outcomes() {
+    let ds = faulted_campaign();
+    let report = quality::loss_report(&ds.pings);
+    let totals = report.totals();
+    assert_eq!(totals.total() as usize, ds.pings.len(), "every ping row is tallied once");
+    assert!(totals.failed() > 0, "default profile injected no ping failures");
+
+    // The report's class counts are exactly the dataset's outcome tags.
+    let count = |f: fn(&TaskOutcome) -> bool| ds.pings.iter().filter(|p| f(&p.outcome)).count();
+    assert_eq!(totals.delivered as usize, count(|o| matches!(o, TaskOutcome::Ok(_))));
+    assert_eq!(totals.lost as usize, count(|o| matches!(o, TaskOutcome::Lost)));
+    assert_eq!(totals.timeout as usize, count(|o| matches!(o, TaskOutcome::Timeout(_))));
+    assert_eq!(totals.offline as usize, count(|o| matches!(o, TaskOutcome::ProbeOffline)));
+    assert_eq!(totals.rate_limited as usize, count(|o| matches!(o, TaskOutcome::RateLimited)));
+
+    // Loss rates are ratios; offline windows make some probes lose whole
+    // task batches, so the per-probe spread must be real.
+    for q in report.probes.values() {
+        assert!((0.0..=1.0).contains(&q.loss_rate()));
+    }
+}
+
+#[test]
+fn min_sample_filter_drops_exactly_the_thin_probes() {
+    let ds = faulted_campaign();
+    let report = quality::loss_report(&ds.pings);
+    // Put the bar just above the thinnest probe so the filter provably
+    // bites without hard-coding campaign-scale sample counts.
+    let thinnest = report.probes.values().map(|q| q.delivered).min().expect("has probes");
+    let thickest = report.probes.values().map(|q| q.delivered).max().expect("has probes");
+    assert!(thinnest < thickest, "degenerate campaign: all probes equally sampled");
+    let min = thinnest + 1;
+    let dropped = report.below_min_samples(min);
+    let kept = quality::filter_min_samples(&ds.pings, min);
+
+    // Kept rows: delivered, from probes not in the dropped set.
+    assert!(kept.iter().all(|p| p.outcome.is_ok() && !dropped.contains(&p.probe)));
+    // And nothing more was dropped: delivered rows of surviving probes all
+    // appear, in input order.
+    let expected: Vec<&PingRecord> = ds
+        .pings
+        .iter()
+        .filter(|p| p.outcome.is_ok() && !dropped.contains(&p.probe))
+        .collect();
+    assert_eq!(kept, expected);
+    // The bar actually bites on a faulted campaign of this size.
+    assert!(!dropped.is_empty(), "min-sample bar of {min} dropped nothing");
+    assert!(kept.len() < quality::clean_subset(&ds.pings).len());
+}
+
+#[test]
+fn store_round_trip_preserves_the_loss_report() {
+    use cloudy::probes::Platform;
+    use cloudy::store::{Reader, Writer, WriterOptions};
+
+    let ds = faulted_campaign();
+    let mut w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 128 })
+        .expect("valid writer options");
+    use cloudy::measure::RecordSink;
+    for p in &ds.pings {
+        w.sink_ping(p.clone()).expect("Vec sink is infallible");
+    }
+    let (bytes, _) = w.finish().expect("finish succeeds");
+    let back = Reader::from_bytes(bytes).expect("store parses").to_dataset().expect("decodes");
+    assert_eq!(
+        quality::loss_report(&ds.pings),
+        quality::loss_report(&back.pings),
+        "outcome tags changed across the store round-trip"
+    );
+}

@@ -6,7 +6,7 @@ use cloudy::lastmile::ArtifactConfig;
 use cloudy::measure::campaign::{run_campaign, run_campaign_into, CampaignConfig};
 use cloudy::measure::plan::PlanConfig;
 use cloudy::netsim::build::{build, WorldConfig};
-use cloudy::netsim::Simulator;
+use cloudy::netsim::{FaultProfile, Simulator};
 use cloudy::probes::{speedchecker, Platform};
 use cloudy::store::{Writer, WriterOptions};
 
@@ -24,6 +24,7 @@ fn campaign_cfg(seed: u64, threads: usize) -> CampaignConfig {
         artifacts: ArtifactConfig::realistic(),
         threads,
         route_cache: true,
+        faults: FaultProfile::none(),
     }
 }
 
@@ -83,7 +84,10 @@ fn different_seeds_differ() {
     };
     let a = run(1);
     let b = run(2);
-    assert_ne!(a.pings.first().map(|p| p.rtt_ms), b.pings.first().map(|p| p.rtt_ms));
+    assert_ne!(
+        a.pings.first().and_then(|p| p.rtt_ms()),
+        b.pings.first().and_then(|p| p.rtt_ms())
+    );
 }
 
 #[test]
@@ -112,6 +116,48 @@ fn route_cache_is_invisible_in_store_bytes() {
             store_bytes(threads, route_cache),
             reference,
             "store bytes changed at threads={threads} route_cache={route_cache}"
+        );
+    }
+}
+
+#[test]
+fn faulted_store_bytes_identical_across_threads_and_cache() {
+    // Fault injection keys every draw off stable task identity, never off
+    // execution order: a faulted campaign's store file must be exactly as
+    // thread- and route-cache-invariant as a clean one — and must actually
+    // contain failures, or this test races nothing.
+    let world = build(&world_cfg(7));
+    let pop = speedchecker::population(&world, 0.01, 7);
+    let store_bytes = |threads: usize, route_cache: bool, faults: FaultProfile| {
+        // Fresh simulator per leg so a warm route cache can't mask a bug.
+        let sim = Simulator::new(build(&world_cfg(7)).net);
+        let cfg = CampaignConfig { route_cache, faults, ..campaign_cfg(7, threads) };
+        let mut w =
+            Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 128 })
+                .expect("valid writer options");
+        let stats = run_campaign_into(&cfg, &sim, &pop, &mut w)
+            .expect("Vec-backed store sink is infallible");
+        let (bytes, summary) = w.finish().expect("finish succeeds");
+        assert!(summary.ping_rows > 0, "campaign produced no pings");
+        (bytes, stats)
+    };
+    let profile = FaultProfile::default_profile();
+    let (reference, ref_stats) = store_bytes(1, true, profile);
+    assert!(
+        ref_stats.lost + ref_stats.timeout + ref_stats.rate_limited + ref_stats.probe_offline > 0,
+        "default fault profile injected no failures: {ref_stats:?}"
+    );
+    let (clean, _) = store_bytes(1, true, FaultProfile::none());
+    assert_ne!(reference, clean, "faulted store bytes match the clean run");
+    for (threads, route_cache) in [(8, true), (1, false), (8, false)] {
+        let (bytes, stats) = store_bytes(threads, route_cache, profile);
+        assert_eq!(
+            bytes, reference,
+            "faulted store bytes changed at threads={threads} route_cache={route_cache}"
+        );
+        assert_eq!(
+            stats, ref_stats,
+            "failure accounting changed at threads={threads} route_cache={route_cache}"
         );
     }
 }

@@ -26,6 +26,7 @@ fn small_campaign() -> (Simulator, Dataset) {
         artifacts: ArtifactConfig::realistic(),
         threads: 3,
         route_cache: true,
+        faults: cloudy::netsim::FaultProfile::none(),
     };
     let ds = run_campaign(&cfg, &sim, &pop);
     (sim, ds)
@@ -77,8 +78,9 @@ fn dataset_serialization_round_trips_at_campaign_scale() {
 fn rtts_are_physically_sane() {
     let (_sim, ds) = small_campaign();
     for p in &ds.pings {
-        assert!(p.rtt_ms > 1.0, "impossibly fast: {}", p.rtt_ms);
-        assert!(p.rtt_ms < 3_000.0, "impossibly slow: {}", p.rtt_ms);
+        let rtt = p.rtt_ms().expect("zero-fault campaign records only delivered pings");
+        assert!(rtt > 1.0, "impossibly fast: {rtt}");
+        assert!(rtt < 3_000.0, "impossibly slow: {rtt}");
     }
     for t in &ds.traces {
         // Destination always responds, and per-hop RTTs are positive.

@@ -25,7 +25,9 @@ fn arb_hop() -> impl Strategy<Value = HopRecord> {
 }
 
 fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
-    proptest::collection::vec(arb_hop(), 0..20).prop_map(|hops| TracerouteRecord {
+    proptest::collection::vec(arb_hop(), 0..20).prop_map(|hops| {
+        let outcome = cloudy::measure::outcome_for_hops(&hops);
+        TracerouteRecord {
         probe: ProbeId(1),
         platform: Platform::Speedchecker,
         country: CountryCode::new("DE"),
@@ -38,8 +40,9 @@ fn arb_trace() -> impl Strategy<Value = TracerouteRecord> {
         proto: Protocol::Icmp,
         src_ip: Ipv4Addr::new(11, 0, 0, 2),
         hops,
+        outcome,
         hour: 0,
-    })
+    }})
 }
 
 fn world() -> (PrefixTable, IxpDirectory) {

@@ -31,6 +31,7 @@ fn campaign_with_store(chunk_rows: usize) -> (Dataset, Reader) {
         artifacts: ArtifactConfig::realistic(),
         threads: 4,
         route_cache: true,
+        faults: cloudy::netsim::FaultProfile::none(),
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     let mut writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows })
@@ -68,7 +69,9 @@ fn store_backed_medians_match_in_memory_exactly() {
     // In-memory per-(country, region) ping medians.
     let mut groups: BTreeMap<_, Vec<f64>> = BTreeMap::new();
     for p in &ds.pings {
-        groups.entry((p.country, p.region)).or_default().push(p.rtt_ms);
+        if let Some(rtt) = p.rtt_ms() {
+            groups.entry((p.country, p.region)).or_default().push(rtt);
+        }
     }
     let in_memory: BTreeMap<_, f64> =
         groups.into_iter().map(|(k, v)| (k, Cdf::new(v).median())).collect();
