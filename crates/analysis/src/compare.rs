@@ -40,11 +40,11 @@ pub fn quantile_differences_stores(
     b: &cloudy_store::Reader,
     filter: &cloudy_store::ScanFilter,
     n: usize,
-) -> Result<Vec<f64>, String> {
+) -> Result<Vec<f64>, crate::error::AnalysisError> {
     let ca = Cdf::from_store(a, filter)?;
     let cb = Cdf::from_store(b, filter)?;
     if ca.is_empty() || cb.is_empty() {
-        return Err("empty distribution in store comparison".into());
+        return Err(crate::error::AnalysisError::data("empty distribution in store comparison"));
     }
     Ok(quantile_differences(&ca, &cb, n))
 }
@@ -55,7 +55,7 @@ pub fn fraction_a_faster_stores(
     b: &cloudy_store::Reader,
     filter: &cloudy_store::ScanFilter,
     n: usize,
-) -> Result<f64, String> {
+) -> Result<f64, crate::error::AnalysisError> {
     let diffs = quantile_differences_stores(a, b, filter, n)?;
     Ok(diffs.iter().filter(|d| **d < 0.0).count() as f64 / diffs.len() as f64)
 }

@@ -104,7 +104,7 @@ pub fn path_geometry(
     let mut located = 0usize;
     let mut unlocated = 0usize;
     for hop in trace.responding() {
-        let ip = hop.ip.expect("responding");
+        let ip = hop.ip.expect("responding"); // audit:allow(expect)
         match db.locate_asn(ip) {
             Some((asn, _)) if pin_to_endpoints.contains(&asn) => {
                 // Counted as located at the (known) destination; no leg

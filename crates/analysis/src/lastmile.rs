@@ -63,8 +63,8 @@ pub fn infer(trace: &TracerouteRecord, resolver: &Resolver) -> Option<LastMile> 
     let mut saw_private_or_cgn_first = false;
     let mut first_hop_seen = false;
     for hop in trace.responding() {
-        let ip = hop.ip.expect("responding");
-        let rtt = hop.rtt_ms.expect("responding hop has rtt");
+        let ip = hop.ip.expect("responding"); // audit:allow(expect)
+        let rtt = hop.rtt_ms.expect("responding hop has rtt"); // audit:allow(expect)
         match resolver.resolve(ip) {
             Resolution::Private => {
                 if !first_hop_seen {

@@ -57,13 +57,13 @@ impl LatencyBand {
 pub fn country_bands_from_store(
     reader: &cloudy_store::Reader,
     filter: &cloudy_store::ScanFilter,
-) -> Result<std::collections::BTreeMap<cloudy_geo::CountryCode, (f64, LatencyBand)>, String> {
+) -> Result<std::collections::BTreeMap<cloudy_geo::CountryCode, (f64, LatencyBand)>, crate::error::AnalysisError> {
     let mut groups: cloudy_store::GroupedRtts<cloudy_geo::CountryCode> = Default::default();
     reader.for_each_rtt(filter, |row| groups.push(row.country, row.rtt_ms))?;
     let mut out = std::collections::BTreeMap::new();
     for (country, values) in groups.into_inner() {
         if values.iter().any(|v| v.is_nan()) {
-            return Err("NaN RTT in store scan".into());
+            return Err(crate::error::AnalysisError::data("NaN RTT in store scan"));
         }
         let median = crate::stats::Cdf::new(values).median();
         out.insert(country, (median, LatencyBand::of(median)));

@@ -45,6 +45,7 @@
 pub mod asmap;
 pub mod compare;
 pub mod confidence;
+pub mod error;
 pub mod geoip;
 pub mod lastmile;
 pub mod latency_groups;

@@ -25,7 +25,7 @@ where
         e.1 += 1;
     }
     let mut best: HashMap<ProbeId, (RegionId, f64)> = HashMap::new();
-    let mut keys: Vec<_> = acc.keys().copied().collect();
+    let mut keys: Vec<_> = acc.keys().copied().collect(); // audit:allow(map-iter)
     keys.sort(); // deterministic tie-breaking
     for (probe, region) in keys {
         let (sum, n) = acc[&(probe, region)];

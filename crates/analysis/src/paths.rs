@@ -34,7 +34,7 @@ impl AsLevelPath {
         let mut private_hops = 0usize;
         let mut cgn_hops = 0usize;
         for hop in trace.responding() {
-            let ip = hop.ip.expect("responding hop has ip");
+            let ip = hop.ip.expect("responding hop has ip"); // audit:allow(expect)
             match resolver.resolve(ip) {
                 Resolution::As(asn) => {
                     if ases.last() != Some(&asn) {

@@ -20,7 +20,7 @@ pub fn pervasiveness(
     let mut total = 0usize;
     let mut cloud = 0usize;
     for hop in trace.responding() {
-        let ip = hop.ip.expect("responding");
+        let ip = hop.ip.expect("responding"); // audit:allow(expect)
         total += 1;
         if let Resolution::As(asn) = resolver.resolve(ip) {
             if registry.is_cloud(asn) {
@@ -45,7 +45,7 @@ pub fn pervasiveness_of(
     let mut total = 0usize;
     let mut cloud = 0usize;
     for hop in trace.responding() {
-        let ip = hop.ip.expect("responding");
+        let ip = hop.ip.expect("responding"); // audit:allow(expect)
         total += 1;
         if resolver.resolve(ip) == Resolution::As(cloud_asn) {
             cloud += 1;

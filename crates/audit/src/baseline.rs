@@ -1,0 +1,281 @@
+//! The ratcheting finding baseline (`audit-baseline.json`).
+//!
+//! The baseline is the bridge between "the lint engine just got much
+//! sharper" and "CI must stay green": legacy findings recorded in the
+//! committed baseline are reported but do not gate, while any finding
+//! *not* in the baseline fails the lint. Entries are keyed by
+//! `(rule, path, message)` — deliberately **without** line numbers, so
+//! unrelated edits shifting a file do not resurrect baselined findings —
+//! and every entry must still match something: a stale entry is itself a
+//! `stale-baseline` finding, which is what makes the ratchet one-way.
+//! Shrink it with `cloudy-repro audit lint --update-baseline`; CI fails
+//! if the file grows.
+
+use crate::error::AuditError;
+use crate::finding::Severity;
+use crate::lints::{LintFinding, LintReport};
+use serde::Value;
+use std::path::Path;
+
+/// The committed baseline's name, at the workspace root.
+pub const BASELINE_FILE: &str = "audit-baseline.json";
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub path: String,
+    pub message: String,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse the JSON document.
+    pub fn parse(text: &str) -> Result<Baseline, AuditError> {
+        let doc = serde_json::parse(text)
+            .map_err(|e| AuditError::config(format!("{BASELINE_FILE}: {e}")))?;
+        match doc.get("version") {
+            Some(Value::UInt(1)) | Some(Value::Int(1)) => {}
+            other => {
+                return Err(AuditError::config(format!(
+                    "{BASELINE_FILE}: unsupported version {other:?}"
+                )))
+            }
+        }
+        let Some(Value::Array(items)) = doc.get("entries") else {
+            return Err(AuditError::config(format!("{BASELINE_FILE}: `entries` wants an array")));
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let field = |key: &str| -> Result<String, AuditError> {
+                match item.get(key) {
+                    Some(Value::Str(s)) => Ok(s.clone()),
+                    _ => Err(AuditError::config(format!(
+                        "{BASELINE_FILE}: entry {i}: missing string field {key:?}"
+                    ))),
+                }
+            };
+            entries.push(BaselineEntry {
+                rule: field("rule")?,
+                path: field("path")?,
+                message: field("message")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Load `<root>/audit-baseline.json`, or an empty baseline if absent.
+    pub fn load(root: &Path) -> Result<Baseline, AuditError> {
+        match std::fs::read_to_string(root.join(BASELINE_FILE)) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+            Err(e) => Err(AuditError::io(BASELINE_FILE, e)),
+        }
+    }
+
+    /// Mark every matching finding as baselined, then report entries that
+    /// matched nothing as `stale-baseline` findings (the ratchet).
+    pub fn apply(&self, report: &mut LintReport) {
+        let mut used = vec![false; self.entries.len()];
+        for f in report.findings.iter_mut() {
+            for (ix, e) in self.entries.iter().enumerate() {
+                if e.rule == f.rule && e.path == f.path && e.message == f.message {
+                    f.baselined = true;
+                    used[ix] = true;
+                }
+            }
+        }
+        for (ix, e) in self.entries.iter().enumerate() {
+            if used[ix] {
+                continue;
+            }
+            report.findings.push(LintFinding {
+                rule: "stale-baseline",
+                severity: Severity::Warning,
+                path: BASELINE_FILE.into(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "baseline entry (`{}` at {}) matched no finding; ratchet down with \
+                     --update-baseline",
+                    e.rule, e.path
+                ),
+                baselined: false,
+            });
+        }
+        report.sort();
+    }
+
+    /// Build a baseline covering a report's findings (for
+    /// `--update-baseline`). `stale-baseline` findings are never recorded —
+    /// baselining the ratchet would disable it.
+    pub fn from_report(report: &LintReport) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule != "stale-baseline")
+            .map(|f| BaselineEntry {
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                message: f.message.clone(),
+            })
+            .collect();
+        entries.sort();
+        entries.dedup();
+        Baseline { entries }
+    }
+
+    /// Deterministic, diff-reviewable rendering: sorted entries, one per
+    /// line.
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        entries.dedup();
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let obj = Value::Object(vec![
+                ("rule".to_string(), Value::Str(e.rule.clone())),
+                ("path".to_string(), Value::Str(e.path.clone())),
+                ("message".to_string(), Value::Str(e.message.clone())),
+            ]);
+            let line = serde_json::to_string(&obj).unwrap_or_default();
+            out.push_str("    ");
+            out.push_str(&line);
+            if i + 1 < entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the baseline to `<root>/audit-baseline.json`.
+    pub fn store(&self, root: &Path) -> Result<(), AuditError> {
+        std::fs::write(root.join(BASELINE_FILE), self.render())
+            .map_err(|e| AuditError::io(BASELINE_FILE, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, message: &str) -> LintFinding {
+        LintFinding {
+            rule,
+            severity: Severity::Warning,
+            path: path.into(),
+            line: 7,
+            col: 3,
+            message: message.into(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "unwrap".into(),
+                    path: "crates/x/src/lib.rs".into(),
+                    message: "unwrap in library code".into(),
+                },
+                BaselineEntry {
+                    rule: "expect".into(),
+                    path: "crates/y/src/lib.rs".into(),
+                    message: "expect \"quoted\" in library code".into(),
+                },
+            ],
+        };
+        let text = b.render();
+        let back = Baseline::parse(&text).expect("parses");
+        let mut want = b.entries.clone();
+        want.sort();
+        assert_eq!(back.entries, want);
+    }
+
+    #[test]
+    fn empty_baseline_renders_and_parses() {
+        let text = Baseline::empty().render();
+        let back = Baseline::parse(&text).expect("parses");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn apply_marks_matches_without_line_numbers() {
+        let mut report = LintReport {
+            findings: vec![
+                finding("unwrap", "crates/x/src/lib.rs", "unwrap in library code"),
+                finding("panic", "crates/x/src/lib.rs", "panic in library code"),
+            ],
+            files_scanned: 1,
+        };
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "unwrap".into(),
+                path: "crates/x/src/lib.rs".into(),
+                message: "unwrap in library code".into(),
+            }],
+        };
+        b.apply(&mut report);
+        assert_eq!(report.baselined_count(), 1);
+        assert_eq!(report.fresh_count(), 1, "the panic stays fresh");
+    }
+
+    #[test]
+    fn stale_entries_become_findings() {
+        let mut report = LintReport::default();
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "unwrap".into(),
+                path: "crates/gone.rs".into(),
+                message: "unwrap in library code".into(),
+            }],
+        };
+        b.apply(&mut report);
+        assert_eq!(report.fresh_count(), 1);
+        assert_eq!(report.findings[0].rule, "stale-baseline");
+        assert_eq!(report.findings[0].path, BASELINE_FILE);
+    }
+
+    #[test]
+    fn from_report_never_records_the_ratchet_itself() {
+        let report = LintReport {
+            findings: vec![
+                finding("unwrap", "a.rs", "m"),
+                finding("stale-baseline", BASELINE_FILE, "stale"),
+                finding("unwrap", "a.rs", "m"),
+            ],
+            files_scanned: 1,
+        };
+        let b = Baseline::from_report(&report);
+        assert_eq!(b.len(), 1, "deduped and ratchet-free: {:?}", b.entries);
+        assert_eq!(b.entries[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(Baseline::parse("{}").is_err(), "missing version");
+        assert!(Baseline::parse("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"entries\": [{\"rule\": 3}]}").is_err());
+    }
+}

@@ -1,79 +1,42 @@
-//! Determinism lints over the workspace's Rust sources.
+//! Determinism lints over the workspace's Rust sources — the file-walking
+//! orchestrator for the token-level engine in [`crate::lints`].
 //!
 //! The reproduction's whole value rests on bit-reproducibility, so the
-//! lints target the ways Rust code quietly loses it:
+//! lints target the ways Rust code quietly loses it (wall-clock reads,
+//! OS-entropy RNGs, unordered map iteration) plus the robustness and
+//! API-hygiene smells that erode it over time (abort paths in library
+//! code, stringly-typed errors, narrowing casts on wire fields). The full
+//! rule table lives in [`crate::lints::RULES`].
 //!
-//! * `map-iter` — iterating a `HashMap`/`HashSet` feeds results in an
-//!   order that changes run to run (warning; sort first).
-//! * `nondet-time` — `Instant::now`/`SystemTime::now` outside bench code
-//!   injects wall-clock state into results (error).
-//! * `thread-rng` — `thread_rng` draws from OS entropy instead of the
-//!   seeded `FlowRng`/`StdRng` streams (error).
-//! * `unwrap` / `expect` / `panic` — abort paths in library code
-//!   (warning; prefer typed errors or documented invariants).
+//! This module owns the parts that touch the filesystem and the
+//! workspace's suppression config:
 //!
-//! Suppression is explicit and auditable: an inline
-//! `// audit:allow(rule)` pragma on the offending line or the line above,
-//! or a path-scoped entry in `audit.toml` at the workspace root. The
-//! scanner is deliberately line-based — it has no type information and
-//! trades false negatives for zero build-time cost; it is a tripwire, not
-//! a verifier.
+//! * [`Allowlist`] — the `audit.toml` path-scoped suppressions, with
+//!   per-entry use-tracking so dead entries surface as `stale-allow`
+//!   findings instead of silently widening the blind spot.
+//! * [`FileContext`] — path classification (bench/test/bin/wire) that
+//!   decides which rules apply to a file.
+//! * [`lint_workspace`] / [`scan_workspace`] — the deterministic
+//!   sorted-order walk over `crates/`, `src/`, and `tests/` (skipping
+//!   `target`, dotfiles, and lint-fixture directories).
+//!
+//! The engine itself is pure and string-fed; see [`crate::lints`] for the
+//! pass implementations and pragma semantics.
 
+use crate::error::AuditError;
 use crate::finding::{AuditReport, Severity};
+use crate::lints::{self, LintFinding, LintReport};
 use std::path::Path;
-
-/// A lint rule.
-#[derive(Debug, Clone, Copy)]
-pub struct Rule {
-    pub name: &'static str,
-    pub severity: Severity,
-    pub summary: &'static str,
-}
-
-/// Every rule detlint knows, in severity order.
-pub const RULES: &[Rule] = &[
-    Rule {
-        name: "nondet-time",
-        severity: Severity::Error,
-        summary: "Instant::now/SystemTime::now outside bench code",
-    },
-    Rule {
-        name: "thread-rng",
-        severity: Severity::Error,
-        summary: "thread_rng draws OS entropy; use seeded rngs",
-    },
-    Rule {
-        name: "map-iter",
-        severity: Severity::Warning,
-        summary: "HashMap/HashSet iteration order is nondeterministic",
-    },
-    Rule {
-        name: "unwrap",
-        severity: Severity::Warning,
-        summary: ".unwrap() in library code",
-    },
-    Rule {
-        name: "expect",
-        severity: Severity::Warning,
-        summary: ".expect() in library code",
-    },
-    Rule {
-        name: "panic",
-        severity: Severity::Warning,
-        summary: "panic! in library code",
-    },
-];
-
-fn rule(name: &str) -> Option<&'static Rule> {
-    RULES.iter().find(|r| r.name == name)
-}
 
 /// One path-scoped suppression from `audit.toml`.
 #[derive(Debug, Clone, Default)]
-struct AllowEntry {
-    path_prefix: String,
-    rules: Vec<String>,
-    reason: String,
+pub struct AllowEntry {
+    pub path_prefix: String,
+    pub rules: Vec<String>,
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `audit.toml`, for
+    /// `stale-allow` findings.
+    pub line: u32,
 }
 
 /// The `audit.toml` allowlist.
@@ -97,8 +60,12 @@ impl Allowlist {
         Allowlist::default()
     }
 
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
     /// Parse `audit.toml` text.
-    pub fn parse(text: &str) -> Result<Allowlist, String> {
+    pub fn parse(text: &str) -> Result<Allowlist, AuditError> {
         let mut entries: Vec<AllowEntry> = Vec::new();
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -106,15 +73,18 @@ impl Allowlist {
                 continue;
             }
             if line == "[[allow]]" {
-                entries.push(AllowEntry::default());
+                entries.push(AllowEntry { line: (ln + 1) as u32, ..AllowEntry::default() });
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(format!("audit.toml:{}: expected `key = value`", ln + 1));
+                return Err(AuditError::config(format!(
+                    "audit.toml:{}: expected `key = value`",
+                    ln + 1
+                )));
             };
-            let entry = entries
-                .last_mut()
-                .ok_or_else(|| format!("audit.toml:{}: key outside [[allow]]", ln + 1))?;
+            let entry = entries.last_mut().ok_or_else(|| {
+                AuditError::config(format!("audit.toml:{}: key outside [[allow]]", ln + 1))
+            })?;
             let key = key.trim();
             let value = value.trim();
             match key {
@@ -124,55 +94,75 @@ impl Allowlist {
                     let inner = value
                         .strip_prefix('[')
                         .and_then(|v| v.strip_suffix(']'))
-                        .ok_or_else(|| format!("audit.toml:{}: rules wants a list", ln + 1))?;
+                        .ok_or_else(|| {
+                            AuditError::config(format!(
+                                "audit.toml:{}: rules wants a list",
+                                ln + 1
+                            ))
+                        })?;
                     for item in inner.split(',') {
                         let item = item.trim();
                         if item.is_empty() {
                             continue;
                         }
                         let name = unquote(item, ln)?;
-                        if rule(&name).is_none() {
-                            return Err(format!("audit.toml:{}: unknown rule {name:?}", ln + 1));
+                        if lints::rule(&name).is_none() {
+                            return Err(AuditError::config(format!(
+                                "audit.toml:{}: unknown rule {name:?}",
+                                ln + 1
+                            )));
                         }
                         entry.rules.push(name);
                     }
                 }
-                other => return Err(format!("audit.toml:{}: unknown key {other:?}", ln + 1)),
+                other => {
+                    return Err(AuditError::config(format!(
+                        "audit.toml:{}: unknown key {other:?}",
+                        ln + 1
+                    )))
+                }
             }
         }
         for e in &entries {
             if e.path_prefix.is_empty() {
-                return Err("audit.toml: [[allow]] entry without a path".into());
+                return Err(AuditError::config("audit.toml: [[allow]] entry without a path"));
             }
             if e.reason.is_empty() {
-                return Err(format!("audit.toml: allow for {:?} needs a reason", e.path_prefix));
+                return Err(AuditError::config(format!(
+                    "audit.toml: allow for {:?} needs a reason",
+                    e.path_prefix
+                )));
             }
         }
         Ok(Allowlist { entries })
     }
 
     /// Load `<root>/audit.toml`, or an empty allowlist if absent.
-    pub fn load(root: &Path) -> Result<Allowlist, String> {
+    pub fn load(root: &Path) -> Result<Allowlist, AuditError> {
         match std::fs::read_to_string(root.join("audit.toml")) {
             Ok(text) => Allowlist::parse(&text),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::empty()),
-            Err(e) => Err(format!("read audit.toml: {e}")),
+            Err(e) => Err(AuditError::io("audit.toml", e)),
         }
     }
 
-    fn allows(&self, rel_path: &str, rule: &str) -> bool {
-        self.entries.iter().any(|e| {
+    /// The index of the first entry that suppresses `rule` at `rel_path`,
+    /// so callers can track which entries earn their keep.
+    pub fn allows(&self, rel_path: &str, rule: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
             rel_path.starts_with(&e.path_prefix)
                 && (e.rules.is_empty() || e.rules.iter().any(|r| r == rule))
         })
     }
 }
 
-fn unquote(s: &str, ln: usize) -> Result<String, String> {
+fn unquote(s: &str, ln: usize) -> Result<String, AuditError> {
     s.strip_prefix('"')
         .and_then(|v| v.strip_suffix('"'))
         .map(str::to_string)
-        .ok_or_else(|| format!("audit.toml:{}: expected a quoted string, got {s}", ln + 1))
+        .ok_or_else(|| {
+            AuditError::config(format!("audit.toml:{}: expected a quoted string, got {s}", ln + 1))
+        })
 }
 
 /// What kind of file is being scanned — decides which rules apply.
@@ -186,6 +176,9 @@ pub struct FileContext {
     pub is_test: bool,
     /// Binary entry point (CLI code may abort with a message).
     pub is_bin: bool,
+    /// Wire-path code (serialized record and store-format sources) where
+    /// narrowing casts are a data-corruption hazard, not a style nit.
+    pub is_wire: bool,
 }
 
 impl FileContext {
@@ -198,275 +191,27 @@ impl FileContext {
                 || rel_path.starts_with("tests/")
                 || rel_path.ends_with("proptests.rs"),
             is_bin: rel_path.contains("/bin/") || rel_path.ends_with("/main.rs"),
+            is_wire: rel_path == "crates/measure/src/record.rs"
+                || rel_path.starts_with("crates/store/src/"),
         }
     }
 }
 
-/// Replace string-literal bodies with spaces and drop `//` comments, so
-/// pattern matches never fire inside strings or prose. Length-preserving
-/// up to the comment cut.
-fn strip_strings_and_comments(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next();
-                    out.push(' ');
-                    out.push(' ');
-                }
-                '"' => {
-                    in_str = false;
-                    out.push('"');
-                }
-                _ => out.push(' '),
-            }
-        } else if in_char {
-            match c {
-                '\\' => {
-                    chars.next();
-                    out.push(' ');
-                    out.push(' ');
-                }
-                '\'' => {
-                    in_char = false;
-                    out.push('\'');
-                }
-                _ => out.push(' '),
-            }
-        } else {
-            match c {
-                '"' => {
-                    in_str = true;
-                    out.push('"');
-                }
-                // Only treat ' as a char literal when it cannot be a
-                // lifetime (next-next char or the one after is ').
-                '\'' => {
-                    let looks_like_char = {
-                        let rest: String = chars.clone().take(3).collect();
-                        rest.chars().nth(1) == Some('\'')
-                            || (rest.starts_with('\\') && rest.len() >= 3)
-                    };
-                    if looks_like_char {
-                        in_char = true;
-                    }
-                    out.push('\'');
-                }
-                '/' if chars.peek() == Some(&'/') => break,
-                _ => out.push(c),
-            }
-        }
-    }
-    out
-}
-
-/// Parse an `audit:allow(a, b)` pragma out of a raw source line.
-fn pragma_rules(raw: &str) -> Vec<String> {
-    let Some(pos) = raw.find("audit:allow(") else {
-        return Vec::new();
-    };
-    let rest = &raw[pos + "audit:allow(".len()..];
-    let Some(end) = rest.find(')') else {
-        return Vec::new();
-    };
-    rest[..end]
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect()
-}
-
-/// Whether `code[idx]` starts a standalone occurrence of `ident`.
-fn at_word(code: &str, idx: usize, len: usize) -> bool {
-    let before_ok = idx == 0
-        || !code[..idx]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
-    let after = &code[idx + len..];
-    let after_ok = !after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
-    before_ok && after_ok
-}
-
-/// Extract the identifier a line declares as a `HashMap`/`HashSet`, if any.
-fn map_decl_ident(code: &str) -> Option<String> {
-    if code.contains("fn ") || code.contains("->") {
-        // Signatures declare parameters, not iterable locals; skip to avoid
-        // chasing the wrong identifier.
-        return None;
-    }
-    let pos = code.find("HashMap").or_else(|| code.find("HashSet"))?;
-    let before = &code[..pos];
-    let sep = before.rfind([':', '='])?;
-    let head = before[..sep].trim_end().trim_end_matches(':');
-    let ident: String = head
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect::<String>()
-        .chars()
-        .rev()
-        .collect();
-    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        None
-    } else {
-        Some(ident)
-    }
-}
-
-/// Whether `code` iterates `ident` in an order-sensitive way.
-fn iterates_map(code: &str, ident: &str) -> bool {
-    const METHODS: &[&str] = &[".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
-    let mut from = 0;
-    while let Some(off) = code[from..].find(ident) {
-        let idx = from + off;
-        from = idx + ident.len();
-        if !at_word(code, idx, ident.len()) {
-            continue;
-        }
-        let after = &code[idx + ident.len()..];
-        if METHODS.iter().any(|m| after.starts_with(m)) {
-            return true;
-        }
-        // `for x in map` / `for x in &map` / `for x in &mut map`.
-        let before = code[..idx].trim_end();
-        let before = before.strip_suffix("&mut").unwrap_or(before).trim_end();
-        let before = before.strip_suffix('&').unwrap_or(before).trim_end();
-        if before.ends_with(" in") || before.ends_with("\tin") {
-            let next = after.trim_start();
-            if next.is_empty() || next.starts_with('{') || next.starts_with('.') {
-                if after.trim_start().starts_with('.') {
-                    // already handled by METHODS (e.g. `in map.keys()`)
-                    continue;
-                }
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Signals the line orders the iteration result, defusing `map-iter`.
-fn line_sorts(code: &str) -> bool {
-    code.contains("sort") || code.contains("BTreeMap") || code.contains("BTreeSet")
-}
-
-/// Scan one file's source text. Pure (no I/O) so tests feed it strings.
+/// Scan one file's source text (compatibility wrapper over
+/// [`lints::lint_source`] folding into the legacy [`AuditReport`]).
 pub fn scan_source(ctx: &FileContext, source: &str, allow: &Allowlist) -> AuditReport {
-    let mut report = AuditReport { checks_run: 1, ..Default::default() };
-
-    // Pre-pass: identifiers declared as maps/sets in this file.
-    let mut map_idents: Vec<String> = Vec::new();
-    for raw in source.lines() {
-        let code = strip_strings_and_comments(raw);
-        if let Some(ident) = map_decl_ident(&code) {
-            if !map_idents.contains(&ident) {
-                map_idents.push(ident);
-            }
-        }
-    }
-
-    let mut prev_pragma: Vec<String> = Vec::new();
-    let mut test_depth: i32 = 0;
-    let mut cfg_test_armed = false;
-
-    for (ln, raw) in source.lines().enumerate() {
-        let line_no = ln + 1;
-        let pragma_here = pragma_rules(raw);
-        let code = strip_strings_and_comments(raw);
-        let trimmed = code.trim();
-
-        // Track #[cfg(test)] { .. } regions by brace depth.
-        if test_depth == 0 && trimmed.contains("#[cfg(test)]") {
-            cfg_test_armed = true;
-        } else if cfg_test_armed && !trimmed.is_empty() && !trimmed.starts_with("#[") {
-            if trimmed.contains('{') {
-                cfg_test_armed = false;
-                test_depth = brace_delta(&code).max(1);
-            } else if !trimmed.starts_with("//") {
-                cfg_test_armed = false;
-            }
-        } else if test_depth > 0 {
-            test_depth += brace_delta(&code);
-            if test_depth < 0 {
-                test_depth = 0;
-            }
-        }
-        let in_test = ctx.is_test || test_depth > 0 || (cfg_test_armed && trimmed.is_empty());
-
-        let suppressed = |rule_name: &str| -> bool {
-            pragma_here.iter().any(|r| r == rule_name)
-                || prev_pragma.iter().any(|r| r == rule_name)
-                || allow.allows(&ctx.rel_path, rule_name)
-        };
-        let mut emit = |name: &'static str, msg: String| {
-            if suppressed(name) {
-                return;
-            }
-            // Invariant: emit is only called with names from RULES.
-            let r = rule(name).expect("registered rule"); // audit:allow(expect)
-            report.push(
-                r.severity,
-                "detlint",
-                format!("{}:{}: {} [{}]", ctx.rel_path, line_no, msg, name),
-            );
-        };
-
-        if trimmed.is_empty() || raw.trim_start().starts_with("//") {
-            prev_pragma = pragma_here;
-            continue;
-        }
-
-        if !ctx.is_bench && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
-            emit("nondet-time", "wall-clock read in deterministic code".into());
-        }
-        if code.contains("thread_rng") {
-            emit("thread-rng", "OS-entropy RNG; derive from the study seed".into());
-        }
-        if !line_sorts(&code) {
-            for ident in &map_idents {
-                if iterates_map(&code, ident) {
-                    emit(
-                        "map-iter",
-                        format!("iteration over map/set `{ident}` has nondeterministic order"),
-                    );
-                    break;
-                }
-            }
-        }
-        if !in_test && !ctx.is_bin && !ctx.is_bench {
-            if code.contains(".unwrap()") {
-                emit("unwrap", "unwrap in library code".into());
-            }
-            if code.contains(".expect(") {
-                emit("expect", "expect in library code".into());
-            }
-            if code.contains("panic!(") {
-                emit("panic", "panic in library code".into());
-            }
-        }
-
-        prev_pragma = pragma_here;
-    }
-    report
+    let scan = lints::lint_source(ctx, source, allow);
+    let mut lr = LintReport { findings: scan.findings, files_scanned: 1 };
+    lr.sort();
+    lr.to_audit_report("detlint")
 }
 
-fn brace_delta(code: &str) -> i32 {
-    code.chars().map(|c| match c {
-        '{' => 1,
-        '}' => -1,
-        _ => 0,
-    }).sum()
-}
-
-/// Walk the workspace sources (crates/ and src/) and scan every `.rs`
-/// file. Directory entries are visited in sorted order so the report
-/// itself is deterministic.
-pub fn scan_workspace(root: &Path) -> Result<AuditReport, String> {
+/// Walk the workspace sources (`crates/`, `src/`, `tests/`) and lint
+/// every `.rs` file through the token engine. Directory entries are
+/// visited in sorted order so the report itself is deterministic.
+/// Lint-test fixture trees (any directory named `fixtures`) are skipped —
+/// they contain seeded violations by design.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, AuditError> {
     let allow = Allowlist::load(root)?;
     let mut files: Vec<std::path::PathBuf> = Vec::new();
     for top in ["crates", "src", "tests"] {
@@ -476,32 +221,70 @@ pub fn scan_workspace(root: &Path) -> Result<AuditReport, String> {
         }
     }
     files.sort();
-    let mut report = AuditReport::default();
+
+    let mut report = LintReport::default();
+    let mut used = vec![false; allow.entries().len()];
     for f in &files {
         let rel = f
             .strip_prefix(root)
-            .map_err(|e| e.to_string())?
+            .map_err(|e| AuditError::config(format!("{}: {e}", f.display())))?
             .to_string_lossy()
             .replace('\\', "/");
         let ctx = FileContext::classify(&rel);
-        let source =
-            std::fs::read_to_string(f).map_err(|e| format!("read {}: {e}", f.display()))?;
-        report.merge(scan_source(&ctx, &source, &allow));
+        let source = std::fs::read_to_string(f).map_err(|e| AuditError::io(rel.clone(), e))?;
+        let scan = lints::lint_source(&ctx, &source, &allow);
+        report.findings.extend(scan.findings);
+        report.files_scanned += 1;
+        for ix in scan.used_allow {
+            used[ix] = true;
+        }
     }
-    if files.is_empty() {
+
+    // Allow entries that matched nothing are findings themselves: the
+    // suppression surface must shrink as the findings it covered do.
+    for (ix, entry) in allow.entries().iter().enumerate() {
+        if used[ix] {
+            continue;
+        }
+        report.findings.push(LintFinding {
+            rule: "stale-allow",
+            severity: Severity::Warning,
+            path: "audit.toml".into(),
+            line: entry.line,
+            col: 1,
+            message: format!(
+                "allow entry for `{}` ({}) matched no finding",
+                entry.path_prefix,
+                if entry.rules.is_empty() { "all rules".to_string() } else { entry.rules.join(", ") },
+            ),
+            baselined: false,
+        });
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Legacy entry point: run [`lint_workspace`] and fold into the
+/// [`AuditReport`] model the driver aggregates. An empty walk is an
+/// error-severity finding (not an `Err`): a misconfigured root should
+/// fail the audit loudly, not crash it.
+pub fn scan_workspace(root: &Path) -> Result<AuditReport, AuditError> {
+    let lr = lint_workspace(root)?;
+    let mut report = lr.to_audit_report("detlint");
+    if lr.files_scanned == 0 {
         report.push(Severity::Error, "detlint", format!("no Rust sources under {root:?}"));
     }
     Ok(report)
 }
 
-fn collect_rs_files(
+pub(crate) fn collect_rs_files(
     dir: &Path,
     out: &mut Vec<std::path::PathBuf>,
-) -> Result<(), String> {
+) -> Result<(), AuditError> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .map_err(|e| AuditError::io(dir.display().to_string(), e))?
         .collect::<Result<_, _>>()
-        .map_err(|e| format!("walk {}: {e}", dir.display()))?;
+        .map_err(|e| AuditError::io(dir.display().to_string(), e))?;
     entries.sort_by_key(|e| e.file_name());
     for entry in entries {
         let path = entry.path();
@@ -511,6 +294,9 @@ fn collect_rs_files(
             continue;
         }
         if path.is_dir() {
+            if name == "fixtures" {
+                continue;
+            }
             collect_rs_files(&path, out)?;
         } else if name.ends_with(".rs") {
             out.push(path);
@@ -523,127 +309,26 @@ fn collect_rs_files(
 mod tests {
     use super::*;
 
-    fn lib_ctx() -> FileContext {
-        FileContext::classify("crates/demo/src/lib.rs")
-    }
-
-    fn scan(src: &str) -> AuditReport {
-        scan_source(&lib_ctx(), src, &Allowlist::empty())
+    #[test]
+    fn classify_covers_all_contexts() {
+        let lib = FileContext::classify("crates/demo/src/lib.rs");
+        assert!(!lib.is_bench && !lib.is_test && !lib.is_bin && !lib.is_wire);
+        assert!(FileContext::classify("crates/bench/benches/routing.rs").is_bench);
+        assert!(FileContext::classify("crates/demo/tests/it.rs").is_test);
+        assert!(FileContext::classify("crates/geo/src/proptests.rs").is_test);
+        assert!(FileContext::classify("src/bin/tool.rs").is_bin);
+        assert!(FileContext::classify("crates/measure/src/record.rs").is_wire);
+        assert!(FileContext::classify("crates/store/src/codec.rs").is_wire);
+        assert!(!FileContext::classify("crates/measure/src/campaign.rs").is_wire);
     }
 
     #[test]
-    fn flags_wall_clock_and_thread_rng_as_errors() {
-        let r = scan("fn f() { let t = std::time::Instant::now(); }\n\
-                      fn g() { let mut r = rand::thread_rng(); }\n");
-        assert_eq!(r.errors().count(), 2, "{}", r.render());
-        assert!(r.render().contains("[nondet-time]"));
-        assert!(r.render().contains("[thread-rng]"));
-    }
-
-    #[test]
-    fn bench_files_may_read_the_clock() {
-        let ctx = FileContext::classify("crates/bench/benches/routing.rs");
-        let r = scan_source(&ctx, "let t = Instant::now();\n", &Allowlist::empty());
-        assert!(r.is_clean(), "{}", r.render());
-    }
-
-    #[test]
-    fn flags_unwrap_expect_panic_in_lib_code_only() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
-                   fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\
-                   fn h() { panic!(\"boom\"); }\n";
-        let r = scan(src);
-        assert_eq!(r.warnings().count(), 3, "{}", r.render());
-        assert!(r.is_clean(), "unwrap lints are warnings");
-        // Same source in a test file: silent.
-        let t = scan_source(
-            &FileContext::classify("crates/demo/tests/it.rs"),
-            src,
-            &Allowlist::empty(),
-        );
-        assert_eq!(t.findings.len(), 0, "{}", t.render());
-        // And in a binary: silent.
-        let b = scan_source(
-            &FileContext::classify("src/bin/tool.rs"),
-            src,
-            &Allowlist::empty(),
-        );
-        assert_eq!(b.findings.len(), 0, "{}", b.render());
-    }
-
-    #[test]
-    fn cfg_test_modules_are_exempt() {
-        let src = "fn lib() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   \x20   #[test]\n\
-                   \x20   fn t() { Some(1).unwrap(); }\n\
-                   }\n";
-        let r = scan(src);
-        assert_eq!(r.findings.len(), 0, "{}", r.render());
-    }
-
-    #[test]
-    fn unwrap_after_test_module_still_flagged() {
-        let src = "#[cfg(test)]\n\
-                   mod tests {\n\
-                   \x20   fn t() { Some(1).unwrap(); }\n\
-                   }\n\
-                   fn lib(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let r = scan(src);
-        assert_eq!(r.warnings().count(), 1, "{}", r.render());
-    }
-
-    #[test]
-    fn map_iteration_flagged_unless_sorted() {
-        let src = "fn f(m: u8) {\n\
-                   \x20   let mut index: HashMap<u32, u8> = HashMap::new();\n\
-                   \x20   for (k, v) in &index { emit(k, v); }\n\
-                   \x20   let mut ks: Vec<_> = index.keys().collect();\n\
-                   \x20   ks.sort();\n\
-                   }\n";
-        let r = scan(src);
-        // The bare `for .. in &index` and the unsorted-at-that-line `.keys()`
-        // both flag; the `.sort()` line is exempt by construction.
-        assert!(r.warnings().count() >= 1, "{}", r.render());
-        assert!(r.render().contains("map-iter"), "{}", r.render());
-    }
-
-    #[test]
-    fn sorted_collection_iteration_not_flagged() {
-        let src = "fn f() {\n\
-                   \x20   let mut index: HashMap<u32, u8> = HashMap::new();\n\
-                   \x20   let mut keys: Vec<_> = index.keys().copied().collect::<Vec<_>>(); keys.sort();\n\
-                   \x20   for k in keys { emit(k); }\n\
-                   }\n";
-        let r = scan(src);
-        assert_eq!(r.findings.len(), 0, "{}", r.render());
-    }
-
-    #[test]
-    fn pragmas_suppress_same_and_next_line() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // audit:allow(unwrap)\n\
-                   // audit:allow(panic)\n\
-                   fn g() { panic!(\"documented invariant\"); }\n";
-        let r = scan(src);
-        assert_eq!(r.findings.len(), 0, "{}", r.render());
-    }
-
-    #[test]
-    fn pragma_does_not_leak_past_one_line() {
-        let src = "// audit:allow(unwrap)\n\
-                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
-                   fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let r = scan(src);
-        assert_eq!(r.warnings().count(), 1, "{}", r.render());
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_trip_rules() {
-        let src = "fn f() { log(\"call Instant::now() never\"); }\n\
-                   fn g() {} // mentions panic!( in prose\n";
-        let r = scan(src);
-        assert_eq!(r.findings.len(), 0, "{}", r.render());
+    fn scan_source_folds_into_audit_report() {
+        let ctx = FileContext::classify("crates/demo/src/lib.rs");
+        let r = scan_source(&ctx, "fn f() { let t = Instant::now(); }\n", &Allowlist::empty());
+        assert_eq!(r.errors().count(), 1, "{}", r.render());
+        assert!(r.render().contains("[nondet-time]"), "{}", r.render());
+        assert!(r.render().contains("crates/demo/src/lib.rs:1"), "{}", r.render());
     }
 
     #[test]
@@ -655,11 +340,10 @@ mod tests {
              reason = \"legacy\"\n",
         )
         .expect("parses");
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let r = scan_source(&lib_ctx(), src, &allow);
-        assert_eq!(r.findings.len(), 0, "{}", r.render());
-        let other = scan_source(&FileContext::classify("crates/other/src/lib.rs"), src, &allow);
-        assert_eq!(other.warnings().count(), 1);
+        assert_eq!(allow.allows("crates/demo/src/lib.rs", "unwrap"), Some(0));
+        assert_eq!(allow.allows("crates/demo/src/lib.rs", "panic"), None);
+        assert_eq!(allow.allows("crates/other/src/lib.rs", "unwrap"), None);
+        assert_eq!(allow.entries()[0].line, 1, "entry records its header line");
     }
 
     #[test]
@@ -671,11 +355,43 @@ mod tests {
     }
 
     #[test]
-    fn rules_table_is_consistent() {
-        for r in RULES {
-            assert!(rule(r.name).is_some());
+    fn allowlist_accepts_every_registered_rule() {
+        for r in lints::RULES {
+            let toml = format!(
+                "[[allow]]\npath = \"x\"\nrules = [\"{}\"]\nreason = \"r\"\n",
+                r.name
+            );
+            assert!(Allowlist::parse(&toml).is_ok(), "rule {} rejected", r.name);
         }
-        assert_eq!(rule("nondet-time").map(|r| r.severity), Some(Severity::Error));
-        assert_eq!(rule("unwrap").map(|r| r.severity), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn workspace_walk_reports_missing_root_as_finding() {
+        let r = scan_workspace(Path::new("/nonexistent/cloudy-root")).expect("walk is fallible-soft");
+        assert_eq!(r.errors().count(), 1, "{}", r.render());
+        assert!(r.render().contains("no Rust sources"), "{}", r.render());
+    }
+
+    #[test]
+    fn workspace_walk_skips_fixture_dirs_and_reports_stale_allows() {
+        let dir = std::env::temp_dir().join(format!("detlint-walk-{}", std::process::id()));
+        let src = dir.join("crates/demo/src");
+        let fix = dir.join("crates/demo/tests/fixtures");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        std::fs::create_dir_all(&fix).expect("mkdir");
+        std::fs::write(src.join("lib.rs"), "pub fn ok() {}\n").expect("write");
+        std::fs::write(fix.join("seeded.rs"), "fn f() { let t = Instant::now(); }\n")
+            .expect("write");
+        std::fs::write(
+            dir.join("audit.toml"),
+            "[[allow]]\npath = \"crates/demo\"\nrules = [\"unwrap\"]\nreason = \"dead\"\n",
+        )
+        .expect("write");
+        let lr = lint_workspace(&dir).expect("walk");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(lr.files_scanned, 1, "fixture file must be skipped");
+        let rules: Vec<_> = lr.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["stale-allow"], "{:?}", lr.findings);
+        assert_eq!(lr.findings[0].path, "audit.toml");
     }
 }

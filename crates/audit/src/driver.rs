@@ -1,17 +1,66 @@
-//! The audit driver: runs the three passes and folds their findings into
+//! The audit driver: runs the four passes and folds their findings into
 //! one report.
+//!
+//! Each pass has a stable name and a dedicated CI exit code (see
+//! [`AuditPass`]) so a red pipeline says *which* gate failed:
+//!
+//! | pass        | exit | what it guards                                  |
+//! |-------------|------|-------------------------------------------------|
+//! | `detlint`   | 10   | source-level determinism/robustness lints        |
+//! | `wire-freeze` | 13 | serialized shapes vs the committed `wire.lock`  |
+//! | `world`     | 11   | structural invariants of the built world         |
+//! | `racecheck` | 12   | byte-identical campaigns across thread counts    |
 
+use crate::error::AuditError;
 use crate::finding::AuditReport;
 use crate::racecheck::{race_check, RaceConfig};
-use crate::{detlint, world};
+use crate::{detlint, wirefreeze, world};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use std::path::PathBuf;
+
+/// The audit's passes, in the order `run` executes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditPass {
+    Detlint,
+    WireFreeze,
+    World,
+    RaceCheck,
+}
+
+impl AuditPass {
+    pub const ALL: [AuditPass; 4] =
+        [AuditPass::Detlint, AuditPass::WireFreeze, AuditPass::World, AuditPass::RaceCheck];
+
+    /// The stable CLI/CI name (`--pass <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AuditPass::Detlint => "detlint",
+            AuditPass::WireFreeze => "wire-freeze",
+            AuditPass::World => "world",
+            AuditPass::RaceCheck => "racecheck",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<AuditPass> {
+        AuditPass::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The documented process exit code when this pass fails.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            AuditPass::Detlint => 10,
+            AuditPass::World => 11,
+            AuditPass::RaceCheck => 12,
+            AuditPass::WireFreeze => 13,
+        }
+    }
+}
 
 /// What to audit and how.
 #[derive(Debug, Clone)]
 pub struct AuditOptions {
-    /// Workspace root for the source lint pass (`None` skips detlint —
-    /// world-only callers like `cloudy-repro world --audit`).
+    /// Workspace root for the source lint and wire-freeze passes (`None`
+    /// skips both — world-only callers like `cloudy-repro world --audit`).
     pub workspace_root: Option<PathBuf>,
     /// World seed for the invariant + race passes.
     pub seed: u64,
@@ -46,20 +95,31 @@ impl AuditDriver {
         AuditDriver { opts }
     }
 
-    /// Pass 1: determinism lints over the workspace sources.
-    pub fn run_detlint(&self) -> Result<AuditReport, String> {
+    /// Pass `detlint`: token-level determinism lints over the workspace
+    /// sources.
+    pub fn run_detlint(&self) -> Result<AuditReport, AuditError> {
         match &self.opts.workspace_root {
             Some(root) => detlint::scan_workspace(root),
             None => Ok(AuditReport::default()),
         }
     }
 
-    /// Pass 2: world invariants over a freshly built world.
+    /// Pass `wire-freeze`: serialized record/store shapes vs `wire.lock`.
+    pub fn run_wire_freeze(&self) -> Result<AuditReport, AuditError> {
+        match &self.opts.workspace_root {
+            Some(root) => {
+                Ok(wirefreeze::check_workspace(root)?.to_audit_report("wire-freeze"))
+            }
+            None => Ok(AuditReport::default()),
+        }
+    }
+
+    /// Pass `world`: structural invariants over a freshly built world.
     pub fn run_world(&self) -> AuditReport {
         world::audit(&self.build_world())
     }
 
-    /// Pass 3: 1-vs-N-thread campaign determinism.
+    /// Pass `racecheck`: 1-vs-N-thread campaign determinism.
     pub fn run_race(&self) -> AuditReport {
         if self.opts.skip_race {
             return AuditReport::default();
@@ -67,12 +127,32 @@ impl AuditDriver {
         race_check(&RaceConfig { seed: self.opts.seed, threads: self.opts.race_threads })
     }
 
+    /// Run one pass by identity.
+    pub fn run_pass(&self, pass: AuditPass) -> Result<AuditReport, AuditError> {
+        match pass {
+            AuditPass::Detlint => self.run_detlint(),
+            AuditPass::WireFreeze => self.run_wire_freeze(),
+            AuditPass::World => Ok(self.run_world()),
+            AuditPass::RaceCheck => Ok(self.run_race()),
+        }
+    }
+
     /// Run every configured pass and merge the findings.
-    pub fn run(&self) -> Result<AuditReport, String> {
-        let mut report = self.run_detlint()?;
-        report.merge(self.run_world());
-        report.merge(self.run_race());
+    pub fn run(&self) -> Result<AuditReport, AuditError> {
+        let mut report = AuditReport::default();
+        for pass in AuditPass::ALL {
+            report.merge(self.run_pass(pass)?);
+        }
         Ok(report)
+    }
+
+    /// Run all passes, reporting per-pass results so callers (the CLI)
+    /// can exit with the first failing pass's dedicated code.
+    pub fn run_per_pass(&self) -> Result<Vec<(AuditPass, AuditReport)>, AuditError> {
+        AuditPass::ALL
+            .into_iter()
+            .map(|p| self.run_pass(p).map(|r| (p, r)))
+            .collect()
     }
 
     fn build_world(&self) -> BuiltWorld {
@@ -118,5 +198,25 @@ mod tests {
         let report = driver.run_detlint().expect("missing dirs are findings, not IO errors");
         assert!(!report.is_clean());
         assert!(report.errors().any(|f| f.check == "detlint"));
+    }
+
+    #[test]
+    fn pass_names_and_exit_codes_are_stable() {
+        let names: Vec<_> = AuditPass::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["detlint", "wire-freeze", "world", "racecheck"]);
+        let codes: Vec<_> = AuditPass::ALL.iter().map(|p| p.exit_code()).collect();
+        assert_eq!(codes, vec![10, 13, 11, 12]);
+        for p in AuditPass::ALL {
+            assert_eq!(AuditPass::from_name(p.name()), Some(p));
+        }
+        assert_eq!(AuditPass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn per_pass_reports_cover_all_passes() {
+        let driver = AuditDriver::new(AuditOptions { skip_race: true, ..Default::default() });
+        let reports = driver.run_per_pass().expect("no root, no IO");
+        assert_eq!(reports.len(), AuditPass::ALL.len());
+        assert!(reports.iter().all(|(_, r)| r.is_clean()));
     }
 }

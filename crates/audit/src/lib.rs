@@ -17,21 +17,42 @@
 //!    calibration contract.
 //! 3. **race check** ([`racecheck`]) — runs a small campaign at 1 and N
 //!    threads and demands byte-identical datasets.
+//! 4. **wire freeze** ([`wirefreeze`]) — extracts the serialized shapes of
+//!    the measurement records and the chunk-store format (derive fields,
+//!    hand-written serde keys, magic/tag constants) and diffs them against
+//!    the committed `wire.lock`, so serde drift fails statically.
 //!
-//! [`AuditDriver`] orchestrates all three; the `cloudy-repro audit`
+//! detlint is built on a hand-written, lossless Rust lexer ([`lexer`]) and
+//! a rule registry of token-level passes ([`lints`]), with suppression via
+//! inline pragmas, `audit.toml`, and a ratcheting [`baseline`]
+//! (`audit-baseline.json`). Reports render as text, JSON, or SARIF 2.1.0
+//! ([`output`]).
+//!
+//! [`AuditDriver`] orchestrates all passes; the `cloudy-repro audit`
 //! subcommand and the CI gate are thin wrappers around it. All passes
 //! report through the shared [`Finding`]/[`AuditReport`] model (which
 //! migrated here from `cloudy-netsim::audit` when the audit outgrew world
-//! checking); "clean" means zero error-severity findings.
+//! checking); "clean" means zero error-severity findings, and the lint
+//! gate is stricter still: zero non-baselined findings of any severity.
 
+pub mod baseline;
 pub mod detlint;
 pub mod driver;
+pub mod error;
 pub mod finding;
+pub mod lexer;
+pub mod lints;
+pub mod output;
+#[cfg(test)]
+mod proptests;
 pub mod racecheck;
+pub mod wirefreeze;
 pub mod world;
 
-pub use driver::{AuditDriver, AuditOptions};
+pub use driver::{AuditDriver, AuditOptions, AuditPass};
+pub use error::AuditError;
 pub use finding::{AuditReport, Finding, Severity};
+pub use lints::{LintFinding, LintReport};
 
 use cloudy_netsim::build::BuiltWorld;
 

@@ -1,0 +1,136 @@
+//! Property-based tests for the lossless lexer.
+//!
+//! The lint engine's suppression and reporting both lean on one
+//! guarantee: `lex` never loses a byte. These properties pin it on two
+//! input distributions — structured token soup (realistic Rust snippets
+//! concatenated in arbitrary order) and raw character soup (adversarial
+//! byte sequences, including quote and comment openers that never
+//! close). In both cases the stream must tile the source exactly and
+//! line/col must survive an independent recount.
+
+use crate::lexer::{code_view, lex};
+use proptest::prelude::*;
+
+/// Realistic token texts: every token class, multi-byte UTF-8, escapes,
+/// raw strings, nested comments. Concatenation can merge neighbours
+/// (`ab` + `cd` lexes as one ident) — losslessness must hold anyway.
+fn snippets() -> Vec<String> {
+    [
+        "ident", "x", "_priv", "r#type", "self", "énorme", "日本",
+        "42", "0xFF", "1e-3", "42u8", "3.14f64",
+        "\"str\"", "\"with \\\" escape\"", "\"multi\nline\"", "b\"bytes\"",
+        "r\"raw\"", "r#\"raw # hash\"#",
+        "'c'", "'\\n'", "b'x'", "'a", "'static",
+        "// line comment", "//", "/* block */", "/* nested /* deep */ */",
+        "/// doc", "//! inner doc",
+        " ", "  ", "\t", "\n", "\r\n", "\n\n",
+        "(", ")", "{", "}", "[", "]", "<", ">", ";", ",", ".", "::",
+        "->", "=>", "&", "|", "!", "#", "=", "+", "-", "*", "/",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Adversarial characters: quote/comment openers, digits, idents,
+/// multi-byte chars — most concatenations are not valid Rust, and the
+/// lexer must stay total on them.
+fn soup_chars() -> Vec<char> {
+    "abZ0_9 \t\n\"'/*#r!b(){}[]<>=.,;:&|\\-é→🌦".chars().collect()
+}
+
+fn recount_lines_cols(src: &str) -> Vec<(usize, u32, u32)> {
+    // (byte offset, line, col) for every byte, 1-based like the lexer.
+    let mut out = Vec::with_capacity(src.len());
+    let (mut line, mut col) = (1u32, 1u32);
+    for (off, b) in src.bytes().enumerate() {
+        out.push((off, line, col));
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    out
+}
+
+/// The shared invariant bundle. Returns the first violation, if any.
+fn lossless_violation(src: &str) -> Option<String> {
+    let toks = lex(src);
+    // 1. Concatenating token texts reproduces the source byte-for-byte.
+    let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+    if rebuilt != src {
+        return Some(format!("rebuild mismatch: {src:?} -> {rebuilt:?}"));
+    }
+    // 2. Tokens tile the source: contiguous, non-empty, full coverage.
+    let mut cursor = 0usize;
+    for t in &toks {
+        if t.len == 0 {
+            return Some(format!("empty token at byte {} in {src:?}", t.start));
+        }
+        if t.start != cursor {
+            return Some(format!(
+                "gap/overlap: token starts at {} but cursor is {cursor} in {src:?}",
+                t.start
+            ));
+        }
+        cursor = t.end();
+    }
+    if cursor != src.len() {
+        return Some(format!("stream ends at {cursor}, source has {} bytes", src.len()));
+    }
+    // 3. Every token's line/col matches an independent recount.
+    let positions = recount_lines_cols(src);
+    for t in &toks {
+        let (_, line, col) = positions[t.start];
+        if (t.line, t.col) != (line, col) {
+            return Some(format!(
+                "token at byte {} reports {}:{}, recount says {line}:{col} in {src:?}",
+                t.start, t.line, t.col
+            ));
+        }
+    }
+    // 4. The blanked code view preserves length and newline positions.
+    let view = code_view(src, &toks);
+    if view.len() != src.len() {
+        return Some(format!("code_view length {} != source {}", view.len(), src.len()));
+    }
+    let src_newlines: Vec<usize> =
+        src.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i).collect();
+    let view_newlines: Vec<usize> =
+        view.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i).collect();
+    if src_newlines != view_newlines {
+        return Some(format!("code_view moved newlines in {src:?}"));
+    }
+    None
+}
+
+fn arb_structured() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(snippets()), 0..40)
+        .prop_map(|parts| parts.concat())
+}
+
+fn arb_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(soup_chars()), 0..60)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn structured_token_sequences_round_trip(src in arb_structured()) {
+        let v = lossless_violation(&src);
+        prop_assert!(v.is_none(), "{}", v.unwrap_or_default());
+    }
+
+    #[test]
+    fn arbitrary_character_soup_round_trips(src in arb_soup()) {
+        let v = lossless_violation(&src);
+        prop_assert!(v.is_none(), "{}", v.unwrap_or_default());
+    }
+
+    #[test]
+    fn lexing_is_deterministic(src in arb_structured()) {
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: narrowing cast on the wire path (linted under a
+//! `crates/store/src/` context, where `as u32` can corrupt stored data).
+
+pub fn pack_rtt(rtt_micros: u64) -> u32 {
+    rtt_micros as u32
+}
+
+pub fn pack_rtt_allowed(rtt_micros: u64) -> u32 {
+    rtt_micros as u32 // audit:allow(as-truncate)
+}
+
+pub fn widen(rtt: u32) -> u64 {
+    // Widening casts never truncate and are not findings.
+    rtt as u64
+}

@@ -1,0 +1,20 @@
+//! Clean fixture: nothing here trips any rule, in any file context.
+
+use std::collections::BTreeMap;
+
+pub fn sum_sorted(m: &BTreeMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for v in m.values() {
+        total += v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Result<u32, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

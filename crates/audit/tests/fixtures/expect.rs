@@ -1,0 +1,9 @@
+//! Seeded violation: expect in library code.
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("not a number")
+}
+
+pub fn parse_allowed(s: &str) -> u64 {
+    s.parse().expect("not a number") // audit:allow(expect)
+}

@@ -1,0 +1,27 @@
+//! Seeded violation: iterating a HashMap in nondeterministic order.
+
+use std::collections::HashMap;
+
+pub fn tally(pairs: &[(String, u64)]) -> Vec<String> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (k, v) in pairs {
+        *counts.entry(k.clone()).or_insert(0) += *v;
+    }
+    let mut out = Vec::new();
+    for key in counts.keys() {
+        out.push(key.clone());
+    }
+    out
+}
+
+pub fn total(pairs: &[(String, u64)]) -> u64 {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (k, v) in pairs {
+        *counts.entry(k.clone()).or_insert(0) += *v;
+    }
+    let mut sum = 0;
+    for v in counts.values() { // audit:allow(map-iter)
+        sum += v;
+    }
+    sum
+}

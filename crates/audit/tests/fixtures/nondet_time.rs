@@ -1,0 +1,11 @@
+//! Seeded violation: wall-clock reads in deterministic library code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now() // audit:allow(nondet-time)
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: panic! in library code.
+
+pub fn checked_div(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    a / b
+}
+
+pub fn checked_div_allowed(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        panic!("division by zero"); // audit:allow(panic)
+    }
+    a / b
+}

@@ -1,0 +1,9 @@
+//! Seeded violation: println!/eprintln! in non-CLI code.
+
+pub fn report(n: u64) {
+    println!("processed {n} records");
+}
+
+pub fn report_allowed(n: u64) {
+    eprintln!("processed {n} records"); // audit:allow(print-stdout)
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: stringly-typed error in a public signature.
+
+pub fn parse_port(s: &str) -> Result<u16, String> {
+    s.parse().map_err(|_| "bad port".to_string())
+}
+
+pub fn parse_host(s: &str) -> Result<String, ()> {
+    // String in the Ok position is fine; only the error type is linted.
+    Ok(s.to_string())
+}
+
+pub fn parse_addr(s: &str) -> Result<u16, String> { // audit:allow(result-string)
+    parse_port(s)
+}

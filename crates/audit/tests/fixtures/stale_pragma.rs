@@ -1,0 +1,10 @@
+//! Seeded violations: pragmas that suppress nothing.
+
+pub fn quiet() -> u32 {
+    // audit:allow(unwrap)
+    0
+}
+
+pub fn unknown() -> u32 {
+    0 // audit:allow(no-such-rule)
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: OS-entropy randomness instead of the study seed.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    0
+}
+
+pub fn roll_allowed() -> u64 {
+    let mut rng = rand::thread_rng(); // audit:allow(thread-rng)
+    let _ = &mut rng;
+    0
+}

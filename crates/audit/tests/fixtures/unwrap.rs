@@ -1,0 +1,14 @@
+//! Seeded violation: unwrap in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn first_allowed(v: &[u32]) -> u32 {
+    *v.first().unwrap() // audit:allow(unwrap)
+}
+
+pub fn first_or_zero(v: &[u32]) -> u32 {
+    // unwrap_or_else is fine: exact-ident matching never flags it.
+    *v.first().unwrap_or(&0)
+}

@@ -1,0 +1,64 @@
+//! Lint-engine wall-time baseline: a full `detlint` workspace walk plus
+//! the wire-format freeze, timed end to end and written to
+//! `BENCH_audit.json` at the workspace root so lint-cost regressions are
+//! diffable across commits like the store and campaign baselines.
+//!
+//! The default run repeats the walk several times and keeps the best
+//! wall time (the lint gate runs per CI job, so the cold number matters
+//! less than the steady-state one); `CLOUDY_BENCH_SMOKE=1` does a single
+//! pass over the same code paths.
+
+use cloudy_audit::detlint;
+use cloudy_audit::wirefreeze;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn main() {
+    let smoke = std::env::var("CLOUDY_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let iters: usize = if smoke { 1 } else { 5 };
+    let root = workspace_root();
+    eprintln!("audit bench: linting {} ({iters} iterations, smoke={smoke})", root.display());
+
+    let mut lint_best_s = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = detlint::lint_workspace(&root).expect("workspace sources readable");
+        lint_best_s = lint_best_s.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one iteration ran");
+    assert!(report.files_scanned > 50, "walk found only {} files", report.files_scanned);
+
+    let mut freeze_best_s = f64::INFINITY;
+    let mut freeze = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = wirefreeze::check_workspace(&root).expect("wire extraction runs");
+        freeze_best_s = freeze_best_s.min(t0.elapsed().as_secs_f64());
+        freeze = Some(r);
+    }
+    let freeze = freeze.expect("at least one iteration ran");
+    assert!(freeze.findings.is_empty(), "wire drift during bench: {:?}", freeze.findings);
+
+    let files = report.files_scanned;
+    let files_s = files as f64 / lint_best_s;
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"files_scanned\": {files},\n  \
+         \"findings\": {},\n  \"lint_ms\": {:.2},\n  \"lint_files_s\": {files_s:.0},\n  \
+         \"wire_freeze_ms\": {:.2}\n}}\n",
+        report.findings.len(),
+        lint_best_s * 1e3,
+        freeze_best_s * 1e3,
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_audit.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e} (continuing)"),
+    }
+}

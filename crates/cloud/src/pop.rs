@@ -53,7 +53,7 @@ impl PopSet {
         let wan = WanFootprint::new(provider);
         let mut pops: Vec<PopSite> = Vec::new();
         let push = |city_name: &'static str, at_ixp: bool| {
-            let (_, c) = city::by_name(city_name).expect("gazetteer city");
+            let (_, c) = city::by_name(city_name).expect("gazetteer city"); // audit:allow(expect)
             PopSite {
                 provider,
                 city: city_name,

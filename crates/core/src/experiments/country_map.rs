@@ -50,7 +50,7 @@ pub fn run(study: &Study) -> CountryMap {
         .into_iter()
         .filter(|(_, v)| v.len() >= gate)
         .map(|(country, v)| {
-            let median = stats::median(&v).expect("nonempty");
+            let median = stats::median(&v).expect("nonempty"); // audit:allow(expect)
             CountryRow {
                 country,
                 median_ms: median,

@@ -26,7 +26,7 @@ pub const TABLE1_CONTINENTS: [Continent; 6] = [
 ];
 
 pub fn table1() -> Table1 {
-    let ix = |c: Continent| TABLE1_CONTINENTS.iter().position(|x| *x == c).expect("in order");
+    let ix = |c: Continent| TABLE1_CONTINENTS.iter().position(|x| *x == c).expect("in order"); // audit:allow(expect)
     let mut rows = Vec::new();
     let mut totals = [0usize; 6];
     for p in Provider::ALL {
@@ -89,7 +89,7 @@ pub fn fig1(study: &Study) -> Fig1 {
     for (_, r) in region::all() {
         *dc.entry(r.country()).or_default() += 1;
     }
-    let mut dc_per_country: Vec<_> = dc.into_iter().collect();
+    let mut dc_per_country: Vec<_> = dc.into_iter().collect(); // audit:allow(map-iter)
     dc_per_country.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let probes = probe_counts(study, cloudy_probes::Platform::Speedchecker);
@@ -117,10 +117,10 @@ fn probe_counts(study: &Study, platform: cloudy_probes::Platform) -> ProbeCounts
         per_cc.entry(p.country).or_default().insert(p.probe);
     }
     let mut conts: Vec<(Continent, usize)> =
-        per_cont.into_iter().map(|(c, s)| (c, s.len())).collect();
+        per_cont.into_iter().map(|(c, s)| (c, s.len())).collect(); // audit:allow(map-iter)
     conts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let mut ccs: Vec<(CountryCode, usize)> =
-        per_cc.into_iter().map(|(c, s)| (c, s.len())).collect();
+        per_cc.into_iter().map(|(c, s)| (c, s.len())).collect(); // audit:allow(map-iter)
     ccs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     ccs.truncate(10);
     (conts, ccs)
@@ -218,7 +218,7 @@ pub fn fig14(study: &Study) -> Fig14 {
         per_cc.entry(p.country).or_default().entry(p.probe).or_insert(p.city.as_str());
     }
     let mut rows = Vec::new();
-    for (cc, probes) in per_cc {
+    for (cc, probes) in per_cc { // audit:allow(map-iter)
         if probes.len() < 5 {
             continue;
         }

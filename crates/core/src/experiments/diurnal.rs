@@ -66,7 +66,7 @@ pub fn run(study: &Study) -> Diurnal {
         *counts.entry(p.continent).or_default() += 1;
     }
     let mut rows = Vec::new();
-    let mut conts: Vec<Continent> = counts.keys().copied().collect();
+    let mut conts: Vec<Continent> = counts.keys().copied().collect(); // audit:allow(map-iter)
     conts.sort();
     for continent in conts {
         if counts[&continent] < 40 {

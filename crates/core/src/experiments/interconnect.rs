@@ -30,7 +30,7 @@ pub fn run(study: &Study) -> InterconnectResult {
         let path = AsLevelPath::from_trace(t, &resolver, &study.sim.net.ixps);
         map.entry(t.provider).or_default().add(classify(&path));
     }
-    let mut per_provider: Vec<_> = map.into_iter().collect();
+    let mut per_provider: Vec<_> = map.into_iter().collect(); // audit:allow(map-iter)
     per_provider.sort_by_key(|(p, _)| p.abbrev());
     InterconnectResult { per_provider }
 }

@@ -60,7 +60,7 @@ where
         pairs.entry((k, t.probe, t.region, lm.access)).or_default().push(lm.usr_isp_ms);
     }
     let mut cvs: HashMap<(K, InferredAccess), Vec<f64>> = HashMap::new();
-    for ((k, _, _, access), samples) in pairs {
+    for ((k, _, _, access), samples) in pairs { // audit:allow(map-iter)
         if samples.len() < min_samples {
             continue;
         }
@@ -68,7 +68,7 @@ where
             cvs.entry((k, access)).or_default().push(cv);
         }
     }
-    let mut keys: Vec<K> = cvs.keys().map(|(k, _)| *k).collect();
+    let mut keys: Vec<K> = cvs.keys().map(|(k, _)| *k).collect(); // audit:allow(map-iter)
     keys.sort();
     keys.dedup();
     keys.into_iter()

@@ -40,7 +40,7 @@ pub struct LastMileShare {
 
 impl LastMileShare {
     pub fn global(&self) -> &ShareRow {
-        self.rows.iter().find(|r| r.continent.is_none()).expect("global row present")
+        self.rows.iter().find(|r| r.continent.is_none()).expect("global row present") // audit:allow(expect)
     }
 
     pub fn continent(&self, c: Continent) -> Option<&ShareRow> {

@@ -190,7 +190,7 @@ impl Render for PeeringCase {
             if c.paths == 0 {
                 continue;
             }
-            let (dom, share) = c.dominant.expect("paths>0 implies dominant");
+            let (dom, share) = c.dominant.expect("paths>0 implies dominant"); // audit:allow(expect)
             mt.add_row(vec![
                 format!("{} (AS{})", c.isp_name, c.isp.0),
                 c.provider.abbrev().to_string(),

@@ -9,6 +9,26 @@
 //! against simulator ground truth.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rejected [`ArtifactConfig`] (rate out of range, negative detour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactConfigError(String);
+
+impl fmt::Display for ArtifactConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArtifactConfigError {}
+
+/// Legacy bridge for callers still speaking stringly errors.
+impl From<ArtifactConfigError> for String {
+    fn from(e: ArtifactConfigError) -> String {
+        e.0
+    }
+}
 
 /// Probability knobs for classification-breaking artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -37,14 +57,17 @@ impl ArtifactConfig {
     }
 
     /// Validate rates.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ArtifactConfigError> {
         for (name, v) in [("cgn_prob", self.cgn_prob), ("vpn_prob", self.vpn_prob)] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be in [0,1], got {v}"));
+                return Err(ArtifactConfigError(format!("{name} must be in [0,1], got {v}")));
             }
         }
         if self.vpn_detour_ms < 0.0 {
-            return Err(format!("vpn_detour_ms must be >= 0, got {}", self.vpn_detour_ms));
+            return Err(ArtifactConfigError(format!(
+                "vpn_detour_ms must be >= 0, got {}",
+                self.vpn_detour_ms
+            )));
         }
         Ok(())
     }

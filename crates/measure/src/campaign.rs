@@ -293,7 +293,7 @@ pub fn execute(
     schedule: &MeasurementPlan,
 ) -> Dataset {
     let mut ds = Dataset::new(pop.platform);
-    execute_into(cfg, sim, pop, schedule, &mut ds).expect("Dataset sink is infallible");
+    execute_into(cfg, sim, pop, schedule, &mut ds).expect("Dataset sink is infallible"); // audit:allow(expect)
     ds
 }
 
@@ -551,9 +551,9 @@ pub fn execute_into(
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect() // audit:allow(expect)
             })
-            .expect("crossbeam scope");
+            .expect("crossbeam scope"); // audit:allow(expect)
 
         // Drain in block order: both the record stream and the stats totals
         // are invariant under the thread count.

@@ -34,7 +34,7 @@ pub fn nearest_hub(carrier: Asn, point: GeoPoint) -> Option<(&'static str, GeoPo
     hub_cities(carrier)
         .iter()
         .map(|name| {
-            let (_, c) = city::by_name(name).expect("hub city in gazetteer");
+            let (_, c) = city::by_name(name).expect("hub city in gazetteer"); // audit:allow(expect)
             (*name, c.location())
         })
         .min_by(|a, b| {

@@ -79,7 +79,7 @@ impl Network {
         let mut asns: Vec<Asn> = graph.ases().map(|i| i.asn).collect();
         asns.sort();
         for asn in &asns {
-            let kind = graph.info(*asn).expect("registered").kind;
+            let kind = graph.info(*asn).expect("registered").kind; // audit:allow(expect)
             let lens: &[u8] = match kind {
                 cloudy_topology::AsKind::Cloud => &[14, 16],
                 cloudy_topology::AsKind::Tier1 => &[15, 16],
@@ -101,7 +101,7 @@ impl Network {
         for (i, spec) in ixp_specs.iter().enumerate() {
             let fabric = alloc.alloc(16);
             let (_, c) = cloudy_geo::city::by_name(spec.city)
-                .unwrap_or_else(|| panic!("IXP {} in unknown city {}", spec.name, spec.city));
+                .unwrap_or_else(|| panic!("IXP {} in unknown city {}", spec.name, spec.city)); // audit:allow(panic)
             let mut ixp = Ixp::new(IxpId(i as u32), spec.name.clone(), c.location(), fabric);
             for m in &spec.members {
                 ixp.add_member(*m);
@@ -119,7 +119,7 @@ impl Network {
             let pasn = region.provider.asn();
             let plist = as_prefixes
                 .get(&pasn)
-                .unwrap_or_else(|| panic!("provider AS {pasn} not in graph"));
+                .unwrap_or_else(|| panic!("provider AS {pasn} not in graph")); // audit:allow(panic)
             let vm_ip = plist[0].host(mix(&[seed, 0xD0C5, id.0 as u64, 77]));
             regions.push(RegionEndpoint { id, region, vm_ip });
         }
@@ -159,7 +159,7 @@ impl Network {
 
     /// A deterministic fabric address at an IXP.
     pub fn fabric_ip(&self, ixp: IxpId, salt: u64) -> Ipv4Addr {
-        let f = self.ixps.get(ixp).expect("known IXP").fabric;
+        let f = self.ixps.get(ixp).expect("known IXP").fabric; // audit:allow(expect)
         f.host(mix(&[self.seed, 0x1217, ixp.0 as u64, salt]))
     }
 

@@ -94,7 +94,7 @@ fn eff(a: GeoPoint, ca: Continent, b: GeoPoint, cb: Continent) -> f64 {
 }
 
 fn city_continent(name: &str) -> Continent {
-    city::by_name(name).expect("gazetteer city").1.continent()
+    city::by_name(name).expect("gazetteer city").1.continent() // audit:allow(expect)
 }
 
 impl Simulator {
@@ -180,12 +180,12 @@ impl Simulator {
         for (idx, (kind, owner, loc, km)) in wa.middle.iter().enumerate() {
             let ip = match kind {
                 HopKind::IxpFabric => {
-                    self.net.fabric_ip(wa.via_ixp.expect("fabric hop implies ixp"), salt_base)
+                    self.net.fabric_ip(wa.via_ixp.expect("fabric hop implies ixp"), salt_base) // audit:allow(expect)
                 }
                 HopKind::Destination => vm_ip,
                 _ => self
                     .net
-                    .router_ip(owner.expect("non-fabric middle hops have owners"), mix(&[salt_base, 10 + idx as u64])),
+                    .router_ip(owner.expect("non-fabric middle hops have owners"), mix(&[salt_base, 10 + idx as u64])), // audit:allow(expect)
             };
             hops.push(Hop::new(*kind, ip, *owner, *loc, *km));
         }
@@ -416,7 +416,7 @@ impl Simulator {
             .net
             .graph
             .info(client.isp)
-            .unwrap_or_else(|| panic!("client ISP {} not in graph", client.isp));
+            .unwrap_or_else(|| panic!("client ISP {} not in graph", client.isp)); // audit:allow(panic)
         // Real ISPs egress to peering/transit at their PoP nearest the
         // subscriber, not at a single national hub: use the nearest major
         // city of the probe's country (falls back to the AS anchor for
@@ -451,7 +451,7 @@ impl Simulator {
             let d_wan = eff(in_loc, in_cont, region_loc, region_cont);
             if let Some(ixp) = via_ixp {
                 interconnect = PeeringKind::IxpPublic;
-                let ixp_loc = self.net.ixps.get(ixp).expect("known ixp").location;
+                let ixp_loc = self.net.ixps.get(ixp).expect("known ixp").location; // audit:allow(expect)
                 middle.push((HopKind::IxpFabric, None, ixp_loc, d_peer));
                 middle.push((HopKind::CloudEdge, Some(pasn), in_loc, 0.0));
             } else {
@@ -495,7 +495,7 @@ impl Simulator {
             let inters: Vec<Asn> =
                 effective_as_path[1..effective_as_path.len() - 1].to_vec();
             for (i, mid_asn) in inters.iter().enumerate() {
-                let info = self.net.graph.info(*mid_asn).expect("on-path AS registered");
+                let info = self.net.graph.info(*mid_asn).expect("on-path AS registered"); // audit:allow(expect)
                 let is_last = i + 1 == inters.len();
                 match info.kind {
                     AsKind::Tier1 => {
@@ -565,12 +565,12 @@ impl Simulator {
         let first_t1_above = |asn: Asn| sorted_of(asn, AsKind::Tier1, ProvRel).into_iter().next();
         let (mut path, top_t1) = match t2 {
             Some(t2) => {
-                let t1 = first_t1_above(t2).expect("every Tier-2 buys from a Tier-1");
+                let t1 = first_t1_above(t2).expect("every Tier-2 buys from a Tier-1"); // audit:allow(expect)
                 (vec![isp, t2, t1], t1)
             }
             None => {
                 // Incumbents connected straight to a Tier-1.
-                let t1 = first_t1_above(isp).expect("access ISPs have transit");
+                let t1 = first_t1_above(isp).expect("access ISPs have transit"); // audit:allow(expect)
                 (vec![isp, t1], t1)
             }
         };
@@ -581,7 +581,7 @@ impl Simulator {
             // picked deterministically per ISP.
             let pick = (mix(&[self.net.seed, isp.0 as u64, pasn.0 as u64])
                 % cloud_transits.len().max(1) as u64) as usize;
-            let target = *cloud_transits.get(pick).expect("clouds buy transit");
+            let target = *cloud_transits.get(pick).expect("clouds buy transit"); // audit:allow(expect)
             if target != top_t1 {
                 path.push(target);
             }
@@ -602,7 +602,7 @@ impl Simulator {
     ) -> (GeoPoint, Continent) {
         if let Some(ixp) = via_ixp {
             // Public peering happens at the exchange; the edge is colocated.
-            let ixp = self.net.ixps.get(ixp).expect("known ixp");
+            let ixp = self.net.ixps.get(ixp).expect("known ixp"); // audit:allow(expect)
             // Continent of the exchange's city.
             let cont = Continent::ALL
                 .iter()
@@ -612,7 +612,7 @@ impl Simulator {
                     let fb = continent_centroid_distance(*b, ixp.location);
                     fa.total_cmp(&fb)
                 })
-                .expect("nonempty");
+                .expect("nonempty"); // audit:allow(expect)
             return (ixp.location, cont);
         }
         let wan = WanFootprint::new(provider);
@@ -625,7 +625,7 @@ impl Simulator {
                 let db = b.location.haversine_km(&near);
                 da.total_cmp(&db)
             })
-            .expect("region-city PoP always eligible");
+            .expect("region-city PoP always eligible"); // audit:allow(expect)
         (best.location, best.continent)
     }
 }
@@ -648,7 +648,7 @@ fn hub_or_anchor(net: &Network, carrier: Asn, near: GeoPoint) -> (GeoPoint, Cont
     if let Some((name, loc)) = hubs::nearest_hub(carrier, near) {
         (loc, city_continent(name))
     } else {
-        let info = net.graph.info(carrier).expect("carrier registered");
+        let info = net.graph.info(carrier).expect("carrier registered"); // audit:allow(expect)
         (info.location, info.continent)
     }
 }
@@ -670,7 +670,7 @@ fn continent_centroid_distance(c: Continent, p: GeoPoint) -> f64 {
 /// A stable tag distinguishing routes to different regions in flow ids.
 fn path_region_tag(path: &RoutePath) -> u64 {
     // Destination VM address is unique per region.
-    let dest = path.hops.last().expect("route has hops");
+    let dest = path.hops.last().expect("route has hops"); // audit:allow(expect)
     u32::from(dest.ip) as u64
 }
 

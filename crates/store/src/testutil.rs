@@ -16,9 +16,9 @@ pub fn sample_ping(i: u64, rtt: f64) -> PingRecord {
         country: CountryCode::new(if i.is_multiple_of(2) { "DE" } else { "JP" }),
         continent: Continent::Europe,
         city: format!("City{}", i % 3),
-        isp: Asn(3320 + (i % 4) as u32),
+        isp: Asn(3320 + (i % 4) as u32), // audit:allow(as-truncate)
         access: AccessType::WifiHome,
-        region: RegionId((i % 7) as u16),
+        region: RegionId((i % 7) as u16), // audit:allow(as-truncate)
         provider: Provider::Google,
         proto: Protocol::Tcp,
         outcome: TaskOutcome::Ok(rtt),
@@ -52,7 +52,7 @@ pub fn trace_with_outcome(i: u64, hops: Vec<HopRecord>, outcome: TaskOutcome) ->
         region: RegionId(9),
         provider: Provider::AmazonEc2,
         proto: Protocol::Icmp,
-        src_ip: Ipv4Addr::new(11, 0, (i % 200) as u8, 1),
+        src_ip: Ipv4Addr::new(11, 0, (i % 200) as u8, 1), // audit:allow(as-truncate)
         hops,
         outcome,
         hour: i,

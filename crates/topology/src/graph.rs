@@ -66,8 +66,8 @@ impl AsGraph {
         assert_ne!(a, b, "self-loop on {a}");
         // Replace existing edge if present (idempotent updates).
         self.remove_edge(a, b);
-        self.adj.get_mut(&a).expect("registered").push((b, rel));
-        self.adj.get_mut(&b).expect("registered").push((a, rel.inverse()));
+        self.adj.get_mut(&a).expect("registered").push((b, rel)); // audit:allow(expect)
+        self.adj.get_mut(&b).expect("registered").push((a, rel.inverse())); // audit:allow(expect)
     }
 
     /// Remove the edge between `a` and `b` if present.

@@ -68,7 +68,8 @@ fn usage() {
          commands:\n\
          \x20 list                         list experiment ids\n\
          \x20 world [--seed N]             print world statistics\n\
-         \x20 audit [audit opts]           run the static-analysis passes\n\
+         \x20 audit [audit opts]           run the audit passes (world, race, lints)\n\
+         \x20 audit lint [lint opts]       strict static gate: token lints + wire freeze\n\
          \x20 run [opts] [--out DIR]       run both campaigns, write datasets\n\
          \x20 campaign [opts] [--out FILE] [--no-route-cache] [--pings-only]\n\
          \x20                              one Speedchecker campaign with cache and\n\
@@ -94,19 +95,33 @@ fn usage() {
          \x20 --static            skip the campaign race check\n\
          \x20 --json              machine-readable findings\n\
          \x20 --global            audit the full 195-country world (slow)\n\
+         \x20 --pass NAME         run one pass: detlint | wire-freeze | world | racecheck\n\
          \x20 --root DIR          workspace root to lint (default: this checkout)\n\
          \x20 --seed N            world seed (default 1)\n\
-         \x20 --threads N         parallel leg of the race check (default 8)"
+         \x20 --threads N         parallel leg of the race check (default 8)\n\n\
+         audit lint options:\n\
+         \x20 --format FMT        text | json | sarif (default text)\n\
+         \x20 --root DIR          workspace root (default: this checkout)\n\
+         \x20 --update-baseline   rewrite audit-baseline.json from current findings\n\
+         \x20 --update-lock       regenerate wire.lock from the tree (intentional\n\
+         \x20                     wire-format changes only)\n\n\
+         audit exit codes:\n\
+         \x20 0 clean · 2 usage/config error · 10 detlint findings ·\n\
+         \x20 11 world invariant broken · 12 race check failed · 13 wire drift"
     );
 }
 
 fn audit(args: &[String]) -> ExitCode {
-    use cloudy::audit::{AuditDriver, AuditOptions};
+    use cloudy::audit::{AuditDriver, AuditOptions, AuditPass, AuditReport};
+    if args.first().map(String::as_str) == Some("lint") {
+        return audit_lint(&args[1..]);
+    }
     let mut opts = AuditOptions {
         workspace_root: Some(env!("CARGO_MANIFEST_DIR").into()),
         ..AuditOptions::default()
     };
     let mut json = false;
+    let mut only_pass: Option<AuditPass> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -125,6 +140,15 @@ fn audit(args: &[String]) -> ExitCode {
                 opts.global_world = true;
                 Ok(())
             }
+            "--pass" => take("--pass").and_then(|v| match AuditPass::from_name(&v) {
+                Some(p) => {
+                    only_pass = Some(p);
+                    Ok(())
+                }
+                None => Err(format!(
+                    "--pass: unknown pass {v:?} (want detlint, wire-freeze, world, racecheck)"
+                )),
+            }),
             "--root" => take("--root").map(|v| opts.workspace_root = Some(v.into())),
             "--seed" => take("--seed").and_then(|v| {
                 v.parse().map(|n| opts.seed = n).map_err(|e| format!("--seed: {e}"))
@@ -138,19 +162,113 @@ fn audit(args: &[String]) -> ExitCode {
             return fail(&e);
         }
     }
-    let report = match AuditDriver::new(opts).run() {
-        Ok(r) => r,
-        Err(e) => return fail(&e),
+    let driver = AuditDriver::new(opts);
+    let per_pass: Vec<(AuditPass, AuditReport)> = match only_pass {
+        Some(p) => match driver.run_pass(p) {
+            Ok(r) => vec![(p, r)],
+            Err(e) => return fail(&e.to_string()),
+        },
+        None => match driver.run_per_pass() {
+            Ok(rs) => rs,
+            Err(e) => return fail(&e.to_string()),
+        },
     };
-    if json {
-        println!("{}", report.render_json());
-    } else {
-        print!("{}", report.render());
+    let mut combined = AuditReport::default();
+    for (_, r) in &per_pass {
+        combined.merge(r.clone());
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
+    if json {
+        println!("{}", combined.render_json());
     } else {
-        ExitCode::from(1)
+        print!("{}", combined.render());
+    }
+    // Exit with the first failing pass's dedicated code so CI can name
+    // the broken gate (10 detlint, 11 world, 12 racecheck, 13 wire-freeze).
+    for (pass, report) in &per_pass {
+        if !report.is_clean() {
+            return ExitCode::from(pass.exit_code() as u8);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `audit lint` — the strict static gate: token lints plus the wire
+/// freeze, with baseline semantics. Unlike the aggregate `audit` command
+/// (clean = no errors), lint fails on *any* non-baselined finding.
+fn audit_lint(args: &[String]) -> ExitCode {
+    use cloudy::audit::baseline::Baseline;
+    use cloudy::audit::{detlint, output, wirefreeze};
+    let mut root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut format = "text".to_string();
+    let mut update_baseline = false;
+    let mut update_lock = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--format" => take("--format").and_then(|v| match v.as_str() {
+                "text" | "json" | "sarif" => {
+                    format = v;
+                    Ok(())
+                }
+                other => Err(format!("--format: want text|json|sarif, got {other:?}")),
+            }),
+            "--root" => take("--root").map(|v| root = v.into()),
+            "--update-baseline" => {
+                update_baseline = true;
+                Ok(())
+            }
+            "--update-lock" => {
+                update_lock = true;
+                Ok(())
+            }
+            other => Err(format!("unknown audit lint option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    if update_lock {
+        match wirefreeze::update_lock(&root) {
+            Ok(_) => eprintln!("wire.lock regenerated"),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    let mut report = match detlint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    match wirefreeze::check_workspace(&root) {
+        Ok(wf) => report.merge(wf),
+        Err(e) => return fail(&e.to_string()),
+    }
+    if update_baseline {
+        let b = Baseline::from_report(&report);
+        if let Err(e) = b.store(&root) {
+            return fail(&e.to_string());
+        }
+        eprintln!("audit-baseline.json updated ({} entries)", b.len());
+    }
+    match Baseline::load(&root) {
+        Ok(b) => b.apply(&mut report),
+        Err(e) => return fail(&e.to_string()),
+    }
+    report.sort();
+    match format.as_str() {
+        "json" => println!("{}", output::render_json(&report)),
+        "sarif" => println!("{}", output::render_sarif(&report)),
+        _ => print!("{}", output::render_text(&report)),
+    }
+    // 0 clean; 13 when only the wire freeze drifted; 10 for lint findings.
+    let fresh: Vec<_> = report.fresh().collect();
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else if fresh.iter().all(|f| f.rule == "wire-drift") {
+        ExitCode::from(13)
+    } else {
+        ExitCode::from(10)
     }
 }
 

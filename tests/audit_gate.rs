@@ -75,3 +75,99 @@ fn cloudy_repro_audit_json_is_parseable() {
     };
     assert_eq!(findings, warnings, "every seed finding is a warning:\n{raw}");
 }
+
+/// The wire-format freeze: serialized shapes in the tree must match the
+/// committed `wire.lock`. Renaming a serialized field in `PingRecord`
+/// (or reordering store tags) fails here — and therefore fails tier-1.
+#[test]
+fn wire_freeze_matches_the_committed_lock() {
+    let driver = AuditDriver::new(AuditOptions {
+        workspace_root: Some(workspace_root()),
+        skip_race: true,
+        ..AuditOptions::default()
+    });
+    let report = driver.run_wire_freeze().expect("wire extraction runs");
+    assert!(report.is_clean(), "wire drift against wire.lock:\n{}", report.render());
+}
+
+/// The strict lint gate: zero non-baselined findings of any severity,
+/// judged against the committed (empty) `audit-baseline.json`.
+#[test]
+fn audit_lint_reports_zero_fresh_findings() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+        .args(["audit", "lint", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("cloudy-repro runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "audit lint exited {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(stdout.contains("0 fresh findings"), "{stdout}");
+}
+
+/// The committed baseline must stay empty: new findings are fixed or
+/// pragma'd, never parked.
+#[test]
+fn committed_baseline_is_empty() {
+    let raw = std::fs::read_to_string(workspace_root().join("audit-baseline.json"))
+        .expect("audit-baseline.json committed");
+    let doc: serde_json::Value = serde_json::from_str(&raw).expect("baseline is valid JSON");
+    match doc.get("entries") {
+        Some(serde_json::Value::Array(entries)) => {
+            assert!(entries.is_empty(), "baseline holds {} parked findings", entries.len())
+        }
+        other => panic!("baseline has no entries array: {other:?}"),
+    }
+}
+
+/// SARIF output is well-formed 2.1.0 with one reporting descriptor per
+/// registered rule.
+#[test]
+fn audit_lint_sarif_is_parseable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+        .args(["audit", "lint", "--format", "sarif", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("cloudy-repro runs");
+    assert!(out.status.success());
+    let raw = String::from_utf8_lossy(&out.stdout);
+    let doc: serde_json::Value = serde_json::from_str(raw.trim()).expect("valid SARIF JSON");
+    assert!(
+        matches!(doc.get("version"), Some(serde_json::Value::Str(v)) if v == "2.1.0"),
+        "{raw}"
+    );
+    let runs = match doc.get("runs") {
+        Some(serde_json::Value::Array(r)) => r,
+        other => panic!("no runs array: {other:?}"),
+    };
+    assert_eq!(runs.len(), 1);
+}
+
+/// `--pass` selects a single pass; an unknown pass is a usage error
+/// (exit 2). Pass names and exit codes are documented API.
+#[test]
+fn audit_pass_selector_and_exit_codes() {
+    for pass in ["detlint", "wire-freeze"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+            .args(["audit", "--pass", pass, "--root"])
+            .arg(workspace_root())
+            .output()
+            .expect("cloudy-repro runs");
+        assert!(
+            out.status.success(),
+            "pass {pass} exited {:?}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_cloudy-repro"))
+        .args(["audit", "--pass", "no-such-pass", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("cloudy-repro runs");
+    assert_eq!(out.status.code(), Some(2), "unknown pass is a usage error");
+}
