@@ -192,6 +192,7 @@ impl FileContext {
                 || rel_path.ends_with("proptests.rs"),
             is_bin: rel_path.contains("/bin/") || rel_path.ends_with("/main.rs"),
             is_wire: rel_path == "crates/measure/src/record.rs"
+                || rel_path == "crates/serve/src/report.rs"
                 || rel_path.starts_with("crates/store/src/"),
         }
     }
@@ -319,7 +320,9 @@ mod tests {
         assert!(FileContext::classify("src/bin/tool.rs").is_bin);
         assert!(FileContext::classify("crates/measure/src/record.rs").is_wire);
         assert!(FileContext::classify("crates/store/src/codec.rs").is_wire);
+        assert!(FileContext::classify("crates/serve/src/report.rs").is_wire);
         assert!(!FileContext::classify("crates/measure/src/campaign.rs").is_wire);
+        assert!(!FileContext::classify("crates/serve/src/service.rs").is_wire);
     }
 
     #[test]

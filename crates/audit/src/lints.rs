@@ -593,7 +593,7 @@ fn pub_fn_returns_string_err(code: &Code, k: usize) -> Option<(String, u32, u32)
         }
     }
     // Qualifiers before `fn`.
-    while ["const", "async", "unsafe", "extern"].iter().any(|q| code.is_ident(j, *q))
+    while ["const", "async", "unsafe", "extern"].iter().any(|q| code.is_ident(j, q))
         || code.kind(j) == Some(TokenKind::Str)
     {
         j += 1;

@@ -20,6 +20,12 @@
 //! default fault profile: fault draws, retries, and offline windows are
 //! keyed only by stable task identity, so a faulted campaign must be every
 //! bit as thread- and cache-invariant as a clean one.
+//!
+//! Finally, the same matrix covers `cloudy-serve`: the virtual-time
+//! service layers tenant arrival processes, admission control, and live
+//! aggregates on top of the executor, and its service report and store
+//! stream must be byte-identical across thread counts and route-cache
+//! settings too.
 
 use crate::finding::{AuditReport, Severity};
 use cloudy_lastmile::ArtifactConfig;
@@ -28,6 +34,7 @@ use cloudy_measure::{run_campaign_into, CampaignConfig, Dataset, TeeSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use cloudy_netsim::{FaultProfile, Simulator};
 use cloudy_probes::{speedchecker, Platform};
+use cloudy_serve::{ServeConfig, Service};
 use cloudy_store::{Writer, WriterOptions};
 
 /// Configuration for the race check.
@@ -85,6 +92,25 @@ fn campaign_outputs(
     run_campaign_into(&cfg, &sim, &pop, &mut tee).expect("Dataset and Vec sinks are infallible"); // audit:allow(expect)
     let (store_bytes, _) = writer.finish().expect("Vec-backed store writer cannot fail"); // audit:allow(expect)
     (ds.to_jsonl(), store_bytes)
+}
+
+/// Run the virtual-time measurement service at `threads` workers and
+/// return its serialized report plus the store file it streamed out. A
+/// modest tenant count keeps the matrix fast; the 50-tenant acceptance
+/// run lives in `cloudy-serve`'s own test suite.
+fn serve_outputs(seed: u64, threads: usize, route_cache: bool) -> (String, Vec<u8>) {
+    let cfg = ServeConfig {
+        seed,
+        tenants: 12,
+        hours: 1,
+        threads,
+        route_cache,
+        ..ServeConfig::default()
+    };
+    let mut svc = Service::new(cfg).expect("the small serve world always builds"); // audit:allow(expect)
+    svc.run().expect("Vec-backed serve runs are infallible"); // audit:allow(expect)
+    let (report, bytes) = svc.finish().expect("Vec-backed serve writers cannot fail"); // audit:allow(expect)
+    (serde_json::to_string(&report).expect("the report has no non-serializable fields"), bytes) // audit:allow(expect)
 }
 
 /// FNV-1a over the serialized dataset: cheap, dependency-free, and stable
@@ -208,6 +234,36 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
                      fault injection depends on execution order",
                     store.len(),
                     faulted_ref_store.len(),
+                ),
+            );
+        }
+    }
+    // Serve legs: the virtual-time service schedules tenants, admits
+    // campaigns, and streams slices through the same executor; its report
+    // and store bytes must be invariant under the same matrix.
+    report.checks_run += 1;
+    let (serve_ref, serve_ref_store) = serve_outputs(cfg.seed, 1, true);
+    if serve_ref_store.is_empty() {
+        report.push(Severity::Error, "race", "the serve reference run wrote no store bytes".into());
+    }
+    for (label, threads, route_cache) in [
+        ("N-thread cached", cfg.threads, true),
+        ("1-thread uncached", 1, false),
+        ("N-thread uncached", cfg.threads, false),
+    ] {
+        report.checks_run += 1;
+        let (json, store) = serve_outputs(cfg.seed, threads, route_cache);
+        if json != serve_ref || store != serve_ref_store {
+            let (hu, hc) = (fnv1a(json.as_bytes()), fnv1a(serve_ref.as_bytes()));
+            report.push(
+                Severity::Error,
+                "race",
+                format!(
+                    "{label} serve run diverges from the serve reference (report fnv1a \
+                     {hu:016x} vs {hc:016x}, store lengths {} vs {}) — the service \
+                     schedule depends on execution order",
+                    store.len(),
+                    serve_ref_store.len(),
                 ),
             );
         }

@@ -5,7 +5,8 @@
 //! identical to pre-fault datasets, and the chunk store's magics and tag
 //! bytes are load-bearing. This pass makes that contract *static*: it
 //! extracts the shape of every serialized entity in the wire-path files
-//! (`crates/measure/src/record.rs` and `crates/store/src/`) —
+//! (`crates/measure/src/record.rs`, `crates/store/src/`, and the serve
+//! report shapes in `crates/serve/src/report.rs`) —
 //!
 //! * `#[derive(Serialize)]` structs and enums → field/variant names,
 //!   order, and types (the compat `serde_derive` serializes named structs

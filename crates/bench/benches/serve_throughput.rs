@@ -1,0 +1,81 @@
+//! Virtual-time service throughput: how fast the scheduler burns through
+//! events and how many records per wall-clock second the full service
+//! pipeline (admission → slice execution → store writer + live
+//! aggregates) sustains.
+//!
+//! Three legs, all on the service's default 4-country world:
+//!
+//! * a **baseline** run at the acceptance scale (50 tenants) reporting
+//!   events/s and records/s;
+//! * a **sustained-tenants** sweep that doubles the tenant count while a
+//!   run still finishes faster than its own virtual horizon — the largest
+//!   such count is what the service could serve "in real time";
+//! * a **determinism spot check** re-running the baseline and asserting
+//!   byte-identical store output (a cheap canary for the full audit race
+//!   matrix).
+//!
+//! Like the other throughput benches it keeps its own timer and writes
+//! `BENCH_serve.json` at the workspace root. Set `CLOUDY_BENCH_SMOKE=1`
+//! (as CI does) for a small pass over the same code paths.
+
+use cloudy_serve::{ServeConfig, Service};
+use std::time::Instant;
+
+/// One full service run; returns (report, store bytes, wall seconds).
+fn leg(tenants: u32, hours: u64) -> (cloudy_serve::ServiceReport, Vec<u8>, f64) {
+    let cfg = ServeConfig { tenants, hours, ..ServeConfig::default() };
+    let t0 = Instant::now();
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, bytes) = svc.finish().expect("service finishes");
+    (report, bytes, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let smoke = std::env::var("CLOUDY_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (tenants, hours) = if smoke { (12u32, 1u64) } else { (50u32, 2u64) };
+    eprintln!("serve bench: {tenants} tenants, {hours} virtual hours (smoke={smoke})");
+
+    // Warm-up: the first run in a process pays one-time costs (lazy
+    // world/population setup, allocator growth) that would bias leg 1.
+    let _ = leg(tenants.min(8), 1);
+
+    let (report, bytes, secs) = leg(tenants, hours);
+    assert!(report.records > 0, "service produced no records");
+    let events_s = report.events as f64 / secs;
+    let records_s = report.records as f64 / secs;
+
+    // Determinism canary: same config, same bytes.
+    let (_, bytes2, _) = leg(tenants, hours);
+    assert_eq!(bytes, bytes2, "service store output is not reproducible");
+
+    // Sustained tenants: largest tenant count (doubling sweep, capped) the
+    // service finishes faster than real time — wall seconds under the
+    // virtual horizon it simulated.
+    let horizon_s = 3_600.0 * hours as f64;
+    let mut sustained = 0u32;
+    let mut n = tenants;
+    let cap = if smoke { tenants * 2 } else { tenants * 8 };
+    while n <= cap {
+        let (_, _, s) = leg(n, hours);
+        if s >= horizon_s {
+            break;
+        }
+        sustained = n;
+        n *= 2;
+    }
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"tenants\": {tenants},\n  \"virtual_hours\": {hours},\n  \
+         \"events\": {},\n  \"records\": {},\n  \"store_bytes\": {},\n  \
+         \"wall_s\": {secs:.3},\n  \"events_s\": {events_s:.0},\n  \
+         \"records_s\": {records_s:.0},\n  \"tenants_sustained\": {sustained}\n}}\n",
+        report.events, report.records, report.store_bytes,
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e} (continuing)"),
+    }
+}

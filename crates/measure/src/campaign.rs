@@ -514,6 +514,32 @@ fn run_block(
     (pings, traces, stats)
 }
 
+/// Prime the simulator's shared route cache with every (probe, region)
+/// pair `tasks` will visit. The plan knows all pairs up front, so the
+/// executor never has to *discover* routes through a cold cache: after
+/// warming, every block-level route lookup is a pure hit. Returns the
+/// number of pairs warmed.
+///
+/// Warming computes exactly the routes the blocks would have computed on
+/// first touch, through the same [`Simulator::route`] entry point, so the
+/// record stream is byte-identical with or without a warm pass.
+pub fn warm_route_cache(
+    sim: &Simulator,
+    pop: &Population,
+    artifacts: &ArtifactConfig,
+    tasks: &[plan::Task],
+) -> usize {
+    let mut clients: HashMap<u32, ClientCtx> = HashMap::new();
+    let pairs = plan::block_pairs(tasks);
+    for (probe_ix, region) in &pairs {
+        let client = clients.entry(*probe_ix).or_insert_with(|| {
+            pop.probes[*probe_ix as usize].client_ctx(&sim.net, artifacts)
+        });
+        let _ = sim.route(client, *region);
+    }
+    pairs.len()
+}
+
 /// Execute a pre-built plan, streaming records into `sink` with bounded
 /// memory.
 ///
@@ -522,6 +548,10 @@ fn run_block(
 /// round's results into the sink in block order — so at most
 /// `threads × BLOCK_TASKS` task results are ever buffered, and the sink
 /// sees records in plan order regardless of the thread count.
+///
+/// With `route_cache` on, the shared route cache is warmed from the whole
+/// plan first (see [`warm_route_cache`]), so worker blocks start from a
+/// fully populated cache instead of discovering pairs round by round.
 pub fn execute_into(
     cfg: &CampaignConfig,
     sim: &Simulator,
@@ -529,8 +559,30 @@ pub fn execute_into(
     schedule: &MeasurementPlan,
     sink: &mut impl RecordSink,
 ) -> Result<FailureStats, MeasureError> {
+    if cfg.route_cache {
+        warm_route_cache(sim, pop, &cfg.artifacts, &schedule.tasks);
+    }
+    execute_tasks_into(cfg, sim, pop, &schedule.tasks, sink)
+}
+
+/// Execute an arbitrary task slice through the block executor — the same
+/// batching, route-cache, fault, and retry machinery as [`execute_into`],
+/// minus plan-level cache warming (warm once per plan, not per slice).
+///
+/// This is the entry point service schedulers build on: a long campaign
+/// can be cut into bounded slices that interleave with other tenants'
+/// work, and because blocks are a fixed size and drained in order, the
+/// concatenated record stream over any slicing of the same task sequence
+/// is identical to executing it in one call.
+pub fn execute_tasks_into(
+    cfg: &CampaignConfig,
+    sim: &Simulator,
+    pop: &Population,
+    tasks: &[plan::Task],
+    sink: &mut impl RecordSink,
+) -> Result<FailureStats, MeasureError> {
     let threads = cfg.threads.max(1);
-    let blocks: Vec<&[plan::Task]> = schedule.tasks.chunks(BLOCK_TASKS).collect();
+    let blocks: Vec<&[plan::Task]> = tasks.chunks(BLOCK_TASKS).collect();
     let fault_ctx = (!cfg.faults.is_none()).then(|| FaultCtx {
         model: FaultModel::new(sim.net.seed, cfg.faults),
         avail: Availability::new(cfg.plan.seed),

@@ -32,8 +32,8 @@ pub mod record;
 pub mod sink;
 
 pub use campaign::{
-    execute_into, run_campaign, run_campaign_into, CampaignConfig, CampaignConfigBuilder,
-    FailureStats,
+    execute_into, execute_tasks_into, run_campaign, run_campaign_into, warm_route_cache,
+    CampaignConfig, CampaignConfigBuilder, FailureStats,
 };
 pub use dataset::Dataset;
 pub use error::MeasureError;

@@ -1,0 +1,156 @@
+//! Live incremental aggregates over the service's record stream.
+//!
+//! Every record streamed out of a campaign slice updates one-pass
+//! per-(country, provider) summaries — Welford moments plus P² sketches
+//! for the median and tail — so the service can answer "what does DE →
+//! Google latency look like *right now*" at any virtual timestamp without
+//! rescanning the store. Groups live in a `BTreeMap`, so iteration (and
+//! every snapshot built from it) is deterministically ordered.
+
+use crate::report::{AggregateSnapshot, GroupSummary};
+use cloudy_cloud::Provider;
+use cloudy_geo::CountryCode;
+use cloudy_measure::{PingRecord, TracerouteRecord};
+use cloudy_store::agg::{Moments, P2Quantile};
+use std::collections::BTreeMap;
+
+/// One group's running state: count/mean/variance plus p50 and p95
+/// sketches, all one-pass.
+#[derive(Debug, Clone)]
+pub struct GroupStat {
+    pub moments: Moments,
+    pub p50: P2Quantile,
+    pub p95: P2Quantile,
+}
+
+impl GroupStat {
+    fn new() -> Self {
+        GroupStat { moments: Moments::default(), p50: P2Quantile::new(0.5), p95: P2Quantile::new(0.95) }
+    }
+
+    fn observe(&mut self, rtt_ms: f64) {
+        self.moments.observe(rtt_ms);
+        self.p50.observe(rtt_ms);
+        self.p95.observe(rtt_ms);
+    }
+}
+
+/// The service-wide live aggregate table.
+#[derive(Debug, Clone, Default)]
+pub struct LiveAggregates {
+    groups: BTreeMap<(CountryCode, Provider), GroupStat>,
+    records: u64,
+}
+
+impl LiveAggregates {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records observed so far (with or without an RTT).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn observe_ping(&mut self, r: &PingRecord) {
+        self.records += 1;
+        if let Some(rtt) = r.outcome.rtt_ms() {
+            self.groups.entry((r.country, r.provider)).or_insert_with(GroupStat::new).observe(rtt);
+        }
+    }
+
+    pub fn observe_trace(&mut self, r: &TracerouteRecord) {
+        self.records += 1;
+        if let Some(rtt) = r.end_to_end_ms() {
+            self.groups.entry((r.country, r.provider)).or_insert_with(GroupStat::new).observe(rtt);
+        }
+    }
+
+    /// Number of live (country, provider) groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Snapshot the table at virtual time `virt_ms`: the top `k` groups by
+    /// sample count (ties broken by key, so the selection is total-ordered
+    /// and deterministic), or every group if `k` is 0.
+    pub fn snapshot(&self, virt_ms: u64, k: usize) -> AggregateSnapshot {
+        let mut groups: Vec<(&(CountryCode, Provider), &GroupStat)> = self.groups.iter().collect();
+        groups.sort_by(|a, b| b.1.moments.count().cmp(&a.1.moments.count()).then(a.0.cmp(b.0)));
+        if k > 0 {
+            groups.truncate(k);
+        }
+        AggregateSnapshot {
+            virt_ms,
+            records: self.records,
+            groups: groups
+                .into_iter()
+                .map(|((country, provider), stat)| GroupSummary {
+                    country: country.as_str().to_string(),
+                    provider: provider.name().to_string(),
+                    samples: stat.moments.count(),
+                    mean_ms: stat.moments.mean(),
+                    p50_ms: stat.p50.estimate().unwrap_or(0.0),
+                    p95_ms: stat.p95.estimate().unwrap_or(0.0),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_lastmile::AccessType;
+    use cloudy_measure::TaskOutcome;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+    use cloudy_topology::Asn;
+
+    fn ping(cc: &str, provider: Provider, rtt: Option<f64>) -> PingRecord {
+        PingRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new(cc),
+            continent: cloudy_geo::Continent::Europe,
+            city: "x".into(),
+            isp: Asn(64500),
+            access: AccessType::WifiHome,
+            region: cloudy_cloud::RegionId(0),
+            provider,
+            proto: Protocol::Tcp,
+            outcome: match rtt {
+                Some(ms) => TaskOutcome::Ok(ms),
+                None => TaskOutcome::Lost,
+            },
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn failed_records_count_but_never_aggregate() {
+        let mut agg = LiveAggregates::new();
+        agg.observe_ping(&ping("DE", Provider::Google, Some(20.0)));
+        agg.observe_ping(&ping("DE", Provider::Google, None));
+        let snap = agg.snapshot(1000, 0);
+        assert_eq!(snap.records, 2);
+        assert_eq!(snap.groups.len(), 1);
+        assert_eq!(snap.groups[0].samples, 1, "lost ping must not aggregate");
+    }
+
+    #[test]
+    fn snapshot_topk_is_deterministic() {
+        let mut agg = LiveAggregates::new();
+        for i in 0..10 {
+            agg.observe_ping(&ping("DE", Provider::Google, Some(10.0 + i as f64)));
+            agg.observe_ping(&ping("JP", Provider::AmazonEc2, Some(50.0 + i as f64)));
+        }
+        agg.observe_ping(&ping("BR", Provider::Microsoft, Some(80.0)));
+        let snap = agg.snapshot(0, 2);
+        // Equal counts: ties broken by (country, provider) key order.
+        assert_eq!(snap.groups.len(), 2);
+        assert_eq!(snap.groups[0].country, "DE");
+        assert_eq!(snap.groups[1].country, "JP");
+        assert_eq!(snap.groups[0].samples, 10);
+    }
+}

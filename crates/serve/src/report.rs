@@ -1,0 +1,80 @@
+//! Serialized service output shapes.
+//!
+//! Everything in this file is service *wire format*: the final
+//! [`ServiceReport`] and the [`AggregateSnapshot`]s the live-aggregate
+//! table emits. The shapes are frozen by `cloudy-audit`'s wire-format
+//! freeze pass (this file is on the audit wire path), so renaming or
+//! removing a field fails tier-1 until `wire.lock` is deliberately
+//! regenerated.
+//!
+//! Deliberately absent: anything derived from the wall clock. A service
+//! report must be byte-identical across worker thread counts and host
+//! machines, so throughput inside the report is *virtual* (records per
+//! virtual second); wall-clock rates are printed by the CLI around the
+//! report, never inside it.
+
+use serde::Serialize;
+
+/// Final report of one service run: totals, per-tenant accounting, and
+/// the top-k (country, provider) latency summaries.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceReport {
+    pub seed: u64,
+    pub tenants: u32,
+    pub hours: u64,
+    pub faults: String,
+    /// Events actually processed (≥ submissions + slices).
+    pub events: u64,
+    pub submissions: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub deferred: u64,
+    pub tasks_executed: u64,
+    /// Tasks dropped at admission because their probe was inside a fault
+    ///-profile offline window at the task's scheduled hour.
+    pub offline_skipped: u64,
+    pub records: u64,
+    pub store_bytes: u64,
+    /// Virtual time the service ran for.
+    pub virtual_ms: u64,
+    /// Records per *virtual* second — deterministic, unlike wall rates.
+    pub virtual_records_per_s: f64,
+    pub per_tenant: Vec<TenantReport>,
+    pub top_groups: Vec<GroupSummary>,
+}
+
+/// One tenant's lifetime accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    pub id: u32,
+    pub name: String,
+    pub priority: String,
+    pub submissions: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub deferred: u64,
+    pub tasks_executed: u64,
+    pub records: u64,
+    pub offline_skipped: u64,
+}
+
+/// Point-in-time view of the live aggregate table.
+#[derive(Debug, Clone, Serialize)]
+pub struct AggregateSnapshot {
+    /// Virtual timestamp the snapshot was taken at.
+    pub virt_ms: u64,
+    /// Records observed up to that instant.
+    pub records: u64,
+    pub groups: Vec<GroupSummary>,
+}
+
+/// One (country, provider) latency summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupSummary {
+    pub country: String,
+    pub provider: String,
+    pub samples: u64,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+}

@@ -1,0 +1,263 @@
+//! The tenant model: priorities, token-bucket quotas, typed admission
+//! outcomes, and the seeded submission process.
+//!
+//! Every random draw a tenant makes is keyed by `(service seed, tenant
+//! id, submission number)` through the splittable flow RNG — never by
+//! shared mutable RNG state — so the whole arrival process is a pure
+//! function of the seed.
+
+use cloudy_netsim::rng::{mix, FlowRng};
+use rand::RngCore;
+
+/// Service tier. Priority decides how full a tenant's token bucket is and
+/// what happens when it runs dry: gold submissions are *deferred* to when
+/// the bucket has refilled, lower tiers are *rejected* outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    Gold,
+    Silver,
+    Bronze,
+}
+
+impl Priority {
+    /// Deterministic tier assignment for simulated tenants.
+    pub fn of(tenant_id: u32) -> Priority {
+        match tenant_id % 3 {
+            0 => Priority::Gold,
+            1 => Priority::Silver,
+            _ => Priority::Bronze,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Gold => "gold",
+            Priority::Silver => "silver",
+            Priority::Bronze => "bronze",
+        }
+    }
+
+    /// Token-bucket capacity (in tasks) per tier.
+    pub fn bucket_capacity(&self) -> f64 {
+        match self {
+            Priority::Gold => 8192.0,
+            Priority::Silver => 4096.0,
+            Priority::Bronze => 2048.0,
+        }
+    }
+
+    /// Bucket refill rate: one full bucket per this many hours.
+    pub fn refill_hours(&self) -> f64 {
+        match self {
+            Priority::Gold => 1.0,
+            Priority::Silver => 2.0,
+            Priority::Bronze => 4.0,
+        }
+    }
+}
+
+/// A continuous-refill token bucket over virtual time. Tokens are tasks:
+/// admitting a campaign of N tasks costs N tokens.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    refill_per_ms: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full and refills `capacity` tokens every
+    /// `refill_hours` of virtual time.
+    pub fn new(capacity: f64, refill_hours: f64) -> Self {
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            refill_per_ms: capacity / (refill_hours * 3_600_000.0),
+            last_ms: 0,
+        }
+    }
+
+    fn refill(&mut self, now_ms: u64) {
+        let dt = now_ms.saturating_sub(self.last_ms);
+        self.tokens = (self.tokens + dt as f64 * self.refill_per_ms).min(self.capacity);
+        self.last_ms = now_ms;
+    }
+
+    /// Current balance at `now_ms`.
+    pub fn tokens(&mut self, now_ms: u64) -> f64 {
+        self.refill(now_ms);
+        self.tokens
+    }
+
+    /// Take `cost` tokens if available.
+    pub fn try_take(&mut self, cost: f64, now_ms: u64) -> bool {
+        self.refill(now_ms);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Virtual ms until the bucket could cover `cost`, or `None` if the
+    /// cost exceeds capacity and no amount of waiting will help.
+    pub fn ms_until(&mut self, cost: f64, now_ms: u64) -> Option<u64> {
+        if cost > self.capacity {
+            return None;
+        }
+        self.refill(now_ms);
+        if self.tokens >= cost {
+            return Some(0);
+        }
+        Some(((cost - self.tokens) / self.refill_per_ms).ceil() as u64)
+    }
+}
+
+/// Why a submission was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bucket is dry and the tenant's tier does not defer.
+    QuotaExhausted,
+    /// The campaign is bigger than the bucket's capacity: it can never be
+    /// admitted under this quota, waiting included.
+    OverCapacity,
+    /// The submission was deferred too many times without the bucket
+    /// catching up (competing submissions kept draining it).
+    DeferralBudgetExhausted,
+}
+
+impl RejectReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::QuotaExhausted => "quota-exhausted",
+            RejectReason::OverCapacity => "over-capacity",
+            RejectReason::DeferralBudgetExhausted => "deferral-budget-exhausted",
+        }
+    }
+}
+
+/// Typed admission outcome for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Tokens charged; the campaign starts executing now.
+    Admitted,
+    /// Turned away for good.
+    Rejected(RejectReason),
+    /// Try again at `until_ms`, when the bucket will have refilled enough.
+    Deferred { until_ms: u64 },
+}
+
+/// Per-tenant lifetime counters, reported in the service report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantCounters {
+    pub submissions: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub deferred: u64,
+    pub tasks_executed: u64,
+    pub records: u64,
+    pub offline_skipped: u64,
+}
+
+/// One simulated tenant: identity, tier, quota state, and the parameters
+/// of its submission process.
+#[derive(Debug)]
+pub struct Tenant {
+    pub id: u32,
+    pub name: String,
+    pub priority: Priority,
+    pub bucket: TokenBucket,
+    /// Mean virtual gap between submissions (exponential draws).
+    pub mean_gap_ms: u64,
+    /// Tasks per submitted campaign.
+    pub campaign_tasks: usize,
+    /// Cursor into the tenant's planned task stream.
+    pub cursor: usize,
+    pub counters: TenantCounters,
+}
+
+impl Tenant {
+    /// Build tenant `id` of the service. The heterogeneity (gap, campaign
+    /// size) is a deterministic function of the id, so a 50-tenant service
+    /// mixes tiers, cadences, and campaign sizes without any config. Gold
+    /// tenants are deliberately hungry — big campaigns on a short cadence,
+    /// outstripping even their generous refill rate — so the deferral path
+    /// sees real traffic; lower tiers exercise outright rejection instead.
+    pub fn simulated(id: u32) -> Tenant {
+        let priority = Priority::of(id);
+        let (mean_gap_min, campaign_tasks) = match priority {
+            Priority::Gold => (10 + 5 * (id as u64 % 5), 2048 * (1 + id as usize % 3)),
+            _ => (20 + 10 * (id as u64 % 5), 512 * (1 + id as usize % 4)),
+        };
+        Tenant {
+            id,
+            name: format!("tenant-{id:03}"),
+            priority,
+            bucket: TokenBucket::new(priority.bucket_capacity(), priority.refill_hours()),
+            mean_gap_ms: mean_gap_min * 60_000,
+            campaign_tasks,
+            cursor: 0,
+            counters: TenantCounters::default(),
+        }
+    }
+
+    /// Exponential inter-arrival draw for this tenant's next submission,
+    /// keyed only by (seed, tenant, submission). Clamped to [1 min, 8×mean]
+    /// so one extreme tail draw cannot park a tenant past any horizon.
+    pub fn interarrival_ms(&self, seed: u64, submission: u64) -> u64 {
+        let mut rng = FlowRng::new(seed, mix(&[0x5E2F_E7A1, self.id as u64, submission]));
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let gap = -(1.0 - u).ln() * self.mean_gap_ms as f64;
+        (gap as u64).clamp(60_000, self.mean_gap_ms * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_refills_and_charges() {
+        let mut b = TokenBucket::new(1000.0, 1.0); // 1000 tokens/hour
+        assert!(b.try_take(900.0, 0));
+        assert!(!b.try_take(200.0, 0));
+        // After 30 virtual minutes, 500 tokens refilled.
+        assert!(b.try_take(500.0, 1_800_000));
+        assert!((b.tokens(1_800_000) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bucket_caps_at_capacity() {
+        let mut b = TokenBucket::new(100.0, 1.0);
+        assert!((b.tokens(100 * 3_600_000) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ms_until_covers_cost_exactly() {
+        let mut b = TokenBucket::new(1000.0, 1.0);
+        assert!(b.try_take(1000.0, 0));
+        let wait = b.ms_until(500.0, 0).expect("within capacity");
+        // 500 tokens at 1000/hour = 30 virtual minutes.
+        assert_eq!(wait, 1_800_000);
+        assert!(b.ms_until(2000.0, 0).is_none(), "over capacity can never be admitted");
+    }
+
+    #[test]
+    fn interarrival_is_a_pure_function_of_identity() {
+        let t = Tenant::simulated(7);
+        let a = t.interarrival_ms(42, 3);
+        assert_eq!(a, t.interarrival_ms(42, 3));
+        assert_ne!(a, t.interarrival_ms(42, 4), "different submissions draw differently");
+        assert_ne!(a, t.interarrival_ms(43, 3), "different seeds draw differently");
+    }
+
+    #[test]
+    fn tiers_cycle_by_id() {
+        assert_eq!(Priority::of(0), Priority::Gold);
+        assert_eq!(Priority::of(1), Priority::Silver);
+        assert_eq!(Priority::of(2), Priority::Bronze);
+        assert_eq!(Priority::of(3), Priority::Gold);
+    }
+}

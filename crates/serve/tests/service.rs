@@ -1,0 +1,109 @@
+//! Service-level determinism and behavior tests.
+//!
+//! The acceptance bar for the service: a run with ≥ 50 simulated tenants
+//! produces byte-identical store output and an identical service report
+//! across 1 vs 8 worker threads and across route-cache on/off. The same
+//! matrix also runs (smaller) inside the audit race check.
+
+use cloudy_serve::{ServeConfig, Service};
+
+fn run(tenants: u32, hours: u64, threads: usize, route_cache: bool) -> (String, Vec<u8>) {
+    let cfg = ServeConfig { tenants, hours, threads, route_cache, ..ServeConfig::default() };
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, bytes) = svc.finish().expect("service finishes");
+    (serde_json::to_string(&report).expect("report serializes"), bytes)
+}
+
+#[test]
+fn fifty_tenants_identical_across_threads_and_cache() {
+    let (report_1, store_1) = run(50, 1, 1, true);
+    let (report_8, store_8) = run(50, 1, 8, true);
+    assert_eq!(report_1, report_8, "service report must not depend on worker threads");
+    assert_eq!(store_1, store_8, "store bytes must not depend on worker threads");
+
+    let (report_nc, store_nc) = run(50, 1, 8, false);
+    assert_eq!(report_1, report_nc, "service report must not depend on the route cache");
+    assert_eq!(store_1, store_nc, "store bytes must not depend on the route cache");
+}
+
+#[test]
+fn service_exercises_every_admission_outcome() {
+    let cfg = ServeConfig { tenants: 50, hours: 4, ..ServeConfig::default() };
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, bytes) = svc.finish().expect("service finishes");
+
+    assert!(report.submissions > 0);
+    assert!(report.admitted > 0, "no campaign was admitted: {report:?}");
+    assert!(report.rejected > 0, "quota pressure should reject some submissions");
+    assert!(report.deferred > 0, "gold tenants should defer under quota pressure");
+    assert!(report.offline_skipped > 0, "default fault profile should hit offline windows");
+    assert!(report.records > 0);
+    assert_eq!(
+        report.records, report.tasks_executed,
+        "under a faulted profile every executed task records exactly one outcome"
+    );
+    assert_eq!(report.store_bytes, bytes.len() as u64);
+    assert!(!report.top_groups.is_empty());
+    assert!(report.top_groups.len() <= 10, "top-k honors the configured k");
+    // Top-k ordering: non-increasing sample counts.
+    for w in report.top_groups.windows(2) {
+        assert!(w[0].samples >= w[1].samples);
+    }
+    // The store round-trips and holds exactly the reported records.
+    let reader = cloudy_store::Reader::from_bytes(bytes).expect("store parses");
+    let mut rows = 0u64;
+    reader
+        .for_each(&cloudy_store::ScanFilter::default(), |c| {
+            rows += match c {
+                cloudy_store::ChunkRows::Pings(p) => p.len() as u64,
+                cloudy_store::ChunkRows::Traces(t) => t.len() as u64,
+            }
+        })
+        .expect("store scans");
+    assert_eq!(rows, report.records);
+}
+
+#[test]
+fn snapshots_are_monotonic_and_pausable() {
+    let cfg = ServeConfig { tenants: 8, hours: 2, ..ServeConfig::default() };
+    let mut svc = Service::new(cfg).expect("service builds");
+
+    let mut last_records = 0u64;
+    for step in 1..=4u64 {
+        svc.run_until(step * 30 * 60_000).expect("service steps");
+        let snap = svc.snapshot(0);
+        assert!(snap.records >= last_records, "record count must be monotonic in virtual time");
+        assert_eq!(snap.virt_ms, step * 30 * 60_000, "snapshot carries its virtual timestamp");
+        last_records = snap.records;
+    }
+
+    // Stepping to the horizon in pieces equals one uninterrupted run.
+    let (stepped_report, stepped_bytes) = svc.finish().expect("stepped run finishes");
+    let mut solid = Service::new(ServeConfig { tenants: 8, hours: 2, ..ServeConfig::default() })
+        .expect("service builds");
+    solid.run().expect("service runs");
+    let (solid_report, solid_bytes) = solid.finish().expect("solid run finishes");
+    assert_eq!(
+        serde_json::to_string(&stepped_report).expect("serializes"),
+        serde_json::to_string(&solid_report).expect("serializes"),
+        "pausing at snapshots must not change the run"
+    );
+    assert_eq!(stepped_bytes, solid_bytes);
+}
+
+#[test]
+fn zero_fault_profile_disables_offline_skips() {
+    let cfg = ServeConfig {
+        tenants: 6,
+        hours: 1,
+        faults: cloudy_netsim::FaultProfile::none(),
+        ..ServeConfig::default()
+    };
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, _) = svc.finish().expect("service finishes");
+    assert_eq!(report.offline_skipped, 0);
+    assert_eq!(report.faults, "none");
+}

@@ -600,6 +600,20 @@ pub fn decode_ping_rtts(
     rows: usize,
     provider: Provider,
 ) -> Result<Vec<RttRow>, StoreError> {
+    let mut out = Vec::with_capacity(rows);
+    decode_ping_rtts_with(body, rows, provider, &mut |r| out.push(r))?;
+    Ok(out)
+}
+
+/// Callback form of [`decode_ping_rtts`]: rows are emitted as they are
+/// produced instead of materialized into a fresh per-chunk buffer, so scan
+/// loops can filter and accumulate into one pre-sized output vector.
+pub fn decode_ping_rtts_with(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+    emit: &mut impl FnMut(RttRow),
+) -> Result<(), StoreError> {
     let mut cur = Cursor::new(body);
     skip_block(&mut cur)?; // probe
     let country = decode_country_block(&mut cur, rows)?;
@@ -616,13 +630,12 @@ pub fn decode_ping_rtts(
     let outcomes = get_outcomes(&mut cur, rows)?;
     let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
 
-    let mut out = Vec::with_capacity(rtt.len());
     let mut rtt_ix = 0usize;
     for i in 0..rows {
         if outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK) {
             continue;
         }
-        out.push(RttRow {
+        emit(RttRow {
             kind: RecordKind::Ping,
             provider,
             country: country[i],
@@ -632,7 +645,7 @@ pub fn decode_ping_rtts(
         });
         rtt_ix += 1;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Projection decode of a traceroute chunk: country, region, hour, and the
@@ -645,6 +658,18 @@ pub fn decode_trace_rtts(
     rows: usize,
     provider: Provider,
 ) -> Result<Vec<RttRow>, StoreError> {
+    let mut out = Vec::with_capacity(rows);
+    decode_trace_rtts_with(body, rows, provider, &mut |r| out.push(r))?;
+    Ok(out)
+}
+
+/// Callback form of [`decode_trace_rtts`]; see [`decode_ping_rtts_with`].
+pub fn decode_trace_rtts_with(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+    emit: &mut impl FnMut(RttRow),
+) -> Result<(), StoreError> {
     let mut cur = Cursor::new(body);
     skip_block(&mut cur)?; // probe
     let country = decode_country_block(&mut cur, rows)?;
@@ -679,7 +704,6 @@ pub fn decode_trace_rtts(
 
     let outcomes = get_outcomes(&mut cur, rows)?;
 
-    let mut out = Vec::with_capacity(rows);
     let mut hop_ix = 0usize;
     let mut rtt_ix = 0usize;
     for i in 0..rows {
@@ -696,7 +720,7 @@ pub fn decode_trace_rtts(
             hop_ix += 1;
         }
         if let Some(rtt_ms) = last {
-            out.push(RttRow {
+            emit(RttRow {
                 kind: RecordKind::Trace,
                 provider,
                 country: country[i],
@@ -706,7 +730,7 @@ pub fn decode_trace_rtts(
             });
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// A directory entry: one chunk's footer plus its location in the file.

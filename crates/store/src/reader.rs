@@ -13,8 +13,8 @@
 
 use crate::error::StoreError;
 use crate::chunk::{
-    decode_ping_rtts, decode_pings, decode_trace_rtts, decode_traces, get_chunk_meta, ChunkMeta,
-    RttRow,
+    decode_ping_rtts, decode_ping_rtts_with, decode_pings, decode_trace_rtts,
+    decode_trace_rtts_with, decode_traces, get_chunk_meta, ChunkMeta, RttRow,
 };
 use crate::codec::Cursor;
 use crate::schema::{platform_from_tag, RecordKind};
@@ -180,13 +180,43 @@ impl Reader {
         }
     }
 
-    fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, StoreError> {
+    /// Decode the RTT projection of one chunk (country/region/hour/RTT
+    /// columns only; failed rows are dropped).
+    pub fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, StoreError> {
         let body = self.chunk_body(m);
         let rows = m.footer.rows as usize;
         match m.footer.kind {
             RecordKind::Ping => decode_ping_rtts(body, rows, m.footer.provider),
             RecordKind::Trace => decode_trace_rtts(body, rows, m.footer.provider),
         }
+    }
+
+    /// Decode one chunk's RTT projection straight into `out`, applying the
+    /// row filter as rows are produced — no intermediate per-chunk buffer.
+    /// Returns the number of rows that matched.
+    pub fn scan_chunk_rtts(
+        &self,
+        m: &ChunkMeta,
+        filter: &ScanFilter,
+        out: &mut Vec<RttRow>,
+    ) -> Result<u64, StoreError> {
+        let body = self.chunk_body(m);
+        let rows = m.footer.rows as usize;
+        let before = out.len();
+        let mut emit = |row: RttRow| {
+            if filter.matches_row(&row) {
+                out.push(row);
+            }
+        };
+        match m.footer.kind {
+            RecordKind::Ping => {
+                decode_ping_rtts_with(body, rows, m.footer.provider, &mut emit)?
+            }
+            RecordKind::Trace => {
+                decode_trace_rtts_with(body, rows, m.footer.provider, &mut emit)?
+            }
+        }
+        Ok((out.len() - before) as u64)
     }
 
     /// Sequential pruned scan over full records.
@@ -226,10 +256,21 @@ impl Reader {
                 continue;
             }
             stats.chunks_scanned += 1;
-            for row in self.decode_chunk_rtts(m)? {
+            let body = self.chunk_body(m);
+            let rows = m.footer.rows as usize;
+            let matched = &mut stats.rows_matched;
+            let mut emit = |row: RttRow| {
                 if filter.matches_row(&row) {
-                    stats.rows_matched += 1;
+                    *matched += 1;
                     f(row);
+                }
+            };
+            match m.footer.kind {
+                RecordKind::Ping => {
+                    decode_ping_rtts_with(body, rows, m.footer.provider, &mut emit)?
+                }
+                RecordKind::Trace => {
+                    decode_trace_rtts_with(body, rows, m.footer.provider, &mut emit)?
                 }
             }
         }
@@ -240,6 +281,11 @@ impl Reader {
     /// to `threads` crossbeam scoped threads, and results are returned in
     /// chunk (directory) order — so the output is identical to a
     /// sequential scan for any thread count.
+    ///
+    /// The worker count is clamped to the machine's available parallelism
+    /// and to the survivor count; when only one worker is effective the
+    /// scan runs inline on the caller's thread, with no spawn at all.
+    /// Output never depends on the clamp — only wall time does.
     pub fn par_scan_chunks<T, F>(
         &self,
         filter: &ScanFilter,
@@ -256,8 +302,21 @@ impl Reader {
         stats.chunks_scanned = survivors.len();
         stats.chunks_pruned = stats.chunks_total - survivors.len();
 
-        let threads = threads.max(1);
-        let per = survivors.len().div_ceil(threads).max(1);
+        let workers = effective_workers(threads, survivors.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(survivors.len());
+            for m in &survivors {
+                let rows = self.decode_chunk(m)?;
+                stats.rows_matched += match &rows {
+                    ChunkRows::Pings(p) => p.len() as u64,
+                    ChunkRows::Traces(t) => t.len() as u64,
+                };
+                out.push(map(m, rows));
+            }
+            return Ok((out, stats));
+        }
+
+        let per = survivors.len().div_ceil(workers).max(1);
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
         // Each shard yields chunk results in order; shards concatenate in
         // order, so the merged output is directory-ordered.
@@ -299,6 +358,12 @@ impl Reader {
     /// Collect the RTT projection matching `filter`, decoding chunks in
     /// parallel. Row order equals the sequential [`Reader::for_each_rtt`]
     /// order for any thread count.
+    ///
+    /// Each worker appends into one buffer pre-sized from the survivor
+    /// footers' row counts (the projection can only drop rows), so neither
+    /// the shard buffers nor the merged output ever reallocate. As in
+    /// [`Reader::par_scan_chunks`], the worker count is clamped to
+    /// available parallelism and a single effective worker runs inline.
     pub fn par_collect_rtts(
         &self,
         filter: &ScanFilter,
@@ -310,21 +375,28 @@ impl Reader {
         stats.chunks_scanned = survivors.len();
         stats.chunks_pruned = stats.chunks_total - survivors.len();
 
-        let threads = threads.max(1);
-        let per = survivors.len().div_ceil(threads).max(1);
+        let row_cap =
+            |chunks: &[&ChunkMeta]| chunks.iter().map(|m| m.footer.rows as usize).sum::<usize>();
+
+        let workers = effective_workers(threads, survivors.len());
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(row_cap(&survivors));
+            for m in &survivors {
+                stats.rows_matched += self.scan_chunk_rtts(m, filter, &mut out)?;
+            }
+            return Ok((out, stats));
+        }
+
+        let per = survivors.len().div_ceil(workers).max(1);
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
         let shard_results: Vec<Result<Vec<RttRow>, StoreError>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|shard| {
                     s.spawn(move |_| {
-                        let mut rows = Vec::new();
+                        let mut rows = Vec::with_capacity(row_cap(shard));
                         for m in *shard {
-                            for row in self.decode_chunk_rtts(m)? {
-                                if filter.matches_row(&row) {
-                                    rows.push(row);
-                                }
-                            }
+                            self.scan_chunk_rtts(m, filter, &mut rows)?;
                         }
                         Ok(rows)
                     })
@@ -334,9 +406,13 @@ impl Reader {
         })
         .expect("crossbeam scope"); // audit:allow(expect)
 
-        let mut out = Vec::new();
+        let mut decoded = Vec::with_capacity(shard_results.len());
         for r in shard_results {
-            out.extend(r?);
+            decoded.push(r?);
+        }
+        let mut out = Vec::with_capacity(decoded.iter().map(Vec::len).sum());
+        for mut shard in decoded {
+            out.append(&mut shard);
         }
         stats.rows_matched = out.len() as u64;
         Ok((out, stats))
@@ -358,6 +434,16 @@ impl Reader {
 /// Convenience: parse store bytes straight into a [`Dataset`].
 pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, StoreError> {
     Reader::from_bytes(data)?.to_dataset()
+}
+
+/// Worker count a parallel scan should actually use: the requested thread
+/// count clamped to the machine's available parallelism and to the number
+/// of survivor chunks. Spawning more workers than cores only adds context
+/// switches, and spawning at all is pure overhead when one worker would do
+/// — scan *output* is worker-count-invariant, so the clamp is free.
+fn effective_workers(threads: usize, chunks: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    threads.max(1).min(hw).min(chunks.max(1))
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@
 //! cloudy-repro store inspect  <FILE>
 //! cloudy-repro store query    <FILE> [--provider AB] [--country CC]
 //!                             [--kind ping|trace] [--min-rtt MS] [--max-rtt MS]
+//! cloudy-repro serve       [--tenants N] [--hours H] [--seed N] [--threads N]
+//!                          [--no-route-cache] [--faults none|default]
+//!                          [--top-k N] [--json] [--store FILE]
 //! ```
 //!
 //! `run` executes both platform campaigns and writes the datasets as JSON
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
         "experiment" => experiment(&args[1..]),
         "all" => all(&args[1..]),
         "store" => store(&args[1..]),
+        "serve" => serve(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -81,7 +85,14 @@ fn usage() {
          \x20 store inspect <FILE>         dump a store's chunk directory\n\
          \x20 store query <FILE> [--provider AB] [--country CC] [--kind ping|trace]\n\
          \x20             [--min-rtt MS] [--max-rtt MS] [--threads N]\n\
-         \x20                              pruned scan with summary statistics\n\n\
+         \x20                              pruned scan with summary statistics\n\
+         \x20 serve [--tenants N] [--hours H] [--seed N] [--threads N]\n\
+         \x20       [--no-route-cache] [--faults none|default] [--top-k N]\n\
+         \x20       [--json] [--store FILE]\n\
+         \x20                              run the virtual-time measurement service:\n\
+         \x20                              N simulated tenants submit campaigns against\n\
+         \x20                              token-bucket quotas for H virtual hours;\n\
+         \x20                              prints the final service report\n\n\
          options:\n\
          \x20 --seed N            study seed (default 42)\n\
          \x20 --days N            campaign length in simulated days (default 10)\n\
@@ -857,6 +868,145 @@ fn store_query(args: &[String]) -> ExitCode {
         moments.mean(),
         moments.cv()
     );
+    ExitCode::SUCCESS
+}
+
+/// Run the virtual-time measurement service and print its report. The
+/// report itself contains only virtual-time quantities (it is part of the
+/// determinism contract); wall-clock throughput is printed separately.
+fn serve(args: &[String]) -> ExitCode {
+    use cloudy::serve::{ServeConfig, Service};
+    let mut cfg = ServeConfig { tenants: 50, ..ServeConfig::default() };
+    let mut json = false;
+    let mut store_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--tenants" => take("--tenants").and_then(|v| {
+                v.parse().map(|n| cfg.tenants = n).map_err(|e| format!("--tenants: {e}"))
+            }),
+            "--hours" => take("--hours").and_then(|v| {
+                v.parse().map(|n| cfg.hours = n).map_err(|e| format!("--hours: {e}"))
+            }),
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse().map(|n| cfg.seed = n).map_err(|e| format!("--seed: {e}"))
+            }),
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| cfg.threads = n).map_err(|e| format!("--threads: {e}"))
+            }),
+            "--top-k" => take("--top-k").and_then(|v| {
+                v.parse().map(|n| cfg.top_k = n).map_err(|e| format!("--top-k: {e}"))
+            }),
+            "--faults" => take("--faults").and_then(|v| {
+                cloudy::netsim::FaultProfile::parse(&v)
+                    .map(|p| cfg.faults = p)
+                    .ok_or_else(|| format!("--faults: unknown profile {v:?} (none | default)"))
+            }),
+            "--no-route-cache" => {
+                cfg.route_cache = false;
+                Ok(())
+            }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--store" => take("--store").map(|v| store_out = Some(v)),
+            other => Err(format!("unknown serve option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    if cfg.tenants == 0 {
+        return fail("--tenants must be >= 1");
+    }
+    if cfg.hours == 0 {
+        return fail("--hours must be >= 1");
+    }
+    eprintln!(
+        "serving {} tenants for {} virtual hours (seed {}, {} threads, route cache {})...",
+        cfg.tenants,
+        cfg.hours,
+        cfg.seed,
+        cfg.threads,
+        if cfg.route_cache { "on" } else { "off" }
+    );
+    // Wall clock is reported on stderr only, never in the report itself.
+    let started = std::time::Instant::now(); // audit:allow(nondet-time)
+    let mut svc = match Service::new(cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if let Err(e) = svc.run() {
+        return fail(&e.to_string());
+    }
+    let (report, bytes) = match svc.finish() {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let wall = started.elapsed().as_secs_f64();
+    if json {
+        match serde_json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => return fail(&format!("serialize report: {e}")),
+        }
+    } else {
+        println!(
+            "service report (seed {}, {} tenants, {} virtual hours, faults {})",
+            report.seed, report.tenants, report.hours, report.faults
+        );
+        println!(
+            "  events {}  submissions {}  admitted {}  rejected {}  deferred {}",
+            report.events, report.submissions, report.admitted, report.rejected, report.deferred
+        );
+        println!(
+            "  tasks executed {}  offline skipped {}  records {}  store bytes {}",
+            report.tasks_executed, report.offline_skipped, report.records, report.store_bytes
+        );
+        println!(
+            "  virtual throughput {:.0} records/s over {:.1} virtual hours",
+            report.virtual_records_per_s,
+            report.virtual_ms as f64 / 3_600_000.0
+        );
+        println!("\n  tenant       tier    sub  adm  rej  def     tasks   records  offline");
+        for t in &report.per_tenant {
+            println!(
+                "  {:<12} {:<7} {:>4} {:>4} {:>4} {:>4} {:>9} {:>9} {:>8}",
+                t.name,
+                t.priority,
+                t.submissions,
+                t.admitted,
+                t.rejected,
+                t.deferred,
+                t.tasks_executed,
+                t.records,
+                t.offline_skipped
+            );
+        }
+        if !report.top_groups.is_empty() {
+            println!("\n  top groups by sample count:");
+            println!("  country  provider             samples   mean ms    p50 ms    p95 ms");
+            for g in &report.top_groups {
+                println!(
+                    "  {:<8} {:<20} {:>8} {:>9.2} {:>9.2} {:>9.2}",
+                    g.country, g.provider, g.samples, g.mean_ms, g.p50_ms, g.p95_ms
+                );
+            }
+        }
+    }
+    eprintln!(
+        "wall clock: {wall:.2}s ({:.0} records/s)",
+        if wall > 0.0 { report.records as f64 / wall } else { 0.0 }
+    );
+    if let Some(path) = store_out {
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote {path} ({} bytes)", bytes.len());
+    }
     ExitCode::SUCCESS
 }
 

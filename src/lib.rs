@@ -14,5 +14,6 @@ pub use cloudy_lastmile as lastmile;
 pub use cloudy_measure as measure;
 pub use cloudy_netsim as netsim;
 pub use cloudy_probes as probes;
+pub use cloudy_serve as serve;
 pub use cloudy_store as store;
 pub use cloudy_topology as topology;
