@@ -179,6 +179,9 @@ pub struct FileContext {
     /// Wire-path code (serialized record and store-format sources) where
     /// narrowing casts are a data-corruption hazard, not a style nit.
     pub is_wire: bool,
+    /// The observability crate — the one sanctioned home for wall-clock
+    /// reads (`Obs::now` is how everything else is supposed to get one).
+    pub is_obs: bool,
 }
 
 impl FileContext {
@@ -194,6 +197,7 @@ impl FileContext {
             is_wire: rel_path == "crates/measure/src/record.rs"
                 || rel_path == "crates/serve/src/report.rs"
                 || rel_path.starts_with("crates/store/src/"),
+            is_obs: rel_path.starts_with("crates/obs/"),
         }
     }
 }
@@ -313,7 +317,9 @@ mod tests {
     #[test]
     fn classify_covers_all_contexts() {
         let lib = FileContext::classify("crates/demo/src/lib.rs");
-        assert!(!lib.is_bench && !lib.is_test && !lib.is_bin && !lib.is_wire);
+        assert!(!lib.is_bench && !lib.is_test && !lib.is_bin && !lib.is_wire && !lib.is_obs);
+        assert!(FileContext::classify("crates/obs/src/registry.rs").is_obs);
+        assert!(!FileContext::classify("crates/serve/src/service.rs").is_obs);
         assert!(FileContext::classify("crates/bench/benches/routing.rs").is_bench);
         assert!(FileContext::classify("crates/demo/tests/it.rs").is_test);
         assert!(FileContext::classify("crates/geo/src/proptests.rs").is_test);

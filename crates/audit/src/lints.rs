@@ -38,8 +38,16 @@ pub const RULES: &[LintRule] = &[
     LintRule {
         name: "nondet-time",
         severity: Severity::Error,
-        summary: "Instant::now/SystemTime::now outside bench code",
-        help: "derive timestamps from the campaign's virtual hours; wall clocks are bench-only",
+        summary: "Instant::now/SystemTime::now outside bench or cloudy-obs code",
+        help: "derive timestamps from the campaign's virtual hours; wall clocks belong to \
+               benches and the obs layer (read one via `Obs::now`)",
+    },
+    LintRule {
+        name: "obs-in-wire",
+        severity: Severity::Error,
+        summary: "observability type inside a derive(Serialize) wire shape",
+        help: "metrics and traces must never reach wire bytes; keep cloudy-obs types out of \
+               serialized structs and surface them via --metrics / --trace-out instead",
     },
     LintRule {
         name: "thread-rng",
@@ -370,6 +378,89 @@ fn cfg_test_ranges(code: &Code) -> Vec<(u32, u32)> {
 /// Narrowing integer targets for the `as-truncate` rule.
 const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Type names from `cloudy-obs` that must never appear inside a
+/// serialized shape — metrics are diagnostics, not data.
+const OBS_TYPES: &[&str] =
+    &["Obs", "LocalShard", "MetricsSnapshot", "HistSnapshot", "TraceEvent"];
+
+/// The `obs-in-wire` pass: find every `#[derive(.. Serialize ..)]` item
+/// and flag observability types anywhere in its header or body (struct
+/// fields, tuple fields, enum variant payloads). Tracked over code
+/// tokens, so braces in strings or comments cannot desync the walk.
+fn obs_in_wire(code: &Code, raw: &mut Vec<(&'static str, u32, u32, String)>) {
+    let mut k = 0usize;
+    while k + 2 < code.len() {
+        if !(code.is(k, "#") && code.is(k + 1, "[") && code.is_ident(k + 2, "derive")) {
+            k += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group for a `Serialize` ident.
+        let mut j = k + 3;
+        let mut depth = 1i32; // inside the `[`
+        let mut saw_serialize = false;
+        while j < code.len() && depth > 0 {
+            match code.text(j) {
+                "[" | "(" => depth += 1,
+                "]" | ")" => depth -= 1,
+                "Serialize" if code.kind(j) == Some(TokenKind::Ident) => saw_serialize = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !saw_serialize {
+            k = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while code.is(j, "#") && code.is(j + 1, "[") {
+            let mut d = 1i32;
+            j += 2;
+            while j < code.len() && d > 0 {
+                match code.text(j) {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Walk the item to the end of its body (`{ … }`) or its `;`
+        // terminator (unit/tuple structs), flagging obs idents on the way.
+        let mut d = 0i32;
+        while j < code.len() {
+            let t = code.text(j);
+            match t {
+                "{" => d += 1,
+                "}" => {
+                    d -= 1;
+                    if d <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                ";" if d == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {
+                    if code.kind(j) == Some(TokenKind::Ident)
+                        && (OBS_TYPES.contains(&t) || t == "cloudy_obs")
+                    {
+                        raw.push((
+                            "obs-in-wire",
+                            code.line(j),
+                            code.col(j),
+                            format!("observability type `{t}` in a serialized wire shape"),
+                        ));
+                    }
+                }
+            }
+            j += 1;
+        }
+        k = j;
+    }
+}
+
 /// Lint one file's source. Pure (no I/O) so fixtures and tests feed it
 /// strings directly.
 pub fn lint_source(ctx: &FileContext, src: &str, allow: &Allowlist) -> FileScan {
@@ -400,8 +491,11 @@ pub fn lint_source(ctx: &FileContext, src: &str, allow: &Allowlist) -> FileScan 
         let line = code.line(k);
         let col = code.col(k);
 
-        // nondet-time: `Instant::now` / `SystemTime::now` anywhere but benches.
+        // nondet-time: `Instant::now` / `SystemTime::now` anywhere but
+        // benches and the obs crate (whose `Obs::now` is the sanctioned
+        // wall-clock read for everything else).
         if !ctx.is_bench
+            && !ctx.is_obs
             && (code.is_ident(k, "Instant") || code.is_ident(k, "SystemTime"))
             && code.is(k + 1, ":")
             && code.is(k + 2, ":")
@@ -475,6 +569,9 @@ pub fn lint_source(ctx: &FileContext, src: &str, allow: &Allowlist) -> FileScan 
             }
         }
     }
+
+    // obs-in-wire: observability types inside derive(Serialize) shapes.
+    obs_in_wire(&code, &mut raw);
 
     // map-iter runs on the blanked per-line code view: the declaration-
     // chasing heuristic is line-shaped, but the view is built from the
@@ -860,6 +957,48 @@ mod tests {
         ] {
             assert_eq!(scan(ok), vec![], "{ok}");
         }
+    }
+
+    #[test]
+    fn obs_types_flagged_only_in_serialize_shapes() {
+        let src = "#[derive(Debug, Clone, Serialize)]\n\
+                   pub struct Report {\n\
+                       pub records: u64,\n\
+                       pub snap: MetricsSnapshot,\n\
+                   }\n";
+        let f = scan(src);
+        assert_eq!(rules_of(&f), vec!["obs-in-wire"]);
+        assert_eq!((f[0].line, f[0].col), (4, 11));
+        assert_eq!(rule("obs-in-wire").map(|r| r.severity), Some(Severity::Error));
+        // A qualified path flags both the crate name and the type.
+        let tuple = "#[derive(Serialize, Deserialize)]\nstruct T(cloudy_obs::Obs);\n";
+        assert_eq!(rules_of(&scan(tuple)), vec!["obs-in-wire", "obs-in-wire"]);
+        // Enum variant payloads are inside the tracked body too.
+        let en = "#[derive(Serialize)]\nenum E { A(u64), B(LocalShard) }\n";
+        assert_eq!(rules_of(&scan(en)), vec!["obs-in-wire"]);
+        // No Serialize derive, no wire shape: holding obs types is fine.
+        for ok in [
+            "pub struct Holder { pub obs: Obs, pub snap: MetricsSnapshot }\n",
+            "#[derive(Debug, Clone)]\npub struct Holder { pub obs: Obs }\n",
+            "#[derive(Deserialize)]\npub struct In { pub n: u64 }\n",
+            "#[derive(Serialize)]\npub struct Clean { pub rows: u64, pub label: String }\n",
+        ] {
+            assert_eq!(scan(ok), vec![], "{ok}");
+        }
+        // A brace inside a field's default-string cannot desync the walk.
+        let tricky = "#[derive(Serialize)]\n\
+                      pub struct S { pub s: &'static str }\n\
+                      const X: &str = \"}\";\n\
+                      pub struct Free { pub obs: Obs }\n";
+        assert_eq!(scan(tricky), vec![]);
+    }
+
+    #[test]
+    fn obs_crate_may_read_the_wall_clock() {
+        let src = "pub fn now() -> Instant { Instant::now() }\n";
+        assert_eq!(rules_of(&scan(src)), vec!["nondet-time"]);
+        let obs = FileContext::classify("crates/obs/src/registry.rs");
+        assert_eq!(lint_source(&obs, src, &Allowlist::empty()).findings, vec![]);
     }
 
     #[test]

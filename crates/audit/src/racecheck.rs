@@ -26,6 +26,11 @@
 //! aggregates on top of the executor, and its service report and store
 //! stream must be byte-identical across thread counts and route-cache
 //! settings too.
+//!
+//! With the observability layer, instrumented legs join the matrix: a
+//! campaign or serve run with metrics and tracing fully enabled must be
+//! byte-identical to the uninstrumented reference — observability reads
+//! the wall clock, so a single leaked byte would destroy reproducibility.
 
 use crate::finding::{AuditReport, Severity};
 use cloudy_lastmile::ArtifactConfig;
@@ -33,6 +38,7 @@ use cloudy_measure::plan::PlanConfig;
 use cloudy_measure::{run_campaign_into, CampaignConfig, Dataset, TeeSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use cloudy_netsim::{FaultProfile, Simulator};
+use cloudy_obs::Obs;
 use cloudy_probes::{speedchecker, Platform};
 use cloudy_serve::{ServeConfig, Service};
 use cloudy_store::{Writer, WriterOptions};
@@ -72,6 +78,7 @@ fn campaign_outputs(
     threads: usize,
     route_cache: bool,
     faults: FaultProfile,
+    obs: Obs,
 ) -> (String, Vec<u8>) {
     let world = small_world(seed);
     let pop = speedchecker::population(&world, 0.02, seed);
@@ -82,12 +89,14 @@ fn campaign_outputs(
         threads,
         route_cache,
         faults,
+        obs: obs.clone(),
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     // Small chunks so the race check exercises many flush boundaries.
     let mut writer =
         Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 256 })
             .expect("chunk_rows is positive"); // audit:allow(expect)
+    writer.set_obs(obs);
     let mut tee = TeeSink::new(&mut ds, &mut writer);
     run_campaign_into(&cfg, &sim, &pop, &mut tee).expect("Dataset and Vec sinks are infallible"); // audit:allow(expect)
     let (store_bytes, _) = writer.finish().expect("Vec-backed store writer cannot fail"); // audit:allow(expect)
@@ -98,13 +107,14 @@ fn campaign_outputs(
 /// return its serialized report plus the store file it streamed out. A
 /// modest tenant count keeps the matrix fast; the 50-tenant acceptance
 /// run lives in `cloudy-serve`'s own test suite.
-fn serve_outputs(seed: u64, threads: usize, route_cache: bool) -> (String, Vec<u8>) {
+fn serve_outputs(seed: u64, threads: usize, route_cache: bool, obs: Obs) -> (String, Vec<u8>) {
     let cfg = ServeConfig {
         seed,
         tenants: 12,
         hours: 1,
         threads,
         route_cache,
+        obs,
         ..ServeConfig::default()
     };
     let mut svc = Service::new(cfg).expect("the small serve world always builds"); // audit:allow(expect)
@@ -136,9 +146,9 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         );
         return report;
     }
-    let (serial, serial_store) = campaign_outputs(cfg.seed, 1, true, FaultProfile::none());
+    let (serial, serial_store) = campaign_outputs(cfg.seed, 1, true, FaultProfile::none(), Obs::disabled());
     let (parallel, parallel_store) =
-        campaign_outputs(cfg.seed, cfg.threads, true, FaultProfile::none());
+        campaign_outputs(cfg.seed, cfg.threads, true, FaultProfile::none(), Obs::disabled());
     let (h1, hn) = (fnv1a(serial.as_bytes()), fnv1a(parallel.as_bytes()));
     if serial != parallel {
         let first_diff = serial
@@ -185,7 +195,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     // serially or under thread contention on the shared cache shards.
     for (label, threads) in [("1-thread", 1usize), ("N-thread", cfg.threads)] {
         report.checks_run += 1;
-        let (jsonl, store) = campaign_outputs(cfg.seed, threads, false, FaultProfile::none());
+        let (jsonl, store) = campaign_outputs(cfg.seed, threads, false, FaultProfile::none(), Obs::disabled());
         if jsonl != serial || store != serial_store {
             let (hu, hc) = (fnv1a(jsonl.as_bytes()), fnv1a(serial.as_bytes()));
             report.push(
@@ -206,7 +216,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     // fault profile, one faulted serial/cached run as the reference.
     let profile = FaultProfile::default_profile();
     report.checks_run += 1;
-    let (faulted_ref, faulted_ref_store) = campaign_outputs(cfg.seed, 1, true, profile);
+    let (faulted_ref, faulted_ref_store) = campaign_outputs(cfg.seed, 1, true, profile, Obs::disabled());
     if faulted_ref == serial {
         report.push(
             Severity::Error,
@@ -222,7 +232,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         ("N-thread uncached", cfg.threads, false),
     ] {
         report.checks_run += 1;
-        let (jsonl, store) = campaign_outputs(cfg.seed, threads, route_cache, profile);
+        let (jsonl, store) = campaign_outputs(cfg.seed, threads, route_cache, profile, Obs::disabled());
         if jsonl != faulted_ref || store != faulted_ref_store {
             let (hu, hc) = (fnv1a(jsonl.as_bytes()), fnv1a(faulted_ref.as_bytes()));
             report.push(
@@ -242,7 +252,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     // campaigns, and streams slices through the same executor; its report
     // and store bytes must be invariant under the same matrix.
     report.checks_run += 1;
-    let (serve_ref, serve_ref_store) = serve_outputs(cfg.seed, 1, true);
+    let (serve_ref, serve_ref_store) = serve_outputs(cfg.seed, 1, true, Obs::disabled());
     if serve_ref_store.is_empty() {
         report.push(Severity::Error, "race", "the serve reference run wrote no store bytes".into());
     }
@@ -252,7 +262,7 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
         ("N-thread uncached", cfg.threads, false),
     ] {
         report.checks_run += 1;
-        let (json, store) = serve_outputs(cfg.seed, threads, route_cache);
+        let (json, store) = serve_outputs(cfg.seed, threads, route_cache, Obs::disabled());
         if json != serve_ref || store != serve_ref_store {
             let (hu, hc) = (fnv1a(json.as_bytes()), fnv1a(serve_ref.as_bytes()));
             report.push(
@@ -267,6 +277,59 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
                 ),
             );
         }
+    }
+    // Instrumented legs: metrics + tracing fully on, compared byte-for-byte
+    // against the uninstrumented references. Run at N threads so shard
+    // merging is exercised, and under faults so retry spans are too.
+    report.checks_run += 1;
+    let (jsonl, store) =
+        campaign_outputs(cfg.seed, cfg.threads, true, FaultProfile::none(), Obs::with_trace());
+    if jsonl != serial || store != serial_store {
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "instrumented clean campaign diverges from the reference (jsonl fnv1a \
+                 {:016x} vs {:016x}, store lengths {} vs {}) — metrics leaked into bytes",
+                fnv1a(jsonl.as_bytes()),
+                fnv1a(serial.as_bytes()),
+                store.len(),
+                serial_store.len(),
+            ),
+        );
+    }
+    report.checks_run += 1;
+    let (jsonl, store) =
+        campaign_outputs(cfg.seed, cfg.threads, true, profile, Obs::with_trace());
+    if jsonl != faulted_ref || store != faulted_ref_store {
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "instrumented faulted campaign diverges from the faulted reference (jsonl \
+                 fnv1a {:016x} vs {:016x}, store lengths {} vs {}) — metrics leaked into bytes",
+                fnv1a(jsonl.as_bytes()),
+                fnv1a(faulted_ref.as_bytes()),
+                store.len(),
+                faulted_ref_store.len(),
+            ),
+        );
+    }
+    report.checks_run += 1;
+    let (json, store) = serve_outputs(cfg.seed, cfg.threads, true, Obs::with_trace());
+    if json != serve_ref || store != serve_ref_store {
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "instrumented serve run diverges from the serve reference (report fnv1a \
+                 {:016x} vs {:016x}, store lengths {} vs {}) — metrics leaked into bytes",
+                fnv1a(json.as_bytes()),
+                fnv1a(serve_ref.as_bytes()),
+                store.len(),
+                serve_ref_store.len(),
+            ),
+        );
     }
     report
 }

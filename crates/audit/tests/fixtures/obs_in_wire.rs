@@ -1,0 +1,28 @@
+//! Seeded violation: observability types inside serialized wire shapes.
+//! Metrics and traces are diagnostics — they must never reach wire bytes.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    pub records: u64,
+    pub metrics: cloudy_obs::MetricsSnapshot,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct Legacy {
+    pub rows: u64,
+    pub snap: MetricsSnapshot, // audit:allow(obs-in-wire)
+}
+
+#[derive(Debug, Serialize)]
+pub struct Clean {
+    pub rows: u64,
+    pub label: String,
+}
+
+pub struct Holder {
+    // Not serialized: holding an obs handle is what instrumented
+    // components do, and is not a finding.
+    pub obs: Obs,
+}

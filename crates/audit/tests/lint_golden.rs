@@ -34,6 +34,7 @@ const CASES: &[(&str, &str)] = &[
     ("panic", "crates/demo/src/lib.rs"),
     ("print_stdout", "crates/demo/src/lib.rs"),
     ("as_truncate", "crates/store/src/codec.rs"),
+    ("obs_in_wire", "crates/demo/src/lib.rs"),
     ("result_string", "crates/demo/src/lib.rs"),
     ("stale_pragma", "crates/demo/src/lib.rs"),
 ];

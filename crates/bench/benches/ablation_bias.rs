@@ -61,6 +61,7 @@ fn bench(c: &mut Criterion) {
         threads: 4,
         route_cache: true,
         faults: cloudy_netsim::FaultProfile::none(),
+        ..CampaignConfig::default()
     };
     let counterfactual = run_campaign(&cfg, &s.sim, &pop);
 

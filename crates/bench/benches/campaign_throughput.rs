@@ -19,6 +19,7 @@ use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::{run_campaign_into, CampaignConfig, CountingSink};
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use cloudy_netsim::{CacheStats, FaultProfile, Simulator};
+use cloudy_obs::Obs;
 use cloudy_probes::{speedchecker, Population};
 use std::time::Instant;
 
@@ -26,7 +27,13 @@ fn world(seed: u64) -> BuiltWorld {
     build(&WorldConfig { seed, isps_per_country: 3, countries: None })
 }
 
-fn config(seed: u64, days: u32, route_cache: bool, faults: FaultProfile) -> CampaignConfig {
+fn config(
+    seed: u64,
+    days: u32,
+    route_cache: bool,
+    faults: FaultProfile,
+    obs: Obs,
+) -> CampaignConfig {
     // Ping-only and many samples per grant: the schedule revisits each
     // <probe, region> pair over and over, which is exactly the
     // paper-shaped workload the cache exists for.
@@ -39,6 +46,7 @@ fn config(seed: u64, days: u32, route_cache: bool, faults: FaultProfile) -> Camp
         .threads(4)
         .route_cache(route_cache)
         .faults(faults)
+        .obs(obs)
         .build()
         .expect("a valid campaign config")
 }
@@ -67,9 +75,9 @@ fn main() {
 
     let none = FaultProfile::none();
     let (cached_records, cached_s, stats) =
-        leg(&w, &pop, &config(seed, days, true, none), seed);
+        leg(&w, &pop, &config(seed, days, true, none, Obs::disabled()), seed);
     let (uncached_records, uncached_s, _) =
-        leg(&w, &pop, &config(seed, days, false, none), seed);
+        leg(&w, &pop, &config(seed, days, false, none, Obs::disabled()), seed);
     assert_eq!(
         cached_records, uncached_records,
         "route cache changed the record count — determinism contract broken"
@@ -82,11 +90,27 @@ fn main() {
     // fair comparison, not per record.
     let profile = FaultProfile::default_profile();
     let (faulted_records, faulted_s, _) =
-        leg(&w, &pop, &config(seed, days, true, profile), seed);
+        leg(&w, &pop, &config(seed, days, true, profile, Obs::disabled()), seed);
     assert!(faulted_records >= cached_records, "faulted leg dropped planned tasks");
+
+    // Observability leg: the cached clean workload again with metrics and
+    // tracing fully enabled. The layer's contract is "observe, never
+    // participate": the record count must not move, the counters must
+    // reconcile with the sink, and the wall-clock cost stays within 5%.
+    let obs = Obs::with_trace();
+    let (obs_records, obs_s, _) =
+        leg(&w, &pop, &config(seed, days, true, none, obs.clone()), seed);
+    assert_eq!(obs_records, cached_records, "metrics changed the record count");
+    let snap = obs.snapshot().expect("enabled registry snapshots");
+    assert_eq!(
+        snap.counter("campaign.outcome.ok"),
+        obs_records,
+        "obs outcome counter disagrees with the sink"
+    );
 
     let speedup = uncached_s / cached_s;
     let fault_overhead = faulted_s / cached_s;
+    let obs_overhead = obs_s / cached_s;
     let json = format!(
         "{{\n  \"records\": {cached_records},\n  \"smoke\": {smoke},\n  \
          \"cached_s\": {cached_s:.3},\n  \"uncached_s\": {uncached_s:.3},\n  \
@@ -94,7 +118,8 @@ fn main() {
          \"uncached_records_s\": {:.0},\n  \"cache_hits\": {},\n  \
          \"cache_misses\": {},\n  \"cache_entries\": {},\n  \
          \"cache_hit_rate\": {:.4},\n  \"faulted_records\": {faulted_records},\n  \
-         \"faulted_s\": {faulted_s:.3},\n  \"fault_overhead\": {fault_overhead:.2}\n}}\n",
+         \"faulted_s\": {faulted_s:.3},\n  \"fault_overhead\": {fault_overhead:.2},\n  \
+         \"obs_s\": {obs_s:.3},\n  \"obs_overhead\": {obs_overhead:.2}\n}}\n",
         cached_records as f64 / cached_s,
         uncached_records as f64 / uncached_s,
         stats.hits,
@@ -109,6 +134,11 @@ fn main() {
     if !smoke && fault_overhead > 1.5 {
         eprintln!(
             "WARNING: default fault profile costs {fault_overhead:.2}x wall-clock (target <= 1.5x)"
+        );
+    }
+    if !smoke && obs_overhead > 1.05 {
+        eprintln!(
+            "WARNING: metrics + tracing cost {obs_overhead:.2}x wall-clock (target <= 1.05x)"
         );
     }
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");

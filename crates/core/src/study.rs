@@ -101,6 +101,7 @@ impl StudyConfig {
             threads: self.threads,
             route_cache: self.route_cache,
             faults: self.faults,
+            ..CampaignConfig::default()
         }
     }
 }

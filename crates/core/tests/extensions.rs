@@ -153,6 +153,7 @@ fn early_5g_probes_flow_through_the_pipeline() {
         threads: 4,
         route_cache: true,
         faults: cloudy_netsim::FaultProfile::none(),
+        ..CampaignConfig::default()
     };
     let ds = run_campaign(&cfg, &sim, &pop);
     let resolver = Resolver::new(&sim.net.prefixes);

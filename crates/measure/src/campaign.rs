@@ -25,6 +25,7 @@ use crate::sink::RecordSink;
 use cloudy_cloud::RegionId;
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_netsim::{ClientCtx, FaultDraw, FaultModel, FaultProfile, RoutePath, Simulator};
+use cloudy_obs::{LocalShard, Obs};
 use cloudy_probes::{Availability, Population};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,6 +53,13 @@ pub struct CampaignConfig {
     /// [`TaskOutcome`] and retries wire-level failures under the profile's
     /// bounded backoff policy.
     pub faults: FaultProfile,
+    /// Observability registry. The default ([`Obs::disabled`]) records
+    /// nothing; an enabled registry collects task/outcome/fault counters,
+    /// per-block span histograms, and route-cache totals. Workers record
+    /// into per-block [`LocalShard`]s merged in drain (block) order, so
+    /// metrics never perturb the record stream — byte-identity with
+    /// metrics on is part of the audit race matrix.
+    pub obs: Obs,
 }
 
 impl Default for CampaignConfig {
@@ -62,6 +70,7 @@ impl Default for CampaignConfig {
             threads: 4,
             route_cache: true,
             faults: FaultProfile::none(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -138,6 +147,12 @@ impl CampaignConfigBuilder {
     /// Fault-injection profile (`--faults <profile>` on the CLI).
     pub fn faults(mut self, profile: FaultProfile) -> Self {
         self.cfg.faults = profile;
+        self
+    }
+
+    /// Attach an observability registry (`--metrics` on the CLI).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.cfg.obs = obs;
         self
     }
 
@@ -311,6 +326,7 @@ fn run_attempts(
     path: &RoutePath,
     t: &plan::Task,
     stats: &mut FailureStats,
+    shard: &mut LocalShard,
 ) -> (TaskOutcome, Vec<HopRecord>) {
     let profile = fc.model.profile();
     let budget = profile.timeout_budget_ms;
@@ -333,6 +349,12 @@ fn run_attempts(
     let mut attempt = 0u32;
     let (outcome, hops) = loop {
         let drawn = fc.model.draw(client.probe_hash, region_tag, kind_tag, t.hour, t.seq, attempt);
+        match drawn {
+            FaultDraw::Deliver => shard.inc("faults.draw.deliver"),
+            FaultDraw::Lost => shard.inc("faults.draw.lost"),
+            FaultDraw::Timeout => shard.inc("faults.draw.timeout"),
+            FaultDraw::RateLimited => shard.inc("faults.draw.rate_limited"),
+        }
         let result = match drawn {
             FaultDraw::RateLimited => (TaskOutcome::RateLimited, Vec::new()),
             FaultDraw::Lost => (TaskOutcome::Lost, Vec::new()),
@@ -388,6 +410,7 @@ fn run_attempts(
 /// in their original order, so the record stream is unchanged. Off, every
 /// task rebuilds its client and route from scratch (the legacy path the
 /// audit race check compares against).
+#[allow(clippy::too_many_arguments)] // internal work unit; the coordinator is the only caller
 fn run_block(
     sim: &Simulator,
     pop: &Population,
@@ -395,7 +418,10 @@ fn run_block(
     tasks: &[plan::Task],
     route_cache: bool,
     faults: Option<&FaultCtx>,
-) -> (Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats) {
+    lane: u32,
+    mut shard: LocalShard,
+) -> (Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats, LocalShard) {
+    let span_start = shard.now();
     let mut pings = Vec::new();
     let mut traces = Vec::new();
     let mut stats = FailureStats::default();
@@ -425,7 +451,7 @@ fn run_block(
             // Faulted mode: every planned task produces exactly one record
             // carrying its final typed outcome, so failure counters
             // reconcile with the stored outcome tags.
-            let (outcome, hops) = run_attempts(sim, fc, client, path, t, &mut stats);
+            let (outcome, hops) = run_attempts(sim, fc, client, path, t, &mut stats, &mut shard);
             match t.kind {
                 TaskKind::Ping(proto) => pings.push(PingRecord {
                     probe: probe.id,
@@ -511,7 +537,20 @@ fn run_block(
             }
         }
     }
-    (pings, traces, stats)
+    if shard.is_enabled() {
+        shard.add("campaign.tasks.executed", tasks.len() as u64);
+        shard.add("campaign.outcome.ok", stats.ok);
+        shard.add("campaign.outcome.lost", stats.lost);
+        shard.add("campaign.outcome.timeout", stats.timeout);
+        shard.add("campaign.outcome.rate_limited", stats.rate_limited);
+        shard.add("campaign.outcome.probe_offline", stats.probe_offline);
+        shard.add("campaign.retries", stats.retries);
+        shard.add("campaign.recovered", stats.recovered);
+        // Worker lanes are numbered 1..=threads within a round; lane 0 is
+        // the coordinating thread in trace output.
+        shard.record_span("campaign.block", span_start, lane + 1);
+    }
+    (pings, traces, stats, shard)
 }
 
 /// Prime the simulator's shared route cache with every (probe, region)
@@ -588,18 +627,30 @@ pub fn execute_tasks_into(
         avail: Availability::new(cfg.plan.seed),
     });
     let mut totals = FailureStats::default();
+    cfg.obs.add("campaign.tasks.planned", tasks.len() as u64);
 
     for round in blocks.chunks(threads) {
-        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats)> =
+        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats, LocalShard)> =
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = round
                     .iter()
-                    .map(|tasks| {
+                    .enumerate()
+                    .map(|(lane, tasks)| {
                         let artifacts = cfg.artifacts;
                         let route_cache = cfg.route_cache;
                         let fc = fault_ctx;
+                        let shard = cfg.obs.local();
                         s.spawn(move |_| {
-                            run_block(sim, pop, &artifacts, tasks, route_cache, fc.as_ref())
+                            run_block(
+                                sim,
+                                pop,
+                                &artifacts,
+                                tasks,
+                                route_cache,
+                                fc.as_ref(),
+                                lane as u32,
+                                shard,
+                            )
                         })
                     })
                     .collect();
@@ -607,9 +658,10 @@ pub fn execute_tasks_into(
             })
             .expect("crossbeam scope"); // audit:allow(expect)
 
-        // Drain in block order: both the record stream and the stats totals
-        // are invariant under the thread count.
-        for (pings, traces, stats) in results {
+        // Drain in block order: the record stream, the stats totals, and
+        // the merged metric shards are all invariant under the thread
+        // count.
+        for (pings, traces, stats, shard) in results {
             for p in pings {
                 sink.sink_ping(p)?;
             }
@@ -617,7 +669,11 @@ pub fn execute_tasks_into(
                 sink.sink_trace(t)?;
             }
             totals.merge(&stats);
+            cfg.obs.merge(shard);
         }
+    }
+    if cfg.obs.is_enabled() && cfg.route_cache {
+        sim.route_cache().stats().export_into(&cfg.obs);
     }
     Ok(totals)
 }
@@ -640,6 +696,7 @@ mod tests {
             threads,
             route_cache: true,
             faults: FaultProfile::none(),
+            obs: Obs::disabled(),
         }
     }
 
@@ -780,6 +837,52 @@ mod tests {
             assert_eq!(ds, reference, "threads={threads} cache={cache}");
             assert_eq!(stats, ref_stats, "threads={threads} cache={cache}");
         }
+    }
+
+    #[test]
+    fn metrics_never_perturb_records_and_reconcile_with_stats() {
+        let (sim, pop) = setup();
+        let plain = run_campaign(&faulted_cfg(3), &sim, &pop);
+        let obs = Obs::with_trace();
+        let observed =
+            run_campaign(&CampaignConfig { obs: obs.clone(), ..faulted_cfg(3) }, &sim, &pop);
+        assert_eq!(plain, observed, "an enabled registry must not change the record stream");
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(
+            snap.counter("campaign.tasks.planned"),
+            snap.counter("campaign.tasks.executed"),
+            "{snap:?}"
+        );
+        assert!(snap.counter("campaign.outcome.ok") > 0);
+        assert!(snap.counter("faults.draw.deliver") > 0);
+        assert!(snap.counter("faults.draw.lost") > 0);
+        assert_eq!(
+            snap.counter("campaign.tasks.executed"),
+            snap.counter("campaign.outcome.ok")
+                + snap.counter("campaign.outcome.lost")
+                + snap.counter("campaign.outcome.timeout")
+                + snap.counter("campaign.outcome.rate_limited")
+                + snap.counter("campaign.outcome.probe_offline")
+        );
+        assert!(
+            snap.hist("span.campaign.block").map(|h| h.count).unwrap_or(0) > 0,
+            "block spans recorded"
+        );
+        assert!(snap.gauge("route_cache.hits").is_some(), "cache totals folded in");
+        let trace = obs.trace_json().unwrap_or_default();
+        assert!(trace.contains("campaign.block"), "{trace}");
+    }
+
+    #[test]
+    fn merged_counters_are_thread_count_invariant() {
+        let (sim, pop) = setup();
+        let mut by_threads = Vec::new();
+        for threads in [1usize, 7] {
+            let obs = Obs::enabled();
+            run_campaign(&CampaignConfig { obs: obs.clone(), ..faulted_cfg(threads) }, &sim, &pop);
+            by_threads.push(obs.snapshot().unwrap_or_default().counters);
+        }
+        assert_eq!(by_threads[0], by_threads[1]);
     }
 
     #[test]

@@ -97,6 +97,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Export these totals into an observability registry so cache
+    /// behaviour lands in the same snapshot as executor and store metrics.
+    ///
+    /// Gauges (absolute-set) rather than counters on purpose: these are
+    /// *lifetime* totals, and callers re-export after every slice or run —
+    /// counter adds would double-count, gauge sets are idempotent.
+    pub fn export_into(&self, obs: &cloudy_obs::Registry) {
+        obs.gauge("route_cache.hits", self.hits as i64);
+        obs.gauge("route_cache.misses", self.misses as i64);
+        obs.gauge("route_cache.entries", self.entries as i64);
+    }
 }
 
 /// Sharded, thread-shared route-plan cache handing out `Arc<RoutePath>`.
@@ -238,6 +250,15 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (4, 1, 1));
         assert!(stats.hit_rate() > 0.79);
+        // The obs bridge sets absolute gauges, so re-exporting the same
+        // lifetime totals is idempotent.
+        let obs = cloudy_obs::Registry::enabled();
+        stats.export_into(&obs);
+        stats.export_into(&obs);
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.gauge("route_cache.hits"), Some(4));
+        assert_eq!(snap.gauge("route_cache.misses"), Some(1));
+        assert_eq!(snap.gauge("route_cache.entries"), Some(1));
         cache.clear();
         assert!(cache.is_empty());
     }

@@ -1,0 +1,155 @@
+//! Log2-bucketed histograms.
+//!
+//! Bucket 0 holds exactly the value 0; bucket `i >= 1` holds the values in
+//! `[2^(i-1), 2^i - 1]`. With 64-bit values that is [`BUCKETS`] = 65
+//! buckets total, every `u64` maps to exactly one bucket, and the bucket
+//! boundaries round-trip exactly ([`bucket_of`] of either bound of
+//! [`bucket_bounds`]`(i)` is `i` — property-tested in `proptests`).
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index a value falls into.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+///
+/// Out-of-range indices clamp to the last bucket so callers iterating a
+/// snapshot can never panic on a malformed index.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        1..=63 => (1u64 << (i - 1), (1u64 << i) - 1),
+        _ => (1u64 << 63, u64::MAX),
+    }
+}
+
+/// One log2 histogram: bucket counts plus count/sum/min/max so snapshots
+/// can report means and extremes without keeping raw samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    /// Minimum observed value; `u64::MAX` while empty.
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
+    }
+}
+
+impl Hist {
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Fold another histogram in. Commutative and associative, which is
+    /// what makes per-thread shard merging order-invariant.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_of(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bounds_partition_the_domain() {
+        // Consecutive buckets tile u64 with no gaps or overlaps.
+        let mut expect_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} starts where {} ended", i.wrapping_sub(1));
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                break;
+            }
+            expect_lo = hi + 1;
+        }
+    }
+
+    #[test]
+    fn observe_tracks_extremes_and_counts() {
+        let mut h = Hist::new();
+        assert!(h.is_empty());
+        for v in [0, 1, 7, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1032);
+        assert_eq!((h.min, h.max), (0, 1024));
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[bucket_of(7)], 1);
+        assert_eq!(h.buckets[bucket_of(1024)], 1);
+        assert!((h.mean() - 258.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observe() {
+        let vals = [3u64, 0, 9, 9, 1 << 40, 17];
+        let mut whole = Hist::new();
+        for v in vals {
+            whole.observe(v);
+        }
+        let mut left = Hist::new();
+        let mut right = Hist::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            if i % 2 == 0 {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the two contracts the executor leans on: shard
+//! merging is order-invariant (so merged totals cannot depend on thread
+//! scheduling) and log2 bucket boundaries round-trip exactly.
+
+use crate::hist::{bucket_bounds, bucket_of, BUCKETS};
+use crate::registry::Obs;
+use crate::shard::LocalShard;
+use proptest::prelude::*;
+
+const NAMES: &[&str] = &["tasks", "retries", "rows", "span.block", "faults.lost"];
+
+/// Deterministically spread `ops` across `k` shards: op `i` lands in
+/// shard `i % k`, odd values record into a histogram, even into a
+/// counter.
+fn build_shards(ops: &[(u8, u64)], k: usize) -> Vec<LocalShard> {
+    let obs = Obs::enabled();
+    let mut shards: Vec<LocalShard> = (0..k).map(|_| obs.local()).collect();
+    for (i, &(name_ix, v)) in ops.iter().enumerate() {
+        let name = NAMES[name_ix as usize % NAMES.len()];
+        let shard = &mut shards[i % k];
+        if v % 2 == 1 {
+            shard.observe(name, v);
+        } else {
+            // Counters add; bound the addend so no sum can overflow.
+            shard.add(name, v % (1u64 << 32));
+        }
+    }
+    shards
+}
+
+proptest! {
+    #[test]
+    fn registry_merge_is_order_invariant(
+        ops in prop::collection::vec((0u8..16, 0u64..u64::MAX), 1..48),
+        k in 1u8..6,
+    ) {
+        let k = k as usize;
+        let forward = {
+            let obs = Obs::enabled();
+            for s in build_shards(&ops, k) {
+                obs.merge(s);
+            }
+            obs.snapshot()
+        };
+        let reverse = {
+            let obs = Obs::enabled();
+            let mut shards = build_shards(&ops, k);
+            shards.reverse();
+            for s in shards {
+                obs.merge(s);
+            }
+            obs.snapshot()
+        };
+        prop_assert_eq!(&forward, &reverse);
+        // And the shard count itself must not matter: everything in one
+        // shard gives the same totals as k shards.
+        let single = {
+            let obs = Obs::enabled();
+            for s in build_shards(&ops, 1) {
+                obs.merge(s);
+            }
+            obs.snapshot()
+        };
+        prop_assert_eq!(&forward, &single);
+    }
+
+    #[test]
+    fn shard_merge_from_is_order_invariant(
+        ops in prop::collection::vec((0u8..16, 0u64..u64::MAX), 1..48),
+        k in 2u8..6,
+    ) {
+        let k = k as usize;
+        let mut forward = LocalShard::disabled();
+        for s in build_shards(&ops, k) {
+            forward.merge_from(s);
+        }
+        let mut reverse = LocalShard::disabled();
+        let mut shards = build_shards(&ops, k);
+        shards.reverse();
+        for s in shards {
+            reverse.merge_from(s);
+        }
+        prop_assert_eq!(&forward.counters, &reverse.counters);
+        prop_assert_eq!(&forward.hists, &reverse.hists);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip(v in 0u64..u64::MAX) {
+        let i = bucket_of(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "bucket {i} [{lo},{hi}] misses {v}");
+        // Boundaries round-trip exactly: both ends map back to bucket i.
+        prop_assert_eq!(bucket_of(lo), i);
+        prop_assert_eq!(bucket_of(hi), i);
+    }
+}
+
+#[test]
+fn every_bucket_round_trips_exactly() {
+    for i in 0..BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(bucket_of(lo), i, "lo bound of bucket {i}");
+        assert_eq!(bucket_of(hi), i, "hi bound of bucket {i}");
+        if i > 0 {
+            let (_, prev_hi) = bucket_bounds(i - 1);
+            assert_eq!(lo, prev_hi + 1, "bucket {i} starts right after bucket {}", i - 1);
+        }
+    }
+    assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+}

@@ -1,0 +1,270 @@
+//! The shared metrics registry and its cheap-clone handle.
+
+use crate::hist::Hist;
+use crate::shard::LocalShard;
+use crate::snapshot::{HistSnapshot, MetricsSnapshot};
+use crate::trace::{render_trace, TraceEvent};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Hist>,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    trace: bool,
+    state: Mutex<State>,
+}
+
+/// Handle to a metrics registry — or to nothing at all.
+///
+/// The disabled handle (the [`Default`]) is an `Option::None`; every
+/// operation on it is a single branch, so uninstrumented runs pay nothing
+/// and instrumented code never needs `if metrics_enabled` guards.
+///
+/// Cloning an enabled handle shares the underlying registry (`Arc`), so
+/// a campaign config, its store writer, and the CLI all aggregate into
+/// one snapshot. Single-threaded paths record straight through the
+/// handle's mutex; parallel paths go through [`Obs::local`] shards merged
+/// back in deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// The no-op handle: records nothing, returns no clock.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A live registry collecting counters, gauges, and histograms.
+    pub fn enabled() -> Obs {
+        Obs::build(false)
+    }
+
+    /// A live registry that additionally collects Chrome trace events
+    /// (`--trace-out`).
+    pub fn with_trace() -> Obs {
+        Obs::build(true)
+    }
+
+    fn build(trace: bool) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                trace,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace)
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, State>> {
+        // A poisoned registry mutex means a panicking thread mid-record;
+        // metrics are diagnostics, so keep serving the data we have.
+        self.inner.as_ref().map(|i| match i.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Add to a named counter.
+    pub fn add(&self, name: &str, v: u64) {
+        if v == 0 {
+            return;
+        }
+        if let Some(mut s) = self.lock() {
+            if let Some(c) = s.counters.get_mut(name) {
+                *c += v;
+            } else {
+                s.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Set a named gauge to an absolute value (idempotent — safe for
+    /// lifetime stats exported repeatedly, like route-cache totals).
+    pub fn gauge(&self, name: &str, v: i64) {
+        if let Some(mut s) = self.lock() {
+            s.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(mut s) = self.lock() {
+            if let Some(h) = s.hists.get_mut(name) {
+                h.observe(v);
+            } else {
+                let mut h = Hist::new();
+                h.observe(v);
+                s.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The workspace's sanctioned wall-clock read. Returns `None` when
+    /// disabled, so uninstrumented runs never observe the host clock at
+    /// all. The returned `Instant` feeds [`Obs::record_span`] (or
+    /// `Instant::elapsed` for ad-hoc CLI timings) — never wire fields.
+    pub fn now(&self) -> Option<Instant> {
+        if self.inner.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a span opened with [`Obs::now`]: duration lands in the
+    /// `span.<name>` histogram (µs) and, when tracing, as a Chrome trace
+    /// event on lane `tid`.
+    pub fn record_span(&self, name: &str, started: Option<Instant>, tid: u32) {
+        let (Some(start), Some(inner)) = (started, self.inner.as_deref()) else {
+            return;
+        };
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.observe(&format!("span.{name}"), dur_us);
+        if inner.trace {
+            let ts_us = start.duration_since(inner.epoch).as_micros() as u64;
+            if let Some(mut s) = self.lock() {
+                s.events.push(TraceEvent { name: name.to_string(), ts_us, dur_us, tid });
+            }
+        }
+    }
+
+    /// A lock-free shard for one worker/block; merge it back with
+    /// [`Obs::merge`]. Disabled handles hand out inert shards.
+    pub fn local(&self) -> LocalShard {
+        match self.inner.as_deref() {
+            Some(inner) => LocalShard::new(inner.epoch, inner.trace),
+            None => LocalShard::disabled(),
+        }
+    }
+
+    /// Fold a worker shard into the registry. Callers merge shards in a
+    /// deterministic order (the executor's block drain order); counters
+    /// and histograms are commutative anyway, so totals are identical for
+    /// every thread count.
+    pub fn merge(&self, shard: LocalShard) {
+        if !shard.is_enabled() {
+            return;
+        }
+        if let Some(mut s) = self.lock() {
+            for (name, v) in shard.counters {
+                *s.counters.entry(name).or_insert(0) += v;
+            }
+            for (name, h) in shard.hists {
+                s.hists.entry(name).or_default().merge(&h);
+            }
+            s.events.extend(shard.events);
+        }
+    }
+
+    /// Freeze the registry into a [`MetricsSnapshot`]. `None` when
+    /// disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let s = self.lock()?;
+        Some(MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            hists: s.hists.iter().map(|(k, h)| (k.clone(), HistSnapshot::from_hist(h))).collect(),
+        })
+    }
+
+    /// Render collected spans as a Chrome trace JSON document. `None`
+    /// unless this registry was created with [`Obs::with_trace`].
+    pub fn trace_json(&self) -> Option<String> {
+        if !self.trace_enabled() {
+            return None;
+        }
+        let events = {
+            let s = self.lock()?;
+            let mut evs = s.events.clone();
+            // Viewer-friendly and deterministic given equal timings:
+            // order by start, then lane, then name.
+            evs.sort_by(|a, b| {
+                (a.ts_us, a.tid, &a.name).cmp(&(b.ts_us, b.tid, &b.name))
+            });
+            evs
+        };
+        Some(render_trace(&events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.inc("a");
+        obs.gauge("g", 7);
+        obs.observe("h", 1);
+        obs.record_span("sp", obs.now(), 0);
+        assert!(!obs.is_enabled());
+        assert!(obs.now().is_none());
+        assert!(obs.snapshot().is_none());
+        assert!(obs.trace_json().is_none());
+        let shard = obs.local();
+        assert!(!shard.is_enabled());
+        obs.merge(shard);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        obs.add("n", 2);
+        other.add("n", 3);
+        other.gauge("g", -1);
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.counter("n"), 5);
+        assert_eq!(snap.gauge("g"), Some(-1));
+    }
+
+    #[test]
+    fn spans_feed_histograms_and_trace() {
+        let obs = Obs::with_trace();
+        let t = obs.now();
+        obs.record_span("unit", t, 3);
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.hist("span.unit").map(|h| h.count), Some(1));
+        let json = obs.trace_json().unwrap_or_default();
+        assert!(json.contains("\"name\":\"unit\""), "{json}");
+        assert!(json.contains("\"tid\":3"), "{json}");
+        // Metrics-only registries do not collect trace events.
+        assert!(Obs::enabled().trace_json().is_none());
+    }
+
+    #[test]
+    fn shard_merge_lands_in_snapshot() {
+        let obs = Obs::enabled();
+        let mut shard = obs.local();
+        shard.add("tasks", 7);
+        shard.observe("rtt", 12);
+        obs.merge(shard);
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.counter("tasks"), 7);
+        assert_eq!(snap.hist("rtt").map(|h| (h.count, h.min)), Some((1, 12)));
+    }
+}

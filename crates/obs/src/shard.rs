@@ -1,0 +1,165 @@
+//! Per-thread metric shards.
+//!
+//! Worker threads must never contend on the registry lock (or observe
+//! each other at all — that would be a scheduling side channel). A
+//! [`LocalShard`] is a plain value: the executor creates one per work
+//! block with [`crate::Obs::local`], moves it into the worker, and merges
+//! it back with [`crate::Obs::merge`] in its existing deterministic drain
+//! order. Counter and histogram merges are commutative, so merged totals
+//! are identical for every thread count (property-tested).
+
+use crate::hist::Hist;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A lock-free, thread-local slice of the registry.
+#[derive(Debug, Default)]
+pub struct LocalShard {
+    enabled: bool,
+    trace: bool,
+    pub(crate) epoch: Option<Instant>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) hists: BTreeMap<String, Hist>,
+    pub(crate) events: Vec<TraceEvent>,
+}
+
+impl LocalShard {
+    /// A shard that ignores everything — what `Obs::disabled().local()`
+    /// hands out.
+    pub fn disabled() -> LocalShard {
+        LocalShard::default()
+    }
+
+    pub(crate) fn new(epoch: Instant, trace: bool) -> LocalShard {
+        LocalShard { enabled: true, trace, epoch: Some(epoch), ..LocalShard::default() }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add to a named counter.
+    pub fn add(&mut self, name: &str, v: u64) {
+        if !self.enabled || v == 0 {
+            return;
+        }
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
+    }
+
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(h) = self.hists.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Hist::new();
+            h.observe(v);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Sanctioned wall-clock read for span timing; `None` when disabled
+    /// so uninstrumented runs never touch the clock.
+    pub fn now(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a span opened with [`LocalShard::now`]: records the duration
+    /// (µs) into the `span.<name>` histogram and, when tracing, a Chrome
+    /// trace event on lane `tid`.
+    pub fn record_span(&mut self, name: &str, started: Option<Instant>, tid: u32) {
+        let (Some(start), Some(epoch)) = (started, self.epoch) else {
+            return;
+        };
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.observe(&format!("span.{name}"), dur_us);
+        if self.trace {
+            let ts_us = start.duration_since(epoch).as_micros() as u64;
+            self.events.push(TraceEvent { name: name.to_string(), ts_us, dur_us, tid });
+        }
+    }
+
+    /// Fold another shard into this one (commutative on counters and
+    /// histograms; trace events append in call order).
+    pub fn merge_from(&mut self, other: LocalShard) {
+        if !other.enabled {
+            return;
+        }
+        self.enabled = true;
+        if self.epoch.is_none() {
+            self.epoch = other.epoch;
+        }
+        self.trace |= other.trace;
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in other.hists {
+            self.hists.entry(name).or_default().merge(&h);
+        }
+        self.events.extend(other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_shard_is_inert() {
+        let mut s = LocalShard::disabled();
+        s.add("x", 3);
+        s.observe("h", 9);
+        assert!(s.now().is_none());
+        s.record_span("sp", None, 0);
+        assert!(!s.is_enabled());
+        assert!(s.counters.is_empty() && s.hists.is_empty() && s.events.is_empty());
+    }
+
+    #[test]
+    fn enabled_shard_accumulates() {
+        let mut s = LocalShard::new(Instant::now(), true);
+        s.inc("tasks");
+        s.add("tasks", 2);
+        s.observe("rtt", 8);
+        let t = s.now();
+        assert!(t.is_some());
+        s.record_span("block", t, 4);
+        assert_eq!(s.counters.get("tasks"), Some(&3));
+        assert_eq!(s.hists.get("rtt").map(|h| h.count), Some(1));
+        assert_eq!(s.hists.get("span.block").map(|h| h.count), Some(1));
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].tid, 4);
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_hists() {
+        let epoch = Instant::now();
+        let mut a = LocalShard::new(epoch, false);
+        let mut b = LocalShard::new(epoch, false);
+        a.add("n", 1);
+        b.add("n", 5);
+        b.add("m", 2);
+        a.observe("h", 1);
+        b.observe("h", 1024);
+        a.merge_from(b);
+        assert_eq!(a.counters.get("n"), Some(&6));
+        assert_eq!(a.counters.get("m"), Some(&2));
+        let h = &a.hists["h"];
+        assert_eq!((h.count, h.min, h.max), (2, 1, 1024));
+    }
+}

@@ -1,0 +1,190 @@
+//! Point-in-time snapshots of the registry and their renderers.
+//!
+//! Snapshots are plain `BTreeMap`s (deterministic iteration order) and
+//! render through hand-rolled text and JSON writers — deliberately not
+//! serde, so snapshot shapes can never drift into `wire.lock` and the
+//! `obs-in-wire` lint has teeth.
+
+use crate::hist::{bucket_bounds, Hist};
+use crate::trace::escape_json;
+use std::collections::BTreeMap;
+
+/// A histogram frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// 0 when the histogram is empty.
+    pub min: u64,
+    pub max: u64,
+    /// Only non-empty buckets, as `(lo, hi, count)` inclusive ranges.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistSnapshot {
+    pub(crate) fn from_hist(h: &Hist) -> HistSnapshot {
+        HistSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: if h.count == 0 { 0 } else { h.min },
+            max: h.max,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    (lo, hi, n)
+                })
+                .collect(),
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything the registry knows, frozen at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub hists: BTreeMap<String, HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if absent — test and assertion convenience.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.get(name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Aligned human-readable table (`--metrics text`).
+    pub fn render_text(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.hists.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter  {name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge    {name:<width$}  {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            out.push_str(&format!(
+                "hist     {name:<width$}  count={} sum={} min={} max={} mean={:.1}\n",
+                h.count, h.sum, h.min, h.max, h.mean()
+            ));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON document (`--metrics json`). Keys are emitted in
+    /// BTreeMap order, so the output is deterministic given equal values.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape_json(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape_json(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+            for (j, (lo, hi, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{hi},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut h = Hist::new();
+        h.observe(0);
+        h.observe(5);
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("campaign.tasks.executed".into(), 42);
+        s.gauges.insert("serve.queue_depth".into(), -3);
+        s.hists.insert("span.block".into(), HistSnapshot::from_hist(&h));
+        s
+    }
+
+    #[test]
+    fn text_render_lists_every_kind() {
+        let t = sample().render_text();
+        assert!(t.contains("counter  campaign.tasks.executed"), "{t}");
+        assert!(t.contains("gauge    serve.queue_depth"), "{t}");
+        assert!(t.contains("count=2 sum=5 min=0 max=5"), "{t}");
+    }
+
+    #[test]
+    fn json_render_is_wellformed_and_deterministic() {
+        let s = sample();
+        let j = s.render_json();
+        assert_eq!(j, s.render_json());
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"campaign.tasks.executed\":42"), "{j}");
+        assert!(j.contains("\"serve.queue_depth\":-3"), "{j}");
+        assert!(j.contains("\"buckets\":[[0,0,1],[4,7,1]]"), "{j}");
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_hist_snapshot_reports_zero_min() {
+        let h = HistSnapshot::from_hist(&Hist::new());
+        assert_eq!((h.count, h.min, h.max), (0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Chrome `trace_event` export.
+//!
+//! Spans recorded through [`crate::Obs`] / [`crate::LocalShard`] become
+//! complete ("X") events in the JSON object format that Perfetto and
+//! `chrome://tracing` load directly. The JSON is hand-rolled — trace
+//! output is diagnostics, not wire format, and must stay out of serde's
+//! shape registry (`wire.lock`).
+
+/// One complete span: microsecond start offset from the registry epoch
+/// plus duration, on a synthetic thread lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Microseconds since the owning registry was created.
+    pub ts_us: u64,
+    pub dur_us: u64,
+    /// Synthetic lane id: 0 for the coordinating thread, worker lane + 1
+    /// inside parallel blocks — stable across runs, unlike OS thread ids.
+    pub tid: u32,
+}
+
+/// Minimal JSON string escaping for event names (which are code-chosen,
+/// but a malformed file in a trace viewer is a miserable debugging dead
+/// end, so escape defensively anyway).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render events as a Chrome trace JSON document.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"cloudy\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{}}}",
+            escape_json(&e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_loadable_chrome_json() {
+        let events = vec![
+            TraceEvent { name: "campaign.block".into(), ts_us: 10, dur_us: 250, tid: 1 },
+            TraceEvent { name: "store.flush".into(), ts_us: 300, dur_us: 40, tid: 0 },
+        ];
+        let json = render_trace(&events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"campaign.block\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -43,6 +43,62 @@ pub struct ServiceReport {
     pub top_groups: Vec<GroupSummary>,
 }
 
+impl ServiceReport {
+    /// Cross-check the report's top-level totals against its per-tenant
+    /// table. Returns one message per inconsistency; an empty vec means the
+    /// report reconciles. The CLI `serve` command fails the run when this
+    /// is non-empty, so a drifted aggregation path cannot ship a report
+    /// that silently disagrees with its own breakdown.
+    pub fn reconcile(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let sums = self.per_tenant.iter().fold([0u64; 7], |mut acc, t| {
+            acc[0] += t.submissions;
+            acc[1] += t.admitted;
+            acc[2] += t.rejected;
+            acc[3] += t.deferred;
+            acc[4] += t.tasks_executed;
+            acc[5] += t.records;
+            acc[6] += t.offline_skipped;
+            acc
+        });
+        let totals = [
+            ("submissions", self.submissions),
+            ("admitted", self.admitted),
+            ("rejected", self.rejected),
+            ("deferred", self.deferred),
+            ("tasks_executed", self.tasks_executed),
+            ("records", self.records),
+            ("offline_skipped", self.offline_skipped),
+        ];
+        for ((name, top), per_tenant) in totals.iter().zip(sums) {
+            if *top != per_tenant {
+                problems.push(format!(
+                    "{name}: top-level total {top} != per-tenant sum {per_tenant}"
+                ));
+            }
+        }
+        for t in &self.per_tenant {
+            // Every submission terminates admitted or rejected, except ones
+            // still deferred past the horizon when the run ended.
+            if t.admitted + t.rejected > t.submissions {
+                problems.push(format!(
+                    "tenant {}: admitted {} + rejected {} exceeds submissions {}",
+                    t.id, t.admitted, t.rejected, t.submissions
+                ));
+            }
+        }
+        // Every submission and every slice is an event; admission decisions
+        // alone already account for at least the submission count.
+        if self.events < self.submissions {
+            problems.push(format!(
+                "events {} < submissions {}",
+                self.events, self.submissions
+            ));
+        }
+        problems
+    }
+}
+
 /// One tenant's lifetime accounting.
 #[derive(Debug, Clone, Serialize)]
 pub struct TenantReport {

@@ -22,6 +22,7 @@ use cloudy_measure::{
 use cloudy_netsim::build::{build, BuiltWorld, WorldConfig};
 use cloudy_netsim::rng::mix;
 use cloudy_netsim::{FaultProfile, Simulator};
+use cloudy_obs::Obs;
 use cloudy_probes::{speedchecker, Availability, Platform, Population};
 use cloudy_store::{StoreError, Writer, WriterOptions};
 use std::collections::BTreeMap;
@@ -53,6 +54,11 @@ pub struct ServeConfig {
     pub top_k: usize,
     /// Probe population sampling fraction for the service world.
     pub probe_fraction: f64,
+    /// Observability registry. Disabled by default; when enabled it
+    /// collects event/admission counters, queue-depth and virtual-vs-wall
+    /// slip gauges, and the executor/store metrics of every slice. Never
+    /// changes the store bytes or the report.
+    pub obs: Obs,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +72,7 @@ impl Default for ServeConfig {
             faults: FaultProfile::default_profile(),
             top_k: 10,
             probe_fraction: 0.02,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -145,6 +152,9 @@ pub struct Service {
     agg: LiveAggregates,
     horizon_ms: u64,
     events: u64,
+    /// Wall-clock epoch of the run (obs-sanctioned; `None` when metrics
+    /// are off), used only for the `serve.slip_ms` gauge.
+    wall_start: Option<std::time::Instant>,
 }
 
 /// The service's default world: the audit race check's representative
@@ -203,6 +213,7 @@ impl Service {
                 threads: cfg.threads,
                 route_cache: cfg.route_cache,
                 faults: cfg.faults,
+                obs: cfg.obs.clone(),
             });
             // First submission after one inter-arrival gap.
             let first = tenant.interarrival_ms(cfg.seed, 0);
@@ -211,9 +222,11 @@ impl Service {
             tenants.push(tenant);
         }
 
-        let writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())?;
+        let mut writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())?;
+        writer.set_obs(cfg.obs.clone());
         Ok(Service {
             horizon_ms: cfg.hours * 3_600_000,
+            wall_start: cfg.obs.now(),
             cfg,
             sim,
             pop,
@@ -256,6 +269,15 @@ impl Service {
             self.handle(ev)?;
         }
         self.clock.advance_to(t);
+        if self.cfg.obs.is_enabled() {
+            self.cfg.obs.gauge("serve.queue_depth", self.queue.len() as i64);
+            if let Some(start) = self.wall_start {
+                // How far virtual time has outrun the wall: the whole point
+                // of a virtual-time service is that this is large.
+                let wall_ms = start.elapsed().as_millis() as i64;
+                self.cfg.obs.gauge("serve.slip_ms", self.clock.now_ms() as i64 - wall_ms);
+            }
+        }
         Ok(processed)
     }
 
@@ -266,8 +288,14 @@ impl Service {
 
     fn handle(&mut self, ev: Event) -> Result<(), ServeError> {
         match ev.kind {
-            EventKind::Submit { submission, defers } => self.handle_submit(ev.tenant, submission, defers),
-            EventKind::RunSlice { campaign } => self.run_slice(campaign),
+            EventKind::Submit { submission, defers } => {
+                self.cfg.obs.inc("serve.events.submit");
+                self.handle_submit(ev.tenant, submission, defers)
+            }
+            EventKind::RunSlice { campaign } => {
+                self.cfg.obs.inc("serve.events.slice");
+                self.run_slice(campaign)
+            }
         }
     }
 
@@ -308,6 +336,17 @@ impl Service {
                 Some(wait) => Admission::Deferred { until_ms: now + wait.max(1) },
             }
         };
+
+        if self.cfg.obs.is_enabled() {
+            let outcome = match &admission {
+                Admission::Admitted => "admitted",
+                Admission::Deferred { .. } => "deferred",
+                Admission::Rejected(_) => "rejected",
+            };
+            self.cfg
+                .obs
+                .inc(&format!("serve.admission.{}.{}", tenant.priority.as_str(), outcome));
+        }
 
         match admission {
             Admission::Rejected(_) => {

@@ -94,6 +94,71 @@ fn snapshots_are_monotonic_and_pausable() {
 }
 
 #[test]
+fn metrics_never_perturb_report_or_store_and_reconcile() {
+    let (plain_report, plain_bytes) = run(12, 2, 2, true);
+
+    let obs = cloudy_obs::Obs::with_trace();
+    let cfg = ServeConfig {
+        tenants: 12,
+        hours: 2,
+        threads: 2,
+        route_cache: true,
+        obs: obs.clone(),
+        ..ServeConfig::default()
+    };
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, bytes) = svc.finish().expect("service finishes");
+    let report_json = serde_json::to_string(&report).expect("report serializes");
+    assert_eq!(plain_report, report_json, "metrics must not change the report");
+    assert_eq!(plain_bytes, bytes, "metrics must not change store bytes");
+    assert!(report.reconcile().is_empty(), "a genuine run reconciles");
+
+    // The snapshot agrees with the report's own accounting.
+    let snap = obs.snapshot().expect("metrics were enabled");
+    assert_eq!(
+        snap.counter("serve.events.submit") + snap.counter("serve.events.slice"),
+        report.events
+    );
+    let tier_total = |outcome: &str| {
+        ["gold", "silver", "bronze"]
+            .iter()
+            .map(|t| snap.counter(&format!("serve.admission.{t}.{outcome}")))
+            .sum::<u64>()
+    };
+    assert_eq!(tier_total("admitted"), report.admitted);
+    assert_eq!(tier_total("deferred"), report.deferred);
+    assert_eq!(tier_total("rejected"), report.rejected);
+    assert_eq!(snap.counter("campaign.tasks.executed"), report.tasks_executed);
+    assert_eq!(snap.counter("store.rows.ping") + snap.counter("store.rows.trace"), report.records);
+    assert!(snap.gauge("serve.queue_depth").is_some());
+    assert!(snap.gauge("serve.slip_ms").is_some());
+}
+
+#[test]
+fn reconcile_catches_drifted_totals() {
+    let cfg = ServeConfig { tenants: 8, hours: 1, ..ServeConfig::default() };
+    let mut svc = Service::new(cfg).expect("service builds");
+    svc.run().expect("service runs");
+    let (report, _) = svc.finish().expect("service finishes");
+    assert!(report.reconcile().is_empty());
+
+    let mut drifted = report.clone();
+    drifted.admitted += 1;
+    let problems = drifted.reconcile();
+    assert!(
+        problems.iter().any(|p| p.contains("admitted")),
+        "corrupted total must be reported: {problems:?}"
+    );
+
+    let mut tenant_drift = report.clone();
+    if let Some(t) = tenant_drift.per_tenant.first_mut() {
+        t.rejected = t.submissions + 1;
+    }
+    assert!(!tenant_drift.reconcile().is_empty(), "per-tenant overcount must be reported");
+}
+
+#[test]
 fn zero_fault_profile_disables_offline_skips() {
     let cfg = ServeConfig {
         tenants: 6,

@@ -22,7 +22,12 @@ use crate::writer::{END_MAGIC, MAGIC};
 use cloudy_cloud::Provider;
 use cloudy_geo::CountryCode;
 use cloudy_measure::{Dataset, PingRecord, TracerouteRecord};
+use cloudy_obs::{LocalShard, Obs};
 use cloudy_probes::Platform;
+
+/// One parallel scan worker's output: per-chunk mapped results (row count
+/// plus the mapped value, in shard order) and the worker's metric shard.
+type WorkerScan<T> = (Vec<Result<(u64, T), StoreError>>, LocalShard);
 
 /// Which chunks and rows a scan should visit. `None` fields match
 /// everything; chunk pruning is conservative (a chunk survives if its
@@ -106,6 +111,7 @@ pub struct Reader {
     data: Vec<u8>,
     platform: Platform,
     dir: Vec<ChunkMeta>,
+    obs: Obs,
 }
 
 impl Reader {
@@ -151,7 +157,25 @@ impl Reader {
         if dcur.remaining() != 0 {
             return Err("trailing bytes in directory".into());
         }
-        Ok(Reader { data, platform, dir })
+        Ok(Reader { data, platform, dir, obs: Obs::disabled() })
+    }
+
+    /// Attach an observability registry: every scan then exports
+    /// `store.scan.chunks_pruned` / `store.scan.chunks_decoded` /
+    /// `store.scan.rows_matched` counters and a `span.store.scan` latency
+    /// histogram (one span per scan or per parallel worker). Metrics never
+    /// change what a scan returns.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Fold one finished scan's pruning totals into the registry.
+    fn export_scan(&self, stats: &ScanStats) {
+        if self.obs.is_enabled() {
+            self.obs.add("store.scan.chunks_pruned", stats.chunks_pruned as u64);
+            self.obs.add("store.scan.chunks_decoded", stats.chunks_scanned as u64);
+            self.obs.add("store.scan.rows_matched", stats.rows_matched);
+        }
     }
 
     pub fn platform(&self) -> Platform {
@@ -225,6 +249,7 @@ impl Reader {
         filter: &ScanFilter,
         mut f: impl FnMut(&ChunkRows),
     ) -> Result<ScanStats, StoreError> {
+        let span = self.obs.now();
         let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
         for m in &self.dir {
             if !filter.matches_chunk(m) {
@@ -239,6 +264,8 @@ impl Reader {
             };
             f(&rows);
         }
+        self.obs.record_span("store.scan", span, 0);
+        self.export_scan(&stats);
         Ok(stats)
     }
 
@@ -249,6 +276,7 @@ impl Reader {
         filter: &ScanFilter,
         mut f: impl FnMut(RttRow),
     ) -> Result<ScanStats, StoreError> {
+        let span = self.obs.now();
         let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
         for m in &self.dir {
             if !filter.matches_chunk(m) {
@@ -274,6 +302,8 @@ impl Reader {
                 }
             }
         }
+        self.obs.record_span("store.scan", span, 0);
+        self.export_scan(&stats);
         Ok(stats)
     }
 
@@ -304,6 +334,7 @@ impl Reader {
 
         let workers = effective_workers(threads, survivors.len());
         if workers <= 1 {
+            let span = self.obs.now();
             let mut out = Vec::with_capacity(survivors.len());
             for m in &survivors {
                 let rows = self.decode_chunk(m)?;
@@ -313,21 +344,28 @@ impl Reader {
                 };
                 out.push(map(m, rows));
             }
+            self.obs.record_span("store.scan", span, 0);
+            self.export_scan(&stats);
             return Ok((out, stats));
         }
 
         let per = survivors.len().div_ceil(workers).max(1);
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
         // Each shard yields chunk results in order; shards concatenate in
-        // order, so the merged output is directory-ordered.
-        let shard_results: Vec<Vec<Result<(u64, T), StoreError>>> =
+        // order, so the merged output is directory-ordered. Each worker
+        // times its whole shard into a thread-local obs shard, merged back
+        // below in worker-index order so snapshots stay deterministic.
+        let shard_results: Vec<WorkerScan<T>> =
             crossbeam::thread::scope(|s| {
                 let handles: Vec<_> = shards
                     .iter()
-                    .map(|shard| {
+                    .enumerate()
+                    .map(|(w, shard)| {
                         let map = &map;
+                        let mut obs_shard = self.obs.local();
                         s.spawn(move |_| {
-                            shard
+                            let span = obs_shard.now();
+                            let mapped = shard
                                 .iter()
                                 .map(|m| {
                                     self.decode_chunk(m).map(|rows| {
@@ -338,7 +376,11 @@ impl Reader {
                                         (n, map(m, rows))
                                     })
                                 })
-                                .collect()
+                                .collect();
+                            // The worker index is bounded by the thread count; the tid is a
+                            // trace label, not a wire field.
+                            obs_shard.record_span("store.scan", span, w as u32 + 1); // audit:allow(as-truncate)
+                            (mapped, obs_shard)
                         })
                     })
                     .collect();
@@ -347,11 +389,23 @@ impl Reader {
             .expect("crossbeam scope"); // audit:allow(expect)
 
         let mut out = Vec::with_capacity(survivors.len());
-        for r in shard_results.into_iter().flatten() {
-            let (rows, mapped) = r?;
-            stats.rows_matched += rows;
-            out.push(mapped);
+        let mut first_err = None;
+        for (results, obs_shard) in shard_results {
+            self.obs.merge(obs_shard);
+            for r in results {
+                match r {
+                    Ok((rows, mapped)) => {
+                        stats.rows_matched += rows;
+                        out.push(mapped);
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.export_scan(&stats);
         Ok((out, stats))
     }
 
@@ -380,41 +434,64 @@ impl Reader {
 
         let workers = effective_workers(threads, survivors.len());
         if workers <= 1 {
+            let span = self.obs.now();
             let mut out = Vec::with_capacity(row_cap(&survivors));
             for m in &survivors {
                 stats.rows_matched += self.scan_chunk_rtts(m, filter, &mut out)?;
             }
+            self.obs.record_span("store.scan", span, 0);
+            self.export_scan(&stats);
             return Ok((out, stats));
         }
 
         let per = survivors.len().div_ceil(workers).max(1);
         let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
-        let shard_results: Vec<Result<Vec<RttRow>, StoreError>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    s.spawn(move |_| {
-                        let mut rows = Vec::with_capacity(row_cap(shard));
-                        for m in *shard {
-                            self.scan_chunk_rtts(m, filter, &mut rows)?;
-                        }
-                        Ok(rows)
+        let shard_results: Vec<(Result<Vec<RttRow>, StoreError>, LocalShard)> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(w, shard)| {
+                        let mut obs_shard = self.obs.local();
+                        s.spawn(move |_| {
+                            let span = obs_shard.now();
+                            let mut rows = Vec::with_capacity(row_cap(shard));
+                            let mut res = Ok(());
+                            for m in *shard {
+                                if let Err(e) = self.scan_chunk_rtts(m, filter, &mut rows) {
+                                    res = Err(e);
+                                    break;
+                                }
+                            }
+                            // The worker index is bounded by the thread count; the tid is a
+                            // trace label, not a wire field.
+                            obs_shard.record_span("store.scan", span, w as u32 + 1); // audit:allow(as-truncate)
+                            (res.map(|()| rows), obs_shard)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect() // audit:allow(expect)
-        })
-        .expect("crossbeam scope"); // audit:allow(expect)
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect() // audit:allow(expect)
+            })
+            .expect("crossbeam scope"); // audit:allow(expect)
 
         let mut decoded = Vec::with_capacity(shard_results.len());
-        for r in shard_results {
-            decoded.push(r?);
+        let mut first_err = None;
+        for (r, obs_shard) in shard_results {
+            self.obs.merge(obs_shard);
+            match r {
+                Ok(rows) => decoded.push(rows),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let mut out = Vec::with_capacity(decoded.iter().map(Vec::len).sum());
         for mut shard in decoded {
             out.append(&mut shard);
         }
         stats.rows_matched = out.len() as u64;
+        self.export_scan(&stats);
         Ok((out, stats))
     }
 
@@ -508,6 +585,35 @@ mod tests {
             assert_eq!(par, seq);
             assert_eq!(stats, seq_stats);
         }
+    }
+
+    #[test]
+    fn obs_scan_counters_reconcile_with_stats() {
+        let bytes = store_bytes(3000, 64);
+        let mut r = Reader::from_bytes(bytes).unwrap();
+        let obs = Obs::enabled();
+        r.set_obs(obs.clone());
+        let filter =
+            ScanFilter { provider: Some(Provider::Google), ..Default::default() };
+        let mut plain = Reader::from_bytes(store_bytes(3000, 64)).unwrap();
+        plain.set_obs(Obs::disabled());
+        let (want_rows, want_stats) = plain.par_collect_rtts(&filter, 4).unwrap();
+        let (rows, stats) = r.par_collect_rtts(&filter, 4).unwrap();
+        assert_eq!(rows, want_rows, "metrics must not change scan results");
+        assert_eq!(stats, want_stats);
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.counter("store.scan.chunks_pruned"), stats.chunks_pruned as u64);
+        assert_eq!(snap.counter("store.scan.chunks_decoded"), stats.chunks_scanned as u64);
+        assert_eq!(snap.counter("store.scan.rows_matched"), stats.rows_matched);
+        // One span per parallel worker (or one inline span).
+        assert!(snap.hist("span.store.scan").map(|h| h.count).unwrap_or(0) >= 1);
+        // A second, serial scan accumulates on top.
+        let seq_stats = r.for_each_rtt(&filter, |_| {}).unwrap();
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(
+            snap.counter("store.scan.rows_matched"),
+            stats.rows_matched + seq_stats.rows_matched
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::codec::put_varint;
 use crate::schema::{platform_tag, provider_tag};
 use cloudy_cloud::Provider;
 use cloudy_measure::{Dataset, MeasureError, PingRecord, RecordSink, TracerouteRecord};
+use cloudy_obs::Obs;
 use cloudy_probes::Platform;
 use std::io::Write;
 
@@ -71,6 +72,7 @@ pub struct Writer<W: Write> {
     directory: Vec<ChunkMeta>,
     ping_rows: u64,
     trace_rows: u64,
+    obs: Obs,
 }
 
 impl<W: Write> Writer<W> {
@@ -92,7 +94,16 @@ impl<W: Write> Writer<W> {
             directory: Vec::new(),
             ping_rows: 0,
             trace_rows: 0,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attach an observability registry: chunk flushes record
+    /// `store.chunks.flushed` / `store.bytes_written` counters and a
+    /// `span.store.flush` histogram; [`Writer::finish`] adds the row
+    /// totals. Metrics never touch the byte stream.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     pub fn platform(&self) -> Platform {
@@ -120,10 +131,15 @@ impl<W: Write> Writer<W> {
     }
 
     fn emit(&mut self, body: Vec<u8>, footer: crate::chunk::ChunkFooter) -> Result<(), StoreError> {
+        let span = self.obs.now();
         let meta = ChunkMeta { footer, offset: self.offset, len: body.len() as u64 };
+        let chunk_len = meta.len;
         self.out.write_all(&body).map_err(|e| StoreError::io(format!("write chunk: {e}")))?;
         self.offset += body.len() as u64;
         self.directory.push(meta);
+        self.obs.inc("store.chunks.flushed");
+        self.obs.add("store.bytes_written", chunk_len);
+        self.obs.record_span("store.flush", span, 0);
         Ok(())
     }
 
@@ -198,6 +214,13 @@ impl<W: Write> Writer<W> {
             trace_rows: self.trace_rows,
             bytes,
         };
+        if self.obs.is_enabled() {
+            self.obs.add("store.rows.ping", summary.ping_rows);
+            self.obs.add("store.rows.trace", summary.trace_rows);
+            // Header + directory + trailer bytes, so the counter's final
+            // value equals the file size exactly.
+            self.obs.add("store.bytes_written", bytes - dir_offset + (MAGIC.len() + 1) as u64);
+        }
         Ok((self.out, summary))
     }
 }
@@ -268,5 +291,38 @@ mod tests {
         let (_, summary) = w.finish().unwrap();
         assert_eq!(summary.ping_rows, 10_000);
         assert!(summary.chunks >= 10_000 / 64);
+    }
+
+    #[test]
+    fn obs_counters_reconcile_with_summary_and_bytes() {
+        let plain = {
+            let mut w =
+                Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 32 })
+                    .unwrap();
+            for i in 0..200u64 {
+                w.push_ping(crate::testutil::sample_ping(i, 9.0)).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let obs = Obs::enabled();
+        let observed = {
+            let mut w =
+                Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 32 })
+                    .unwrap();
+            w.set_obs(obs.clone());
+            for i in 0..200u64 {
+                w.push_ping(crate::testutil::sample_ping(i, 9.0)).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        assert_eq!(plain.0, observed.0, "metrics must not change store bytes");
+        let snap = obs.snapshot().unwrap_or_default();
+        assert_eq!(snap.counter("store.rows.ping"), 200);
+        assert_eq!(snap.counter("store.chunks.flushed"), observed.1.chunks as u64);
+        assert_eq!(snap.counter("store.bytes_written"), observed.1.bytes);
+        assert_eq!(
+            snap.hist("span.store.flush").map(|h| h.count),
+            Some(observed.1.chunks as u64)
+        );
     }
 }

@@ -29,6 +29,7 @@
 
 use cloudy::core::experiments::{self, ExperimentId};
 use cloudy::core::{run_study_into, Study, StudyConfig};
+use cloudy::obs::Obs;
 use cloudy::store::{Reader, ScanFilter, Writer, WriterOptions};
 use std::process::ExitCode;
 
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         "all" => all(&args[1..]),
         "store" => store(&args[1..]),
         "serve" => serve(&args[1..]),
+        "obs" => obs_summary(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
             ExitCode::SUCCESS
@@ -92,7 +94,11 @@ fn usage() {
          \x20                              run the virtual-time measurement service:\n\
          \x20                              N simulated tenants submit campaigns against\n\
          \x20                              token-bucket quotas for H virtual hours;\n\
-         \x20                              prints the final service report\n\n\
+         \x20                              prints the final service report (exits non-zero\n\
+         \x20                              if the report fails to reconcile)\n\
+         \x20 obs [opts] [--format text|json] [--trace-out FILE]\n\
+         \x20                              run one instrumented campaign + store\n\
+         \x20                              round-trip and print the metrics snapshot\n\n\
          options:\n\
          \x20 --seed N            study seed (default 42)\n\
          \x20 --days N            campaign length in simulated days (default 10)\n\
@@ -101,7 +107,12 @@ fn usage() {
          \x20 --threads N         worker threads (default 4)\n\
          \x20 --faults P          fault-injection profile: none | default (default none);\n\
          \x20                     `default` injects loss, timeouts, rate limits and\n\
-         \x20                     probe-offline windows, with bounded retry/backoff\n\n\
+         \x20                     probe-offline windows, with bounded retry/backoff\n\
+         \x20 --metrics FMT       collect metrics and print the snapshot (text | json)\n\
+         \x20                     on stderr; accepted by campaign, serve, store write\n\
+         \x20                     and store query; never changes any output bytes\n\
+         \x20 --trace-out FILE    also write a Chrome trace_event JSON file\n\
+         \x20                     (open in a trace viewer, e.g. chrome://tracing)\n\n\
          audit options:\n\
          \x20 --static            skip the campaign race check\n\
          \x20 --json              machine-readable findings\n\
@@ -422,12 +433,17 @@ fn campaign(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
+    let metrics = match parse_metrics_opts(&positional) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
     let mut builder = cloudy::measure::CampaignConfig::builder()
         .plan(cfg.campaign_config().plan)
         .artifacts(cfg.artifacts)
         .threads(cfg.threads)
         .route_cache(route_cache)
-        .faults(cfg.faults);
+        .faults(cfg.faults)
+        .obs(metrics.obs.clone());
     if pings_only {
         builder = builder.pings_only();
     }
@@ -479,6 +495,9 @@ fn campaign(args: &[String]) -> ExitCode {
             return fail(&format!("write {path}: {e}"));
         }
         eprintln!("wrote {path}");
+    }
+    if let Err(e) = emit_metrics(&metrics, false) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }
@@ -681,17 +700,22 @@ fn store_write(args: &[String]) -> ExitCode {
         },
         Err(e) => return fail(&e),
     };
+    let metrics = match parse_metrics_opts(&positional) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         return fail(&format!("cannot create {out_dir}: {e}"));
     }
     let open = |name: &str, platform: cloudy::probes::Platform| {
         let path = format!("{out_dir}/{name}");
         let file = std::fs::File::create(&path).map_err(|e| format!("create {path}: {e}"))?;
-        let w = Writer::new(
+        let mut w = Writer::new(
             std::io::BufWriter::new(file),
             platform,
             WriterOptions { chunk_rows },
         )?;
+        w.set_obs(metrics.obs.clone());
         Ok::<_, String>((path, w))
     };
     let (sc_path, mut sc) = match open("speedchecker.cst", cloudy::probes::Platform::Speedchecker) {
@@ -723,6 +747,9 @@ fn store_write(args: &[String]) -> ExitCode {
             "wrote {path}: {} chunks, {} pings + {} traceroutes, {} bytes",
             summary.chunks, summary.ping_rows, summary.trace_rows, summary.bytes
         );
+    }
+    if let Err(e) = emit_metrics(&metrics, false) {
+        return fail(&e);
     }
     ExitCode::SUCCESS
 }
@@ -794,12 +821,14 @@ fn store_inspect(args: &[String]) -> ExitCode {
 }
 
 fn store_query(args: &[String]) -> ExitCode {
-    let (reader, opts) = match load_store(args) {
+    let (mut reader, opts) = match load_store(args) {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
     let mut filter = ScanFilter::default();
     let mut threads = 4usize;
+    let mut metrics_format: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = opts.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -836,12 +865,30 @@ fn store_query(args: &[String]) -> ExitCode {
             "--threads" => take("--threads").and_then(|v| {
                 v.parse().map(|n| threads = n).map_err(|e| format!("--threads: {e}"))
             }),
+            "--metrics" => take("--metrics").and_then(|v| match v.as_str() {
+                "text" | "json" => {
+                    metrics_format = Some(v);
+                    Ok(())
+                }
+                other => Err(format!("--metrics: want text|json, got {other:?}")),
+            }),
+            "--trace-out" => take("--trace-out").map(|v| trace_out = Some(v)),
             other => Err(format!("unknown query option {other:?}")),
         };
         if let Err(e) = parsed {
             return fail(&e);
         }
     }
+    let metrics = MetricsOpts {
+        obs: match (&metrics_format, &trace_out) {
+            (None, None) => Obs::disabled(),
+            (_, Some(_)) => Obs::with_trace(),
+            _ => Obs::enabled(),
+        },
+        format: metrics_format,
+        trace_out,
+    };
+    reader.set_obs(metrics.obs.clone());
     let (rows, stats) = match reader.par_collect_rtts(&filter, threads) {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
@@ -850,6 +897,9 @@ fn store_query(args: &[String]) -> ExitCode {
         "rows matched: {}  (chunks: {} scanned, {} pruned of {})",
         stats.rows_matched, stats.chunks_scanned, stats.chunks_pruned, stats.chunks_total
     );
+    if let Err(e) = emit_metrics(&metrics, false) {
+        return fail(&e);
+    }
     if rows.is_empty() {
         return ExitCode::SUCCESS;
     }
@@ -879,6 +929,8 @@ fn serve(args: &[String]) -> ExitCode {
     let mut cfg = ServeConfig { tenants: 50, ..ServeConfig::default() };
     let mut json = false;
     let mut store_out: Option<String> = None;
+    let mut metrics_format: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -914,6 +966,14 @@ fn serve(args: &[String]) -> ExitCode {
                 Ok(())
             }
             "--store" => take("--store").map(|v| store_out = Some(v)),
+            "--metrics" => take("--metrics").and_then(|v| match v.as_str() {
+                "text" | "json" => {
+                    metrics_format = Some(v);
+                    Ok(())
+                }
+                other => Err(format!("--metrics: want text|json, got {other:?}")),
+            }),
+            "--trace-out" => take("--trace-out").map(|v| trace_out = Some(v)),
             other => Err(format!("unknown serve option {other:?}")),
         };
         if let Err(e) = parsed {
@@ -926,6 +986,16 @@ fn serve(args: &[String]) -> ExitCode {
     if cfg.hours == 0 {
         return fail("--hours must be >= 1");
     }
+    let metrics = MetricsOpts {
+        obs: match (&metrics_format, &trace_out) {
+            (None, None) => Obs::disabled(),
+            (_, Some(_)) => Obs::with_trace(),
+            _ => Obs::enabled(),
+        },
+        format: metrics_format,
+        trace_out,
+    };
+    cfg.obs = metrics.obs.clone();
     eprintln!(
         "serving {} tenants for {} virtual hours (seed {}, {} threads, route cache {})...",
         cfg.tenants,
@@ -935,7 +1005,9 @@ fn serve(args: &[String]) -> ExitCode {
         if cfg.route_cache { "on" } else { "off" }
     );
     // Wall clock is reported on stderr only, never in the report itself.
-    let started = std::time::Instant::now(); // audit:allow(nondet-time)
+    // An always-on obs handle is the sanctioned way to read the clock.
+    let wall_clock = Obs::enabled();
+    let started = wall_clock.now();
     let mut svc = match Service::new(cfg) {
         Ok(s) => s,
         Err(e) => return fail(&e.to_string()),
@@ -947,7 +1019,7 @@ fn serve(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
     };
-    let wall = started.elapsed().as_secs_f64();
+    let wall = started.map(|s| s.elapsed().as_secs_f64()).unwrap_or(0.0);
     if json {
         match serde_json::to_string(&report) {
             Ok(s) => println!("{s}"),
@@ -1007,7 +1079,144 @@ fn serve(args: &[String]) -> ExitCode {
         }
         eprintln!("wrote {path} ({} bytes)", bytes.len());
     }
+    if let Err(e) = emit_metrics(&metrics, false) {
+        return fail(&e);
+    }
+    // The report must agree with its own per-tenant breakdown; a service
+    // whose totals drifted must not exit 0.
+    let problems = report.reconcile();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("reconcile: {p}");
+        }
+        return fail("service report does not reconcile with its per-tenant tables");
+    }
     ExitCode::SUCCESS
+}
+
+/// Parsed `--metrics FORMAT` / `--trace-out FILE` options plus the obs
+/// handle they imply: disabled when neither is present, trace-collecting
+/// when a trace file is requested.
+struct MetricsOpts {
+    obs: Obs,
+    format: Option<String>,
+    trace_out: Option<String>,
+}
+
+fn parse_metrics_opts(positional: &[String]) -> Result<MetricsOpts, String> {
+    let format = out_value(positional, "--metrics")?;
+    if let Some(f) = &format {
+        if f != "text" && f != "json" {
+            return Err(format!("--metrics: want text|json, got {f:?}"));
+        }
+    }
+    let trace_out = out_value(positional, "--trace-out")?;
+    let obs = match (&format, &trace_out) {
+        (None, None) => Obs::disabled(),
+        (_, Some(_)) => Obs::with_trace(),
+        _ => Obs::enabled(),
+    };
+    Ok(MetricsOpts { obs, format, trace_out })
+}
+
+/// Print the snapshot and write the trace file. Metrics go to stderr so
+/// they never mix into a command's primary stdout output (JSONL exports,
+/// `--json` reports, ...); pass `to_stdout` when the metrics ARE the
+/// primary output (`cloudy-repro obs`).
+fn emit_metrics(m: &MetricsOpts, to_stdout: bool) -> Result<(), String> {
+    if let (Some(format), Some(snap)) = (&m.format, m.obs.snapshot()) {
+        let rendered = if format == "json" { snap.render_json() } else { snap.render_text() };
+        if to_stdout {
+            println!("{rendered}");
+        } else {
+            eprintln!("{rendered}");
+        }
+    }
+    if let Some(path) = &m.trace_out {
+        let json = m.obs.trace_json().unwrap_or_default();
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `cloudy-repro obs` — run one instrumented campaign end to end (executor
+/// → store write → store scan) and print the merged metrics snapshot.
+/// The snapshot is the primary output here, so it goes to stdout.
+fn obs_summary(args: &[String]) -> ExitCode {
+    let (cfg, positional) = match parse_config(args) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let mut metrics = match parse_metrics_opts(&positional) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    // `obs` also takes `--format` (metrics are its primary output), and
+    // collects even when no format flag is given at all.
+    if metrics.format.is_none() {
+        match out_value(&positional, "--format") {
+            Ok(v @ (Some(_) | None)) => match v.as_deref() {
+                Some("text") | Some("json") | None => metrics.format = v,
+                Some(other) => return fail(&format!("--format: want text|json, got {other:?}")),
+            },
+            Err(e) => return fail(&e),
+        }
+    }
+    if !metrics.obs.is_enabled() {
+        metrics.obs = if metrics.trace_out.is_some() { Obs::with_trace() } else { Obs::enabled() };
+    }
+    if metrics.format.is_none() {
+        metrics.format = Some("text".to_string());
+    }
+    let campaign_cfg = match cloudy::measure::CampaignConfig::builder()
+        .plan(cfg.campaign_config().plan)
+        .artifacts(cfg.artifacts)
+        .threads(cfg.threads)
+        .faults(cfg.faults)
+        .obs(metrics.obs.clone())
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let world = cloudy::netsim::build::build(&cloudy::netsim::build::WorldConfig {
+        seed: cfg.seed,
+        isps_per_country: cfg.isps_per_country,
+        countries: None,
+    });
+    let pop = cloudy::probes::speedchecker::population(&world, cfg.sc_fraction, cfg.seed ^ 0x5C);
+    let sim = cloudy::netsim::Simulator::new(world.net);
+    eprintln!(
+        "instrumented campaign + store round-trip (seed {}, {} days, {} threads)...",
+        cfg.seed, cfg.duration_days, cfg.threads
+    );
+    let mut writer =
+        match Writer::new(Vec::new(), cloudy::probes::Platform::Speedchecker, WriterOptions::default())
+        {
+            Ok(w) => w,
+            Err(e) => return fail(&e.to_string()),
+        };
+    writer.set_obs(metrics.obs.clone());
+    if let Err(e) = cloudy::measure::run_campaign_into(&campaign_cfg, &sim, &pop, &mut writer) {
+        return fail(&e.to_string());
+    }
+    let bytes = match writer.finish() {
+        Ok((b, _)) => b,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut reader = match Reader::from_bytes(bytes) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    reader.set_obs(metrics.obs.clone());
+    if let Err(e) = reader.par_collect_rtts(&ScanFilter::default(), cfg.threads) {
+        return fail(&e.to_string());
+    }
+    match emit_metrics(&metrics, true) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
 }
 
 fn out_value(positional: &[String], key: &str) -> Result<Option<String>, String> {

@@ -13,6 +13,7 @@ pub use cloudy_geo as geo;
 pub use cloudy_lastmile as lastmile;
 pub use cloudy_measure as measure;
 pub use cloudy_netsim as netsim;
+pub use cloudy_obs as obs;
 pub use cloudy_probes as probes;
 pub use cloudy_serve as serve;
 pub use cloudy_store as store;

@@ -30,6 +30,7 @@ fn faulted_campaign() -> Dataset {
         threads: 4,
         route_cache: true,
         faults: FaultProfile::default_profile(),
+        ..CampaignConfig::default()
     };
     run_campaign(&cfg, &sim, &pop)
 }

@@ -25,6 +25,7 @@ fn campaign_cfg(seed: u64, threads: usize) -> CampaignConfig {
         threads,
         route_cache: true,
         faults: FaultProfile::none(),
+        ..CampaignConfig::default()
     }
 }
 

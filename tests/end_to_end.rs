@@ -27,6 +27,7 @@ fn small_campaign() -> (Simulator, Dataset) {
         threads: 3,
         route_cache: true,
         faults: cloudy::netsim::FaultProfile::none(),
+        ..CampaignConfig::default()
     };
     let ds = run_campaign(&cfg, &sim, &pop);
     (sim, ds)

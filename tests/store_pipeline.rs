@@ -32,6 +32,7 @@ fn campaign_with_store(chunk_rows: usize) -> (Dataset, Reader) {
         threads: 4,
         route_cache: true,
         faults: cloudy::netsim::FaultProfile::none(),
+        ..CampaignConfig::default()
     };
     let mut ds = Dataset::new(Platform::Speedchecker);
     let mut writer = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows })
