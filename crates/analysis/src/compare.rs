@@ -34,15 +34,15 @@ pub fn fraction_a_faster(a: &Cdf, b: &Cdf, n: usize) -> f64 {
 
 /// §4.2's comparison straight from two store files (e.g. the Speedchecker
 /// and RIPE Atlas campaign stores): build both platforms' CDFs with pruned
-/// projection scans and return the quantile-wise differences `a_q − b_q`.
+/// pushdown queries and return the quantile-wise differences `a_q − b_q`.
 pub fn quantile_differences_stores(
     a: &cloudy_store::Reader,
     b: &cloudy_store::Reader,
-    filter: &cloudy_store::ScanFilter,
+    query: &cloudy_store::Query,
     n: usize,
 ) -> Result<Vec<f64>, crate::error::AnalysisError> {
-    let ca = Cdf::from_store(a, filter)?;
-    let cb = Cdf::from_store(b, filter)?;
+    let ca = Cdf::from_store(a, query)?;
+    let cb = Cdf::from_store(b, query)?;
     if ca.is_empty() || cb.is_empty() {
         return Err(crate::error::AnalysisError::data("empty distribution in store comparison"));
     }
@@ -53,10 +53,10 @@ pub fn quantile_differences_stores(
 pub fn fraction_a_faster_stores(
     a: &cloudy_store::Reader,
     b: &cloudy_store::Reader,
-    filter: &cloudy_store::ScanFilter,
+    query: &cloudy_store::Query,
     n: usize,
 ) -> Result<f64, crate::error::AnalysisError> {
-    let diffs = quantile_differences_stores(a, b, filter, n)?;
+    let diffs = quantile_differences_stores(a, b, query, n)?;
     Ok(diffs.iter().filter(|d| **d < 0.0).count() as f64 / diffs.len() as f64)
 }
 

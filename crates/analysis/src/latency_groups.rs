@@ -50,22 +50,29 @@ impl LatencyBand {
     ];
 }
 
-/// Fig. 3's country bands straight from a store scan: per-country median
-/// RTT (same sorted-rank median as the in-memory path) and its
-/// [`LatencyBand`], in one pruned pass over the RTT projection. Keys come
-/// back in country order (BTreeMap).
+/// Fig. 3's country bands straight from a store query: per-country median
+/// RTT and its [`LatencyBand`], pushed into the scan as a P² group-by so
+/// memory stays O(countries) — a 100M-row store never materializes a
+/// per-country value vector. The medians are P² *estimates* (exact below
+/// five samples per country); band edges are 30+ ms apart, far beyond P²
+/// error on latency distributions. Keys come back in country order
+/// (BTreeMap).
 pub fn country_bands_from_store(
     reader: &cloudy_store::Reader,
-    filter: &cloudy_store::ScanFilter,
+    query: &cloudy_store::Query,
 ) -> Result<std::collections::BTreeMap<cloudy_geo::CountryCode, (f64, LatencyBand)>, crate::error::AnalysisError> {
-    let mut groups: cloudy_store::GroupedRtts<cloudy_geo::CountryCode> = Default::default();
-    reader.for_each_rtt(filter, |row| groups.push(row.country, row.rtt_ms))?;
+    let q = query
+        .clone()
+        .group_by(cloudy_store::GroupKey::Country)
+        .aggregate(cloudy_store::Agg::P2Quantiles);
+    let (groups, _) = q.grouped(reader)?;
     let mut out = std::collections::BTreeMap::new();
-    for (country, values) in groups.into_inner() {
-        if values.iter().any(|v| v.is_nan()) {
+    for (id, row) in groups {
+        let cloudy_store::GroupId::Country(country) = id else { continue };
+        let Some(median) = row.p50 else { continue };
+        if median.is_nan() {
             return Err(crate::error::AnalysisError::data("NaN RTT in store scan"));
         }
-        let median = crate::stats::Cdf::new(values).median();
         out.insert(country, (median, LatencyBand::of(median)));
     }
     Ok(out)

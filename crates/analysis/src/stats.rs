@@ -117,18 +117,18 @@ impl BoxStats {
 }
 
 impl Cdf {
-    /// Build a CDF straight from a store scan: only the RTT projection of
-    /// chunks surviving footer pruning is decoded, never full records.
+    /// Build a CDF straight from a store query: the pushdown scan decodes
+    /// only the RTT column (plus whatever columns the query's predicates
+    /// name) of chunks surviving footer and dictionary pruning.
     ///
     /// Sorting the scanned multiset is the same computation `Cdf::new`
     /// performs on in-memory records, so store-backed quantiles equal the
     /// in-memory path's exactly for the same underlying records.
     pub fn from_store(
         reader: &cloudy_store::Reader,
-        filter: &cloudy_store::ScanFilter,
+        query: &cloudy_store::Query,
     ) -> Result<Cdf, crate::error::AnalysisError> {
-        let mut values = Vec::new();
-        reader.for_each_rtt(filter, |row| values.push(row.rtt_ms))?;
+        let (values, _) = query.values(reader)?;
         if values.iter().any(|v| v.is_nan()) {
             // A store file is external input; reject rather than let
             // `Cdf::new` panic on a poisoned sample.
@@ -138,38 +138,46 @@ impl Cdf {
     }
 }
 
-/// Per-(country, region) median RTTs from a store scan — the group-by the
-/// country/region figures consume, computed in one pass over the RTT
-/// projection. Keys iterate in `Ord` order (BTreeMap), so output is
-/// deterministic; medians use the same sorted-rank code as [`Cdf`], so they
-/// match the in-memory path exactly.
+/// Per-(country, region) median RTTs from a store query — the group-by the
+/// country/region figures consume, pushed into the scan
+/// ([`Agg::ExactQuantiles`](cloudy_store::Agg) keeps each group's values).
+/// Keys iterate in `Ord` order (BTreeMap), so output is deterministic;
+/// medians use the same sorted-rank code as [`Cdf`], so they match the
+/// in-memory path exactly.
 pub fn country_region_medians_from_store(
     reader: &cloudy_store::Reader,
-    filter: &cloudy_store::ScanFilter,
+    query: &cloudy_store::Query,
 ) -> Result<std::collections::BTreeMap<(cloudy_geo::CountryCode, cloudy_cloud::RegionId), f64>, crate::error::AnalysisError>
 {
-    let mut groups: cloudy_store::GroupedRtts<(cloudy_geo::CountryCode, cloudy_cloud::RegionId)> =
-        Default::default();
-    reader.for_each_rtt(filter, |row| groups.push((row.country, row.region), row.rtt_ms))?;
+    let q = query
+        .clone()
+        .group_by(cloudy_store::GroupKey::CountryRegion)
+        .aggregate(cloudy_store::Agg::ExactQuantiles);
+    let (groups, _) = q.grouped(reader)?;
     let mut out = std::collections::BTreeMap::new();
-    for (key, values) in groups.into_inner() {
+    for (id, row) in groups {
+        let cloudy_store::GroupId::CountryRegion(country, region) = id else { continue };
+        let values = row.values.unwrap_or_default();
+        if values.is_empty() {
+            continue;
+        }
         if values.iter().any(|v| v.is_nan()) {
             return Err(crate::error::AnalysisError::data("NaN RTT in store scan"));
         }
-        out.insert(key, Cdf::new(values).median());
+        out.insert((country, region), Cdf::new(values).median());
     }
     Ok(out)
 }
 
-/// One-pass mean and coefficient of variation over a store scan, without
-/// keeping samples (Welford accumulator from `cloudy-store`).
+/// One-pass mean and coefficient of variation over a store query, without
+/// keeping samples (Welford accumulator pushed into the scan).
 pub fn moments_from_store(
     reader: &cloudy_store::Reader,
-    filter: &cloudy_store::ScanFilter,
+    query: &cloudy_store::Query,
 ) -> Result<cloudy_store::Moments, crate::error::AnalysisError> {
-    let mut m = cloudy_store::Moments::default();
-    reader.for_each_rtt(filter, |row| m.observe(row.rtt_ms))?;
-    Ok(m)
+    let q = query.clone().aggregate(cloudy_store::Agg::Moments);
+    let (row, _) = q.summary(reader)?;
+    Ok(row.moments.unwrap_or_default())
 }
 
 /// Sample median (convenience over [`Cdf`]).

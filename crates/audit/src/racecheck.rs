@@ -331,7 +331,172 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
             ),
         );
     }
+    // Query-path legs: the pushdown engine (dictionary pruning, projection
+    // skips, in-scan aggregation) must reproduce the legacy full-decode
+    // scan byte for byte, at one thread and N.
+    query_legs(&mut report, &serial_store, cfg.threads);
     report
+}
+
+/// Render the RTT projection losslessly (f64 as raw bits) so byte equality
+/// means bit equality.
+fn render_rtt_rows(rows: &[cloudy_store::RttRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{:?}|{:?}|{}|{}|{}|{:016x}\n",
+            r.kind,
+            r.provider,
+            r.country.as_str(),
+            r.region.0,
+            r.hour,
+            r.rtt_ms.to_bits()
+        ));
+    }
+    out
+}
+
+/// Render a grouped result losslessly (all f64 aggregates as raw bits).
+fn render_groups(table: &cloudy_store::GroupTable) -> String {
+    let mut out = String::new();
+    for (id, row) in table {
+        let mean = row.moments.map(|m| m.mean().to_bits()).unwrap_or(0);
+        let p50 = row.p50.map(f64::to_bits).unwrap_or(0);
+        let p95 = row.p95.map(f64::to_bits).unwrap_or(0);
+        out.push_str(&format!(
+            "{id:?}|{}|{mean:016x}|{p50:016x}|{p95:016x}\n",
+            row.count
+        ));
+    }
+    out
+}
+
+/// The query-engine legs of the matrix, run against the campaign's store
+/// bytes: (1) `Query::rows` at 1 and N threads must equal a reference
+/// built by decoding *full records* and projecting by hand — the
+/// decode-then-filter path the pushdown engine replaced; (2) a
+/// `Query::grouped` country×provider aggregation must be bit-identical at
+/// 1 and N threads (P² is order-sensitive, so this proves the parallel
+/// merge preserves the serial observation sequence).
+fn query_legs(report: &mut AuditReport, store_bytes: &[u8], threads: usize) {
+    use cloudy_store::{Agg, ChunkRows, GroupKey, Query, Reader, RecordKind, RttRow};
+
+    report.checks_run += 1;
+    let reader = match Reader::from_bytes(store_bytes.to_vec()) {
+        Ok(r) => r,
+        Err(e) => {
+            report.push(
+                Severity::Error,
+                "race",
+                format!("query leg could not parse the campaign store: {e}"),
+            );
+            return;
+        }
+    };
+    // Legacy reference: decode whole records, project and filter by hand.
+    let mut legacy: Vec<RttRow> = Vec::new();
+    let full_decode = reader.for_each(&cloudy_store::ScanFilter::default(), |rows| match rows {
+        ChunkRows::Pings(pings) => {
+            for p in pings {
+                if let Some(rtt_ms) = p.rtt_ms() {
+                    legacy.push(RttRow {
+                        kind: RecordKind::Ping,
+                        provider: p.provider,
+                        country: p.country,
+                        region: p.region,
+                        hour: p.hour,
+                        rtt_ms,
+                    });
+                }
+            }
+        }
+        ChunkRows::Traces(traces) => {
+            for t in traces {
+                // The RTT projection only carries delivered traces whose
+                // last hop responded.
+                if !t.outcome.is_ok() {
+                    continue;
+                }
+                if let Some(rtt_ms) = t.end_to_end_ms() {
+                    legacy.push(RttRow {
+                        kind: RecordKind::Trace,
+                        provider: t.provider,
+                        country: t.country,
+                        region: t.region,
+                        hour: t.hour,
+                        rtt_ms,
+                    });
+                }
+            }
+        }
+    });
+    if let Err(e) = full_decode {
+        report.push(Severity::Error, "race", format!("query leg reference scan failed: {e}"));
+        return;
+    }
+    let legacy_rendered = render_rtt_rows(&legacy);
+    for t in [1usize, threads] {
+        report.checks_run += 1;
+        match Query::rtts().threads(t).rows(&reader) {
+            Ok((rows, _)) => {
+                let rendered = render_rtt_rows(&rows);
+                if rendered != legacy_rendered {
+                    report.push(
+                        Severity::Error,
+                        "race",
+                        format!(
+                            "{t}-thread pushdown query diverges from the legacy full-decode \
+                             reference (fnv1a {:016x} vs {:016x}, {} vs {} rows) — the query \
+                             engine changed scan results",
+                            fnv1a(rendered.as_bytes()),
+                            fnv1a(legacy_rendered.as_bytes()),
+                            rows.len(),
+                            legacy.len(),
+                        ),
+                    );
+                }
+            }
+            Err(e) => {
+                report.push(Severity::Error, "race", format!("{t}-thread query leg failed: {e}"));
+            }
+        }
+    }
+    // Grouped leg: in-scan aggregation must be thread-count-invariant.
+    let grouped_at = |t: usize| {
+        Query::rtts()
+            .group_by(GroupKey::CountryProvider)
+            .aggregate(Agg::Moments | Agg::P2Quantiles)
+            .threads(t)
+            .grouped(&reader)
+    };
+    report.checks_run += 1;
+    match (grouped_at(1), grouped_at(threads)) {
+        (Ok((serial, _)), Ok((parallel, _))) => {
+            let (rs, rp) = (render_groups(&serial), render_groups(&parallel));
+            if rs.is_empty() {
+                report.push(
+                    Severity::Error,
+                    "race",
+                    "grouped query leg aggregated no groups — nothing race-checked".into(),
+                );
+            }
+            if rs != rp {
+                report.push(
+                    Severity::Error,
+                    "race",
+                    format!(
+                        "grouped pushdown query diverges across thread counts (fnv1a {:016x} \
+                         vs {:016x}) — the parallel merge reordered observations",
+                        fnv1a(rs.as_bytes()),
+                        fnv1a(rp.as_bytes()),
+                    ),
+                );
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            report.push(Severity::Error, "race", format!("grouped query leg failed: {e}"));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,8 @@ use cloudy_lastmile::AccessType;
 use cloudy_measure::{PingRecord, RecordSink};
 use cloudy_netsim::Protocol;
 use cloudy_probes::{Platform, ProbeId};
-use cloudy_store::{Reader, ScanFilter, Writer, WriterOptions};
+use cloudy_store::agg::GroupedRtts;
+use cloudy_store::{Agg, ChunkRows, GroupKey, Query, Reader, ScanFilter, Writer, WriterOptions};
 use cloudy_topology::Asn;
 use std::time::Instant;
 
@@ -150,6 +151,90 @@ fn main() {
         "provider query should prune at least half the chunks ({stats:?})"
     );
 
+    // Pushdown vs naive, provider filter. Naive decodes every chunk into
+    // full records (strings and all) and filters after the fact; pushdown
+    // runs the same predicate through `Query` where the planner drops
+    // non-matching chunks before any column decode. Both legs are serial
+    // so the ratio measures pushdown, not thread count.
+    let provider_rows = rtts.len();
+    let query_naive_ms = best_of(3, || {
+        let mut vals: Vec<f64> = Vec::new();
+        reader
+            .for_each(&ScanFilter::default(), |rows| match rows {
+                ChunkRows::Pings(pings) => {
+                    for p in pings {
+                        if p.provider == Provider::Google {
+                            if let Some(rtt) = p.rtt_ms() {
+                                vals.push(rtt);
+                            }
+                        }
+                    }
+                }
+                ChunkRows::Traces(traces) => {
+                    for t in traces {
+                        if t.provider == Provider::Google && t.outcome.is_ok() {
+                            if let Some(rtt) = t.end_to_end_ms() {
+                                vals.push(rtt);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("naive scan succeeds");
+        assert_eq!(vals.len(), provider_rows);
+    }) * 1e3;
+    let pushdown_query = Query::rtts().provider(Provider::Google);
+    let query_pushdown_ms = best_of(3, || {
+        let (vals, _) = pushdown_query.values(&reader).expect("pushdown query succeeds");
+        assert_eq!(vals.len(), provider_rows);
+    }) * 1e3;
+    assert!(
+        query_pushdown_ms <= query_naive_ms,
+        "pushdown provider query must not be slower than decode-then-filter \
+         ({query_pushdown_ms:.2} ms vs {query_naive_ms:.2} ms)"
+    );
+
+    // Pushdown vs naive, country group-by. Naive decodes full records
+    // (strings and all) and materializes every RTT into per-country
+    // vectors (O(rows) memory) before taking quantiles; pushdown projects
+    // two columns and folds Welford + P² accumulators inside the scan
+    // (O(countries) memory, no row vectors).
+    let groupby_naive_ms = best_of(3, || {
+        let mut groups: GroupedRtts<CountryCode> = GroupedRtts::default();
+        reader
+            .for_each(&ScanFilter::default(), |chunk| {
+                if let ChunkRows::Pings(pings) = chunk {
+                    for p in pings {
+                        if let Some(rtt) = p.rtt_ms() {
+                            groups.push(p.country, rtt);
+                        }
+                    }
+                }
+            })
+            .expect("naive group-by succeeds");
+        let medians: Vec<f64> = groups
+            .iter()
+            .map(|(_, vals)| {
+                let mut v = vals.clone();
+                v.sort_by(f64::total_cmp);
+                v[(v.len() - 1) / 2]
+            })
+            .collect();
+        assert_eq!(medians.len(), PLACES.len());
+    }) * 1e3;
+    let groupby_query = Query::rtts()
+        .group_by(GroupKey::Country)
+        .aggregate(Agg::Moments | Agg::P2Quantiles);
+    let groupby_pushdown_ms = best_of(3, || {
+        let (table, _) = groupby_query.grouped(&reader).expect("pushdown group-by succeeds");
+        assert_eq!(table.len(), PLACES.len());
+    }) * 1e3;
+    assert!(
+        groupby_pushdown_ms <= groupby_naive_ms,
+        "pushdown group-by must not be slower than materialize-then-group \
+         ({groupby_pushdown_ms:.2} ms vs {groupby_naive_ms:.2} ms)"
+    );
+
     let json = format!(
         "{{\n  \"rows\": {rows},\n  \"smoke\": {smoke},\n  \"store_bytes\": {},\n  \
          \"chunks\": {},\n  \"write_mb_s\": {write_mb_s:.1},\n  \
@@ -157,7 +242,10 @@ fn main() {
          \"scan_rows_s\": {scan_rows_s:.0},\n  \
          \"par_scan_rows_s\": {par_scan_rows_s:.0},\n  \"query_ms\": {query_ms:.2},\n  \
          \"query_rows\": {},\n  \"query_chunks_scanned\": {},\n  \
-         \"query_chunks_pruned\": {}\n}}\n",
+         \"query_chunks_pruned\": {},\n  \"query_naive_ms\": {query_naive_ms:.2},\n  \
+         \"query_pushdown_ms\": {query_pushdown_ms:.2},\n  \
+         \"groupby_naive_ms\": {groupby_naive_ms:.2},\n  \
+         \"groupby_pushdown_ms\": {groupby_pushdown_ms:.2}\n}}\n",
         summary.bytes,
         summary.chunks,
         rtts.len(),

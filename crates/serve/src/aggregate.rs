@@ -12,6 +12,7 @@ use cloudy_cloud::Provider;
 use cloudy_geo::CountryCode;
 use cloudy_measure::{PingRecord, TracerouteRecord};
 use cloudy_store::agg::{Moments, P2Quantile};
+use cloudy_store::{Agg, GroupId, GroupKey, Query, Reader, StoreError};
 use std::collections::BTreeMap;
 
 /// One group's running state: count/mean/variance plus p50 and p95
@@ -98,6 +99,57 @@ impl LiveAggregates {
     }
 }
 
+/// Rebuild an [`AggregateSnapshot`] from a finished store file — the batch
+/// path behind the live table. One pushdown group-by query
+/// (`GroupKey::CountryProvider`, Welford + P²) folds every RTT row into
+/// per-group accumulators inside the scan; no record or row vector is
+/// materialized. `records` counts every stored record (with or without an
+/// RTT), mirroring [`LiveAggregates::records`].
+///
+/// Group counts and means match the live table exactly; the P² p50/p95
+/// estimates can differ slightly because the store scan observes rows in
+/// (kind, provider) partition order while the live table saw arrival
+/// order, and P² is order-sensitive.
+pub fn snapshot_from_store(
+    reader: &Reader,
+    virt_ms: u64,
+    k: usize,
+    threads: usize,
+) -> Result<AggregateSnapshot, StoreError> {
+    let q = Query::rtts()
+        .group_by(GroupKey::CountryProvider)
+        .aggregate(Agg::Moments | Agg::P2Quantiles)
+        .threads(threads);
+    let (table, _) = q.grouped(reader)?;
+    let records: u64 = reader.chunks().iter().map(|m| m.footer.rows).sum();
+    let mut groups: Vec<(CountryCode, Provider, cloudy_store::GroupRow)> = table
+        .into_iter()
+        .filter_map(|(id, row)| match id {
+            GroupId::CountryProvider(c, p) => Some((c, p, row)),
+            _ => None,
+        })
+        .collect();
+    groups.sort_by(|a, b| b.2.count.cmp(&a.2.count).then((a.0, a.1).cmp(&(b.0, b.1))));
+    if k > 0 {
+        groups.truncate(k);
+    }
+    Ok(AggregateSnapshot {
+        virt_ms,
+        records,
+        groups: groups
+            .into_iter()
+            .map(|(country, provider, row)| GroupSummary {
+                country: country.as_str().to_string(),
+                provider: provider.name().to_string(),
+                samples: row.count,
+                mean_ms: row.moments.map(|m| m.mean()).unwrap_or(0.0),
+                p50_ms: row.p50.unwrap_or(0.0),
+                p95_ms: row.p95.unwrap_or(0.0),
+            })
+            .collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +188,41 @@ mod tests {
         assert_eq!(snap.records, 2);
         assert_eq!(snap.groups.len(), 1);
         assert_eq!(snap.groups[0].samples, 1, "lost ping must not aggregate");
+    }
+
+    #[test]
+    fn store_rebuild_matches_live_counts_and_means() {
+        let mut agg = LiveAggregates::new();
+        let mut w = cloudy_store::Writer::new(
+            Vec::new(),
+            Platform::Speedchecker,
+            cloudy_store::WriterOptions { chunk_rows: 16 },
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            let cc = ["DE", "JP", "BR"][(i % 3) as usize];
+            let provider = Provider::ALL[(i % 4) as usize];
+            let rtt = (i % 7 != 0).then_some(10.0 + (i % 50) as f64);
+            let r = ping(cc, provider, rtt);
+            agg.observe_ping(&r);
+            w.push_ping(r).unwrap();
+        }
+        let (bytes, _) = w.finish().unwrap();
+        let reader = Reader::from_bytes(bytes).unwrap();
+        let live = agg.snapshot(42, 0);
+        for threads in [1, 4] {
+            let batch = snapshot_from_store(&reader, 42, 0, threads).unwrap();
+            assert_eq!(batch.virt_ms, live.virt_ms);
+            assert_eq!(batch.records, live.records);
+            assert_eq!(batch.groups.len(), live.groups.len());
+            for (b, l) in batch.groups.iter().zip(&live.groups) {
+                assert_eq!((b.country.as_str(), b.provider.as_str()), (l.country.as_str(), l.provider.as_str()));
+                assert_eq!(b.samples, l.samples);
+                // Welford means agree to fp noise; P² is order-sensitive,
+                // so p50/p95 are close but not compared exactly.
+                assert!((b.mean_ms - l.mean_ms).abs() < 1e-9, "{} vs {}", b.mean_ms, l.mean_ms);
+            }
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod report;
 pub mod service;
 pub mod tenant;
 
-pub use aggregate::LiveAggregates;
+pub use aggregate::{snapshot_from_store, LiveAggregates};
 pub use clock::{Event, EventKind, EventQueue, VirtualClock};
 pub use report::{AggregateSnapshot, GroupSummary, ServiceReport, TenantReport};
 pub use service::{default_world, ServeConfig, ServeError, Service, MAX_DEFERS, SLICE_TASKS, TASK_VIRT_MS};

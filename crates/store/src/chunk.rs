@@ -591,10 +591,346 @@ pub struct RttRow {
 
 use crate::codec::skip_block;
 
+/// Row-level predicate resolved against one chunk by the projection
+/// kernels. Country and ISP filters are matched against the chunk's
+/// *dictionaries* first: a value absent from the dictionary prunes the
+/// whole chunk before any per-row column is decoded, and a present value
+/// is compared per row as a dictionary id — no per-row value
+/// materialization either way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RowPred {
+    pub country: Option<CountryCode>,
+    pub isp: Option<Asn>,
+    pub min_rtt_ms: Option<f64>,
+    pub max_rtt_ms: Option<f64>,
+    pub min_hour: Option<u64>,
+    pub max_hour: Option<u64>,
+}
+
+impl RowPred {
+    fn rtt_in_bounds(&self, v: f64) -> bool {
+        !self.min_rtt_ms.is_some_and(|min| v < min) && !self.max_rtt_ms.is_some_and(|max| v > max)
+    }
+
+    fn hour_in_bounds(&self, h: u64) -> bool {
+        self.min_hour.is_none_or(|min| h >= min) && self.max_hour.is_none_or(|max| h <= max)
+    }
+
+    fn needs_hour(&self) -> bool {
+        self.min_hour.is_some() || self.max_hour.is_some()
+    }
+}
+
+/// Which columns the scan must decode. Columns that are neither projected
+/// nor filtered are skipped as length-prefixed blocks without reading a
+/// row; the matching [`ProjRow`] fields then hold placeholder values
+/// (`"ZZ"`, region 0, ASN 0, hour 0) that callers must not read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProjSpec {
+    pub country: bool,
+    pub region: bool,
+    pub isp: bool,
+    pub hour: bool,
+}
+
+impl ProjSpec {
+    /// The projection behind the legacy [`RttRow`] scans: country, region,
+    /// and hour decoded, ISP skipped.
+    pub fn rtt_row() -> ProjSpec {
+        ProjSpec { country: true, region: true, isp: false, hour: true }
+    }
+}
+
+/// One row emitted by the projection kernels: [`RttRow`] plus the ISP
+/// column (needed by ISP filters and group-bys). Fields outside the
+/// requested [`ProjSpec`] hold placeholder values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjRow {
+    pub kind: RecordKind,
+    pub provider: Provider,
+    pub country: CountryCode,
+    pub region: RegionId,
+    pub isp: Asn,
+    pub hour: u64,
+    pub rtt_ms: f64,
+}
+
+impl ProjRow {
+    pub fn to_rtt_row(self) -> RttRow {
+        RttRow {
+            kind: self.kind,
+            provider: self.provider,
+            country: self.country,
+            region: self.region,
+            hour: self.hour,
+            rtt_ms: self.rtt_ms,
+        }
+    }
+}
+
+/// What a projection kernel did with one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkScan {
+    /// A dictionary filter proved no row can match; the per-row columns
+    /// were never decoded.
+    Pruned,
+    /// The chunk was decoded; `matched` rows passed the predicate.
+    Scanned { matched: u64 },
+}
+
+/// A dictionary column's per-chunk scan state: the decoded dictionary, the
+/// per-row ids (empty when the column is neither filtered nor projected),
+/// and the filter value resolved to this chunk's id space.
+struct DictScan<T> {
+    dict: Vec<T>,
+    ix: Vec<u32>,
+    want: Option<u32>,
+}
+
+impl<T> DictScan<T> {
+    fn empty() -> DictScan<T> {
+        DictScan { dict: Vec::new(), ix: Vec::new(), want: None }
+    }
+
+    fn row_passes(&self, i: usize) -> bool {
+        self.want.is_none_or(|w| self.ix[i] == w)
+    }
+}
+
+/// The shared meta-block prefix (probe..proto) walked with predicate and
+/// projection pushdown. Returns `None` when a dictionary filter proves the
+/// chunk cannot match — the caller skips it without decoding a row.
+struct MetaScan {
+    country: DictScan<CountryCode>,
+    isp: DictScan<u32>,
+    region: Vec<u64>,
+}
+
+fn dict_id_of(pos: usize) -> Result<u32, StoreError> {
+    u32::try_from(pos).map_err(|_| StoreError::corrupt("dictionary id overflows u32"))
+}
+
+fn scan_meta_blocks(
+    cur: &mut Cursor<'_>,
+    rows: usize,
+    pred: &RowPred,
+    proj: ProjSpec,
+) -> Result<Option<MetaScan>, StoreError> {
+    skip_block(cur)?; // probe
+
+    // Country: the dictionary header is a handful of bytes; resolving the
+    // filter against it costs nothing compared to decoding `rows` indices.
+    let mut blk = get_block(cur)?;
+    let n = blk.varint()? as usize;
+    let mut dict = Vec::with_capacity(n.min(512));
+    for _ in 0..n {
+        let raw = blk.bytes(2)?;
+        let code = std::str::from_utf8(raw).map_err(|e| format!("country code: {e}"))?;
+        dict.push(
+            CountryCode::try_new(code).ok_or_else(|| format!("invalid country code {code:?}"))?,
+        );
+    }
+    let want = match pred.country {
+        Some(c) => match dict.iter().position(|d| *d == c) {
+            Some(pos) => Some(dict_id_of(pos)?),
+            None => return Ok(None),
+        },
+        None => None,
+    };
+    let ix = if proj.country || want.is_some() {
+        get_indices(&mut blk, rows, dict.len())?
+    } else {
+        Vec::new()
+    };
+    let country = DictScan { dict, ix, want };
+
+    skip_block(cur)?; // continent
+    skip_block(cur)?; // city
+
+    let isp = if proj.isp || pred.isp.is_some() {
+        let mut blk = get_block(cur)?;
+        let n = blk.varint()? as usize;
+        let mut dict = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            dict.push(u32::try_from(blk.varint()?).map_err(|e| format!("asn: {e}"))?);
+        }
+        let want = match pred.isp {
+            Some(asn) => match dict.iter().position(|d| *d == asn.0) {
+                Some(pos) => Some(dict_id_of(pos)?),
+                None => return Ok(None),
+            },
+            None => None,
+        };
+        let ix = get_indices(&mut blk, rows, dict.len())?;
+        DictScan { dict, ix, want }
+    } else {
+        skip_block(cur)?;
+        DictScan::empty()
+    };
+
+    skip_block(cur)?; // access
+
+    let region = if proj.region {
+        let mut blk = get_block(cur)?;
+        get_delta_u64(&mut blk, rows)?
+    } else {
+        skip_block(cur)?;
+        Vec::new()
+    };
+
+    skip_block(cur)?; // proto
+    Ok(Some(MetaScan { country, isp, region }))
+}
+
+impl MetaScan {
+    fn row(&self, i: usize, kind: RecordKind, provider: Provider, hour: u64, rtt_ms: f64) -> Result<ProjRow, StoreError> {
+        Ok(ProjRow {
+            kind,
+            provider,
+            country: if self.country.ix.is_empty() {
+                CountryCode::new("ZZ")
+            } else {
+                self.country.dict[self.country.ix[i] as usize]
+            },
+            region: if self.region.is_empty() { RegionId(0) } else { region_of(self.region[i])? },
+            isp: if self.isp.ix.is_empty() {
+                Asn(0)
+            } else {
+                Asn(self.isp.dict[self.isp.ix[i] as usize])
+            },
+            hour,
+            rtt_ms,
+        })
+    }
+}
+
+/// Pushdown projection scan of a ping chunk: decodes only the columns
+/// `proj`/`pred` name, prunes the whole chunk on a dictionary miss, and
+/// emits matching rows without materializing any per-row column it can
+/// avoid. Failed rows carry no RTT and are never emitted — they can never
+/// aggregate as zero-latency samples.
+pub fn scan_ping_chunk(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+    pred: &RowPred,
+    proj: ProjSpec,
+    emit: &mut impl FnMut(ProjRow),
+) -> Result<ChunkScan, StoreError> {
+    let mut cur = Cursor::new(body);
+    let Some(meta) = scan_meta_blocks(&mut cur, rows, pred, proj)? else {
+        return Ok(ChunkScan::Pruned);
+    };
+    let mut rtt_blk = get_block(&mut cur)?;
+    let hour = if proj.hour || pred.needs_hour() {
+        let mut hour_blk = get_block(&mut cur)?;
+        get_delta_u64(&mut hour_blk, rows)?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+    let outcomes = get_outcomes(&mut cur, rows)?;
+    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
+
+    let mut matched = 0u64;
+    let mut rtt_ix = 0usize;
+    for i in 0..rows {
+        if outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK) {
+            continue;
+        }
+        let v = rtt[rtt_ix];
+        rtt_ix += 1;
+        let h = if hour.is_empty() { 0 } else { hour[i] };
+        if !pred.rtt_in_bounds(v)
+            || !pred.hour_in_bounds(h)
+            || !meta.country.row_passes(i)
+            || !meta.isp.row_passes(i)
+        {
+            continue;
+        }
+        matched += 1;
+        emit(meta.row(i, RecordKind::Ping, provider, h, v)?);
+    }
+    Ok(ChunkScan::Scanned { matched })
+}
+
+/// Pushdown projection scan of a traceroute chunk; see [`scan_ping_chunk`].
+/// The primary RTT is the end-to-end value (last hop's response); rows
+/// whose last hop did not respond are dropped, matching
+/// `TracerouteRecord::end_to_end_ms`, as are failed rows.
+pub fn scan_trace_chunk(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+    pred: &RowPred,
+    proj: ProjSpec,
+    emit: &mut impl FnMut(ProjRow),
+) -> Result<ChunkScan, StoreError> {
+    let mut cur = Cursor::new(body);
+    let Some(meta) = scan_meta_blocks(&mut cur, rows, pred, proj)? else {
+        return Ok(ChunkScan::Pruned);
+    };
+    skip_block(&mut cur)?; // src_ip
+    let hour = if proj.hour || pred.needs_hour() {
+        let mut hour_blk = get_block(&mut cur)?;
+        get_delta_u64(&mut hour_blk, rows)?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+
+    let mut lens_blk = get_block(&mut cur)?;
+    let mut lens = Vec::with_capacity(rows);
+    let mut total = 0usize;
+    for _ in 0..rows {
+        let l = lens_blk.varint()? as usize;
+        total = total.checked_add(l).ok_or("hop count overflow")?;
+        lens.push(l);
+    }
+    skip_block(&mut cur)?; // ttl
+    skip_block(&mut cur)?; // ip bitmap
+    skip_block(&mut cur)?; // ips
+    let mut rttb_blk = get_block(&mut cur)?;
+    let rtt_present = get_bitmap(&mut rttb_blk, total)?;
+    let n_rtts = rtt_present.iter().filter(|p| **p).count();
+    let mut rtts_blk = get_block(&mut cur)?;
+    let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
+
+    let outcomes = get_outcomes(&mut cur, rows)?;
+
+    let mut matched = 0u64;
+    let mut hop_ix = 0usize;
+    let mut rtt_ix = 0usize;
+    for i in 0..rows {
+        let failed = outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK);
+        let mut last: Option<f64> = None;
+        for j in 0..lens[i] {
+            if rtt_present[hop_ix] {
+                let v = rtts[rtt_ix];
+                rtt_ix += 1;
+                if j == lens[i] - 1 && !failed {
+                    last = Some(v);
+                }
+            }
+            hop_ix += 1;
+        }
+        let Some(v) = last else { continue };
+        let h = if hour.is_empty() { 0 } else { hour[i] };
+        if !pred.rtt_in_bounds(v)
+            || !pred.hour_in_bounds(h)
+            || !meta.country.row_passes(i)
+            || !meta.isp.row_passes(i)
+        {
+            continue;
+        }
+        matched += 1;
+        emit(meta.row(i, RecordKind::Trace, provider, h, v)?);
+    }
+    Ok(ChunkScan::Scanned { matched })
+}
+
 /// Projection decode of a ping chunk: country, region, rtt, hour only.
-/// Probe/continent/city/isp/access/proto blocks are skipped unread.
-/// Failed rows carry no RTT and are dropped — they can never aggregate as
-/// zero-latency samples.
+/// Thin wrapper over [`scan_ping_chunk`] with no predicate.
 pub fn decode_ping_rtts(
     body: &[u8],
     rows: usize,
@@ -606,53 +942,21 @@ pub fn decode_ping_rtts(
 }
 
 /// Callback form of [`decode_ping_rtts`]: rows are emitted as they are
-/// produced instead of materialized into a fresh per-chunk buffer, so scan
-/// loops can filter and accumulate into one pre-sized output vector.
+/// produced instead of materialized into a fresh per-chunk buffer.
 pub fn decode_ping_rtts_with(
     body: &[u8],
     rows: usize,
     provider: Provider,
     emit: &mut impl FnMut(RttRow),
 ) -> Result<(), StoreError> {
-    let mut cur = Cursor::new(body);
-    skip_block(&mut cur)?; // probe
-    let country = decode_country_block(&mut cur, rows)?;
-    skip_block(&mut cur)?; // continent
-    skip_block(&mut cur)?; // city
-    skip_block(&mut cur)?; // isp
-    skip_block(&mut cur)?; // access
-    let mut region_blk = get_block(&mut cur)?;
-    let region = get_delta_u64(&mut region_blk, rows)?;
-    skip_block(&mut cur)?; // proto
-    let mut rtt_blk = get_block(&mut cur)?;
-    let mut hour_blk = get_block(&mut cur)?;
-    let hour = get_delta_u64(&mut hour_blk, rows)?;
-    let outcomes = get_outcomes(&mut cur, rows)?;
-    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
-
-    let mut rtt_ix = 0usize;
-    for i in 0..rows {
-        if outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK) {
-            continue;
-        }
-        emit(RttRow {
-            kind: RecordKind::Ping,
-            provider,
-            country: country[i],
-            region: region_of(region[i])?,
-            hour: hour[i],
-            rtt_ms: rtt[rtt_ix],
-        });
-        rtt_ix += 1;
-    }
-    Ok(())
+    scan_ping_chunk(body, rows, provider, &RowPred::default(), ProjSpec::rtt_row(), &mut |p| {
+        emit(p.to_rtt_row())
+    })
+    .map(|_| ())
 }
 
-/// Projection decode of a traceroute chunk: country, region, hour, and the
-/// end-to-end RTT (last hop's response). Rows whose last hop did not
-/// respond are dropped, matching `TracerouteRecord::end_to_end_ms`, as are
-/// failed rows (non-`Ok` outcome tags) — a failed traceroute can never
-/// aggregate as a latency sample.
+/// Projection decode of a traceroute chunk; thin wrapper over
+/// [`scan_trace_chunk`] with no predicate.
 pub fn decode_trace_rtts(
     body: &[u8],
     rows: usize,
@@ -670,67 +974,10 @@ pub fn decode_trace_rtts_with(
     provider: Provider,
     emit: &mut impl FnMut(RttRow),
 ) -> Result<(), StoreError> {
-    let mut cur = Cursor::new(body);
-    skip_block(&mut cur)?; // probe
-    let country = decode_country_block(&mut cur, rows)?;
-    skip_block(&mut cur)?; // continent
-    skip_block(&mut cur)?; // city
-    skip_block(&mut cur)?; // isp
-    skip_block(&mut cur)?; // access
-    let mut region_blk = get_block(&mut cur)?;
-    let region = get_delta_u64(&mut region_blk, rows)?;
-    skip_block(&mut cur)?; // proto
-    skip_block(&mut cur)?; // src_ip
-    let mut hour_blk = get_block(&mut cur)?;
-    let hour = get_delta_u64(&mut hour_blk, rows)?;
-
-    let mut lens_blk = get_block(&mut cur)?;
-    let mut lens = Vec::with_capacity(rows);
-    let mut total = 0usize;
-    for _ in 0..rows {
-        let l = lens_blk.varint()? as usize;
-        total = total.checked_add(l).ok_or("hop count overflow")?;
-        lens.push(l);
-    }
-    skip_block(&mut cur)?; // ttl
-    let mut ipb_blk = get_block(&mut cur)?;
-    let _ = get_bitmap(&mut ipb_blk, total)?;
-    skip_block(&mut cur)?; // ips
-    let mut rttb_blk = get_block(&mut cur)?;
-    let rtt_present = get_bitmap(&mut rttb_blk, total)?;
-    let n_rtts = rtt_present.iter().filter(|p| **p).count();
-    let mut rtts_blk = get_block(&mut cur)?;
-    let rtts = get_rtts(&mut rtts_blk, n_rtts)?;
-
-    let outcomes = get_outcomes(&mut cur, rows)?;
-
-    let mut hop_ix = 0usize;
-    let mut rtt_ix = 0usize;
-    for i in 0..rows {
-        let failed = outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK);
-        let mut last: Option<f64> = None;
-        for j in 0..lens[i] {
-            if rtt_present[hop_ix] {
-                let v = rtts[rtt_ix];
-                rtt_ix += 1;
-                if j == lens[i] - 1 && !failed {
-                    last = Some(v);
-                }
-            }
-            hop_ix += 1;
-        }
-        if let Some(rtt_ms) = last {
-            emit(RttRow {
-                kind: RecordKind::Trace,
-                provider,
-                country: country[i],
-                region: region_of(region[i])?,
-                hour: hour[i],
-                rtt_ms,
-            });
-        }
-    }
-    Ok(())
+    scan_trace_chunk(body, rows, provider, &RowPred::default(), ProjSpec::rtt_row(), &mut |p| {
+        emit(p.to_rtt_row())
+    })
+    .map(|_| ())
 }
 
 /// A directory entry: one chunk's footer plus its location in the file.

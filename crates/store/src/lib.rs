@@ -32,6 +32,7 @@ pub mod agg;
 pub mod chunk;
 pub mod codec;
 pub mod error;
+pub mod query;
 pub mod reader;
 pub mod schema;
 pub mod writer;
@@ -40,8 +41,9 @@ pub mod writer;
 pub(crate) mod testutil;
 
 pub use agg::{GroupedMoments, GroupedRtts, Moments, P2Quantile, P2Sketch};
-pub use chunk::{ChunkFooter, ChunkMeta, RttRow};
+pub use chunk::{ChunkFooter, ChunkMeta, ProjRow, RttRow};
 pub use error::StoreError;
+pub use query::{Agg, AggSet, GroupId, GroupKey, GroupRow, GroupTable, Query};
 pub use reader::{read_to_dataset, ChunkRows, Reader, ScanFilter, ScanStats};
 pub use schema::RecordKind;
 pub use writer::{write_dataset, StoreSummary, Writer, WriterOptions};

@@ -12,11 +12,9 @@
 //! partition is preserved.
 
 use crate::error::StoreError;
-use crate::chunk::{
-    decode_ping_rtts, decode_ping_rtts_with, decode_pings, decode_trace_rtts,
-    decode_trace_rtts_with, decode_traces, get_chunk_meta, ChunkMeta, RttRow,
-};
+use crate::chunk::{decode_pings, decode_traces, get_chunk_meta, ChunkMeta, RttRow};
 use crate::codec::Cursor;
+use crate::query::Query;
 use crate::schema::{platform_from_tag, RecordKind};
 use crate::writer::{END_MAGIC, MAGIC};
 use cloudy_cloud::Provider;
@@ -90,12 +88,17 @@ impl ScanFilter {
     }
 }
 
-/// What a scan did: how much pruning bought and how many rows matched.
+/// What a scan did: how much pruning bought, how many rows the survivor
+/// chunks held, and how many matched. Uniform across every query path —
+/// legacy wrappers and [`Query`](crate::query::Query) terminals alike.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
     pub chunks_total: usize,
     pub chunks_scanned: usize,
     pub chunks_pruned: usize,
+    /// Rows held by the chunks that were actually decoded (footer- and
+    /// dictionary-pruned chunks contribute nothing).
+    pub rows_decoded: u64,
     pub rows_matched: u64,
 }
 
@@ -191,6 +194,21 @@ impl Reader {
         &self.data[m.offset as usize..(m.offset + m.len) as usize]
     }
 
+    /// One chunk's body bytes, for the query executor.
+    pub(crate) fn body_of(&self, m: &ChunkMeta) -> &[u8] {
+        self.chunk_body(m)
+    }
+
+    /// The attached registry, for the query executor's spans and shards.
+    pub(crate) fn obs_handle(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Export hook for the query executor (same counters as legacy scans).
+    pub(crate) fn export_scan_stats(&self, stats: &ScanStats) {
+        self.export_scan(stats);
+    }
+
     /// Decode every row of one chunk.
     pub fn decode_chunk(&self, m: &ChunkMeta) -> Result<ChunkRows, StoreError> {
         let body = self.chunk_body(m);
@@ -202,45 +220,6 @@ impl Reader {
             RecordKind::Trace => decode_traces(body, rows, self.platform, m.footer.provider)
                 .map(ChunkRows::Traces),
         }
-    }
-
-    /// Decode the RTT projection of one chunk (country/region/hour/RTT
-    /// columns only; failed rows are dropped).
-    pub fn decode_chunk_rtts(&self, m: &ChunkMeta) -> Result<Vec<RttRow>, StoreError> {
-        let body = self.chunk_body(m);
-        let rows = m.footer.rows as usize;
-        match m.footer.kind {
-            RecordKind::Ping => decode_ping_rtts(body, rows, m.footer.provider),
-            RecordKind::Trace => decode_trace_rtts(body, rows, m.footer.provider),
-        }
-    }
-
-    /// Decode one chunk's RTT projection straight into `out`, applying the
-    /// row filter as rows are produced — no intermediate per-chunk buffer.
-    /// Returns the number of rows that matched.
-    pub fn scan_chunk_rtts(
-        &self,
-        m: &ChunkMeta,
-        filter: &ScanFilter,
-        out: &mut Vec<RttRow>,
-    ) -> Result<u64, StoreError> {
-        let body = self.chunk_body(m);
-        let rows = m.footer.rows as usize;
-        let before = out.len();
-        let mut emit = |row: RttRow| {
-            if filter.matches_row(&row) {
-                out.push(row);
-            }
-        };
-        match m.footer.kind {
-            RecordKind::Ping => {
-                decode_ping_rtts_with(body, rows, m.footer.provider, &mut emit)?
-            }
-            RecordKind::Trace => {
-                decode_trace_rtts_with(body, rows, m.footer.provider, &mut emit)?
-            }
-        }
-        Ok((out.len() - before) as u64)
     }
 
     /// Sequential pruned scan over full records.
@@ -257,6 +236,7 @@ impl Reader {
                 continue;
             }
             stats.chunks_scanned += 1;
+            stats.rows_decoded += m.footer.rows;
             let rows = self.decode_chunk(m)?;
             stats.rows_matched += match &rows {
                 ChunkRows::Pings(p) => p.len() as u64,
@@ -269,42 +249,15 @@ impl Reader {
         Ok(stats)
     }
 
-    /// Sequential pruned scan over the RTT projection. Only the survivor
-    /// chunks are decoded, and only their country/region/hour/RTT columns.
+    /// Sequential pruned scan over the RTT projection. Thin wrapper over
+    /// [`Query::stream`](crate::query::Query::stream); prefer building a
+    /// [`Query`](crate::query::Query) directly.
     pub fn for_each_rtt(
         &self,
         filter: &ScanFilter,
         mut f: impl FnMut(RttRow),
     ) -> Result<ScanStats, StoreError> {
-        let span = self.obs.now();
-        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
-        for m in &self.dir {
-            if !filter.matches_chunk(m) {
-                stats.chunks_pruned += 1;
-                continue;
-            }
-            stats.chunks_scanned += 1;
-            let body = self.chunk_body(m);
-            let rows = m.footer.rows as usize;
-            let matched = &mut stats.rows_matched;
-            let mut emit = |row: RttRow| {
-                if filter.matches_row(&row) {
-                    *matched += 1;
-                    f(row);
-                }
-            };
-            match m.footer.kind {
-                RecordKind::Ping => {
-                    decode_ping_rtts_with(body, rows, m.footer.provider, &mut emit)?
-                }
-                RecordKind::Trace => {
-                    decode_trace_rtts_with(body, rows, m.footer.provider, &mut emit)?
-                }
-            }
-        }
-        self.obs.record_span("store.scan", span, 0);
-        self.export_scan(&stats);
-        Ok(stats)
+        Query::from_filter(filter).stream(self, |row| f(row.to_rtt_row()))
     }
 
     /// Parallel pruned scan: survivor chunks are decoded and mapped on up
@@ -331,6 +284,7 @@ impl Reader {
             self.dir.iter().filter(|m| filter.matches_chunk(m)).collect();
         stats.chunks_scanned = survivors.len();
         stats.chunks_pruned = stats.chunks_total - survivors.len();
+        stats.rows_decoded = survivors.iter().map(|m| m.footer.rows).sum();
 
         let workers = effective_workers(threads, survivors.len());
         if workers <= 1 {
@@ -410,105 +364,28 @@ impl Reader {
     }
 
     /// Collect the RTT projection matching `filter`, decoding chunks in
-    /// parallel. Row order equals the sequential [`Reader::for_each_rtt`]
-    /// order for any thread count.
-    ///
-    /// Each worker appends into one buffer pre-sized from the survivor
-    /// footers' row counts (the projection can only drop rows), so neither
-    /// the shard buffers nor the merged output ever reallocate. As in
-    /// [`Reader::par_scan_chunks`], the worker count is clamped to
-    /// available parallelism and a single effective worker runs inline.
+    /// parallel. Thin wrapper over [`Query::rows`](crate::query::Query::rows);
+    /// row order equals the sequential [`Reader::for_each_rtt`] order for
+    /// any thread count.
     pub fn par_collect_rtts(
         &self,
         filter: &ScanFilter,
         threads: usize,
     ) -> Result<(Vec<RttRow>, ScanStats), StoreError> {
-        let mut stats = ScanStats { chunks_total: self.dir.len(), ..Default::default() };
-        let survivors: Vec<&ChunkMeta> =
-            self.dir.iter().filter(|m| filter.matches_chunk(m)).collect();
-        stats.chunks_scanned = survivors.len();
-        stats.chunks_pruned = stats.chunks_total - survivors.len();
-
-        let row_cap =
-            |chunks: &[&ChunkMeta]| chunks.iter().map(|m| m.footer.rows as usize).sum::<usize>();
-
-        let workers = effective_workers(threads, survivors.len());
-        if workers <= 1 {
-            let span = self.obs.now();
-            let mut out = Vec::with_capacity(row_cap(&survivors));
-            for m in &survivors {
-                stats.rows_matched += self.scan_chunk_rtts(m, filter, &mut out)?;
-            }
-            self.obs.record_span("store.scan", span, 0);
-            self.export_scan(&stats);
-            return Ok((out, stats));
-        }
-
-        let per = survivors.len().div_ceil(workers).max(1);
-        let shards: Vec<&[&ChunkMeta]> = survivors.chunks(per).collect();
-        let shard_results: Vec<(Result<Vec<RttRow>, StoreError>, LocalShard)> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .enumerate()
-                    .map(|(w, shard)| {
-                        let mut obs_shard = self.obs.local();
-                        s.spawn(move |_| {
-                            let span = obs_shard.now();
-                            let mut rows = Vec::with_capacity(row_cap(shard));
-                            let mut res = Ok(());
-                            for m in *shard {
-                                if let Err(e) = self.scan_chunk_rtts(m, filter, &mut rows) {
-                                    res = Err(e);
-                                    break;
-                                }
-                            }
-                            // The worker index is bounded by the thread count; the tid is a
-                            // trace label, not a wire field.
-                            obs_shard.record_span("store.scan", span, w as u32 + 1); // audit:allow(as-truncate)
-                            (res.map(|()| rows), obs_shard)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("scan worker panicked")).collect() // audit:allow(expect)
-            })
-            .expect("crossbeam scope"); // audit:allow(expect)
-
-        let mut decoded = Vec::with_capacity(shard_results.len());
-        let mut first_err = None;
-        for (r, obs_shard) in shard_results {
-            self.obs.merge(obs_shard);
-            match r {
-                Ok(rows) => decoded.push(rows),
-                Err(e) => first_err = first_err.or(Some(e)),
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        let mut out = Vec::with_capacity(decoded.iter().map(Vec::len).sum());
-        for mut shard in decoded {
-            out.append(&mut shard);
-        }
-        stats.rows_matched = out.len() as u64;
-        self.export_scan(&stats);
-        Ok((out, stats))
+        Query::from_filter(filter).threads(threads).rows(self)
     }
 
     /// Decode the whole store back into an in-memory [`Dataset`]. Records
     /// come back grouped by (kind, provider) partition — the store's scan
-    /// order — not in original insert order.
+    /// order — not in original insert order. Thin wrapper over
+    /// [`Query::records`](crate::query::Query::records).
     pub fn to_dataset(&self) -> Result<Dataset, StoreError> {
-        let mut ds = Dataset::new(self.platform);
-        self.for_each(&ScanFilter::default(), |rows| match rows {
-            ChunkRows::Pings(p) => ds.pings.extend(p.iter().cloned()),
-            ChunkRows::Traces(t) => ds.traces.extend(t.iter().cloned()),
-        })?;
-        Ok(ds)
+        Query::rtts().records(self).map(|(ds, _)| ds)
     }
 }
 
-/// Convenience: parse store bytes straight into a [`Dataset`].
+/// Convenience: parse store bytes straight into a [`Dataset`]. Equivalent
+/// to [`Reader::from_bytes`] followed by [`Reader::to_dataset`].
 pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, StoreError> {
     Reader::from_bytes(data)?.to_dataset()
 }
@@ -518,7 +395,7 @@ pub fn read_to_dataset(data: Vec<u8>) -> Result<Dataset, StoreError> {
 /// of survivor chunks. Spawning more workers than cores only adds context
 /// switches, and spawning at all is pure overhead when one worker would do
 /// — scan *output* is worker-count-invariant, so the clamp is free.
-fn effective_workers(threads: usize, chunks: usize) -> usize {
+pub(crate) fn effective_workers(threads: usize, chunks: usize) -> usize {
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     threads.max(1).min(hw).min(chunks.max(1))
 }

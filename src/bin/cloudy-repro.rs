@@ -12,8 +12,9 @@
 //! cloudy-repro all         [run options] [--out FILE]
 //! cloudy-repro store write    [run options] [--out DIR] [--chunk-rows N]
 //! cloudy-repro store inspect  <FILE>
-//! cloudy-repro store query    <FILE> [--provider AB] [--country CC]
+//! cloudy-repro store query    <FILE> [--provider AB] [--country CC] [--isp ASN]
 //!                             [--kind ping|trace] [--min-rtt MS] [--max-rtt MS]
+//!                             [--group-by KEY] [--threads N]
 //! cloudy-repro serve       [--tenants N] [--hours H] [--seed N] [--threads N]
 //!                          [--no-route-cache] [--faults none|default]
 //!                          [--top-k N] [--json] [--store FILE]
@@ -30,7 +31,7 @@
 use cloudy::core::experiments::{self, ExperimentId};
 use cloudy::core::{run_study_into, Study, StudyConfig};
 use cloudy::obs::Obs;
-use cloudy::store::{Reader, ScanFilter, Writer, WriterOptions};
+use cloudy::store::{Reader, Writer, WriterOptions};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -85,9 +86,12 @@ fn usage() {
          \x20 store write [opts] [--out DIR] [--chunk-rows N]\n\
          \x20                              stream both campaigns into columnar stores\n\
          \x20 store inspect <FILE>         dump a store's chunk directory\n\
-         \x20 store query <FILE> [--provider AB] [--country CC] [--kind ping|trace]\n\
-         \x20             [--min-rtt MS] [--max-rtt MS] [--threads N]\n\
-         \x20                              pruned scan with summary statistics\n\
+         \x20 store query <FILE> [--provider AB] [--country CC] [--isp ASN]\n\
+         \x20             [--kind ping|trace] [--min-rtt MS] [--max-rtt MS]\n\
+         \x20             [--group-by country|provider|country-provider|\n\
+         \x20              country-region|isp] [--threads N]\n\
+         \x20                              pushdown query with summary statistics;\n\
+         \x20                              --group-by aggregates in-scan (O(groups))\n\
          \x20 serve [--tenants N] [--hours H] [--seed N] [--threads N]\n\
          \x20       [--no-route-cache] [--faults none|default] [--top-k N]\n\
          \x20       [--json] [--store FILE]\n\
@@ -821,12 +825,13 @@ fn store_inspect(args: &[String]) -> ExitCode {
 }
 
 fn store_query(args: &[String]) -> ExitCode {
+    use cloudy::store::{Agg, GroupId, GroupKey, Query};
     let (mut reader, opts) = match load_store(args) {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
-    let mut filter = ScanFilter::default();
-    let mut threads = 4usize;
+    let mut query = Query::rtts().threads(4);
+    let mut group_by: Option<GroupKey> = None;
     let mut metrics_format: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut it = opts.iter();
@@ -837,33 +842,67 @@ fn store_query(args: &[String]) -> ExitCode {
         let parsed = match arg.as_str() {
             "--provider" => take("--provider").and_then(|v| {
                 cloudy::cloud::Provider::from_abbrev(&v)
-                    .map(|p| filter.provider = Some(p))
+                    .map(|p| query = query.clone().provider(p))
                     .ok_or_else(|| format!("unknown provider abbrev {v:?}"))
             }),
             "--country" => take("--country").and_then(|v| {
                 cloudy::geo::CountryCode::try_new(&v)
-                    .map(|c| filter.country = Some(c))
+                    .map(|c| query = query.clone().country(c))
                     .ok_or_else(|| format!("bad country code {v:?}"))
+            }),
+            "--isp" => take("--isp").and_then(|v| {
+                v.parse::<u32>()
+                    .map(|asn| query = query.clone().isp(cloudy::topology::Asn(asn)))
+                    .map_err(|e| format!("--isp: {e}"))
             }),
             "--kind" => take("--kind").and_then(|v| match v.as_str() {
                 "ping" => {
-                    filter.kind = Some(cloudy::store::RecordKind::Ping);
+                    query = query.clone().kind(cloudy::store::RecordKind::Ping);
                     Ok(())
                 }
                 "trace" => {
-                    filter.kind = Some(cloudy::store::RecordKind::Trace);
+                    query = query.clone().kind(cloudy::store::RecordKind::Trace);
                     Ok(())
                 }
                 other => Err(format!("--kind must be ping or trace, got {other:?}")),
             }),
             "--min-rtt" => take("--min-rtt").and_then(|v| {
-                v.parse().map(|x| filter.min_rtt_ms = Some(x)).map_err(|e| format!("--min-rtt: {e}"))
+                v.parse()
+                    .map(|x: f64| query = query.clone().min_rtt_ms(x))
+                    .map_err(|e| format!("--min-rtt: {e}"))
             }),
             "--max-rtt" => take("--max-rtt").and_then(|v| {
-                v.parse().map(|x| filter.max_rtt_ms = Some(x)).map_err(|e| format!("--max-rtt: {e}"))
+                v.parse()
+                    .map(|x: f64| query = query.clone().max_rtt_ms(x))
+                    .map_err(|e| format!("--max-rtt: {e}"))
+            }),
+            "--group-by" => take("--group-by").and_then(|v| match v.as_str() {
+                "country" => {
+                    group_by = Some(GroupKey::Country);
+                    Ok(())
+                }
+                "provider" => {
+                    group_by = Some(GroupKey::Provider);
+                    Ok(())
+                }
+                "country-provider" => {
+                    group_by = Some(GroupKey::CountryProvider);
+                    Ok(())
+                }
+                "country-region" => {
+                    group_by = Some(GroupKey::CountryRegion);
+                    Ok(())
+                }
+                "isp" => {
+                    group_by = Some(GroupKey::Isp);
+                    Ok(())
+                }
+                other => Err(format!(
+                    "--group-by must be country|provider|country-provider|country-region|isp, got {other:?}"
+                )),
             }),
             "--threads" => take("--threads").and_then(|v| {
-                v.parse().map(|n| threads = n).map_err(|e| format!("--threads: {e}"))
+                v.parse().map(|n| query = query.clone().threads(n)).map_err(|e| format!("--threads: {e}"))
             }),
             "--metrics" => take("--metrics").and_then(|v| match v.as_str() {
                 "text" | "json" => {
@@ -889,7 +928,47 @@ fn store_query(args: &[String]) -> ExitCode {
         trace_out,
     };
     reader.set_obs(metrics.obs.clone());
-    let (rows, stats) = match reader.par_collect_rtts(&filter, threads) {
+
+    if let Some(key) = group_by {
+        // Aggregation pushed into the scan: O(groups) memory, no rows.
+        let q = query.group_by(key).aggregate(Agg::Moments | Agg::P2Quantiles);
+        let (groups, stats) = match q.grouped(&reader) {
+            Ok(v) => v,
+            Err(e) => return fail(&e.to_string()),
+        };
+        println!(
+            "rows matched: {}  (chunks: {} scanned, {} pruned of {}; rows decoded: {})",
+            stats.rows_matched,
+            stats.chunks_scanned,
+            stats.chunks_pruned,
+            stats.chunks_total,
+            stats.rows_decoded
+        );
+        if let Err(e) = emit_metrics(&metrics, false) {
+            return fail(&e);
+        }
+        println!("group                     count     mean      p50       p95");
+        for (id, row) in &groups {
+            let label = match id {
+                GroupId::Provider(p) => p.abbrev().to_string(),
+                GroupId::Country(c) => c.as_str().to_string(),
+                GroupId::Region(r) => format!("region {}", r.0),
+                GroupId::Isp(a) => format!("AS{}", a.0),
+                GroupId::CountryProvider(c, p) => format!("{} {}", c.as_str(), p.abbrev()),
+                GroupId::CountryRegion(c, r) => format!("{} region {}", c.as_str(), r.0),
+            };
+            println!(
+                "{label:<25} {:<9} {:<9.2} {:<9.2} {:<9.2}",
+                row.count,
+                row.moments.map(|m| m.mean()).unwrap_or(0.0),
+                row.p50.unwrap_or(0.0),
+                row.p95.unwrap_or(0.0)
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (rows, stats) = match query.rows(&reader) {
         Ok(v) => v,
         Err(e) => return fail(&e.to_string()),
     };
@@ -1210,7 +1289,7 @@ fn obs_summary(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e.to_string()),
     };
     reader.set_obs(metrics.obs.clone());
-    if let Err(e) = reader.par_collect_rtts(&ScanFilter::default(), cfg.threads) {
+    if let Err(e) = cloudy::store::Query::rtts().threads(cfg.threads).rows(&reader) {
         return fail(&e.to_string());
     }
     match emit_metrics(&metrics, true) {

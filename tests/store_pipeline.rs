@@ -14,7 +14,7 @@ use cloudy::measure::{Dataset, TeeSink};
 use cloudy::netsim::build::{build, WorldConfig};
 use cloudy::netsim::Simulator;
 use cloudy::probes::{speedchecker, Platform};
-use cloudy::store::{Reader, RecordKind, ScanFilter, Writer, WriterOptions};
+use cloudy::store::{Query, Reader, RecordKind, ScanFilter, Writer, WriterOptions};
 use std::collections::BTreeMap;
 
 /// One small real campaign, teed into a Dataset and a store file.
@@ -77,9 +77,9 @@ fn store_backed_medians_match_in_memory_exactly() {
     let in_memory: BTreeMap<_, f64> =
         groups.into_iter().map(|(k, v)| (k, Cdf::new(v).median())).collect();
 
-    let filter = ScanFilter { kind: Some(RecordKind::Ping), ..ScanFilter::default() };
+    let query = Query::rtts().kind(RecordKind::Ping);
     let from_store =
-        stats::country_region_medians_from_store(&reader, &filter).expect("store scan succeeds");
+        stats::country_region_medians_from_store(&reader, &query).expect("store scan succeeds");
     // Bit-for-bit equality: both paths sort the same multiset of f64s.
     assert_eq!(in_memory, from_store);
 }
@@ -107,4 +107,27 @@ fn provider_query_prunes_at_least_half_the_chunks() {
         })
         .expect("full scan succeeds");
     assert_eq!(rows, full);
+}
+
+/// Golden pin: the seed-13 campaign's per-(country, region) ping medians
+/// through the Query path, down to the exact f64 bits. Any change to the
+/// store codec, the pushdown planner, the scan order, or the quantile
+/// math that perturbs analysis results shows up here as a bit flip.
+#[test]
+fn golden_store_backed_medians_are_pinned() {
+    let (_, reader) = campaign_with_store(64);
+    let query = Query::rtts().kind(RecordKind::Ping);
+    let medians =
+        stats::country_region_medians_from_store(&reader, &query).expect("store scan succeeds");
+    assert_eq!(medians.len(), 118, "group count drifted");
+    let golden: [(&str, u16, u64); 3] = [
+        ("DE", 0, 0x403d_9ebc_238b_5e16),  // 29.620058270955347 ms
+        ("JP", 13, 0x403a_0591_ed1e_64e8), // 26.021757907791567 ms
+        ("BR", 9, 0x4067_3a90_5041_79c2),  // 185.83011639393050 ms
+    ];
+    for (cc, region, bits) in golden {
+        let key = (CountryCode::new(cc), cloudy::cloud::RegionId(region));
+        let got = medians.get(&key).unwrap_or_else(|| panic!("missing group {cc}/{region}"));
+        assert_eq!(got.to_bits(), bits, "median for {cc}/{region} drifted: {got}");
+    }
 }
