@@ -1,0 +1,328 @@
+//! §7's edge-vs-cloud decomposition, as library code.
+//!
+//! Two analyses that used to live only in the examples:
+//!
+//! * [`edge_vs_cloud`] — per continent, split the median end-to-end RTT
+//!   into wireless last mile vs. everything else. An edge server at the
+//!   last-mile hop can at best remove "everything else", so the residual
+//!   last-mile latency bounds what edge computing can achieve, and the
+//!   MTP/HPL verdicts follow.
+//! * [`lastmile_scenarios`] — keep the measured rest-of-path and swap the
+//!   last-mile process for the paper's forward-looking scenarios (LTE as
+//!   measured, early 5G, hypothetical mature 5G, wired), reporting
+//!   MTP/HPL feasibility against both cloud and best-case edge.
+//!
+//! Both take observable inputs only (traceroutes + a routing table
+//! resolver) and return typed rows in deterministic continent order; the
+//! examples are thin wrappers that render these rows as tables.
+
+use crate::error::AnalysisError;
+use crate::lastmile;
+use crate::latency_groups::{HPL_MS, MTP_MS};
+use crate::{stats, Resolver};
+use cloudy_geo::Continent;
+use cloudy_lastmile::{AccessProfile, AccessType};
+use cloudy_measure::TracerouteRecord;
+use cloudy_netsim::FlowRng;
+use std::collections::BTreeMap;
+
+/// One continent's §7 verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeVerdict {
+    /// Already within HPL from the cloud and the removable share is
+    /// small: an edge deployment has little to win.
+    CloudSuffices,
+    /// Outside HPL and most of the latency is removable wide-area
+    /// transit: edge servers would move the needle.
+    EdgeWouldHelp,
+    /// Neither clearly holds.
+    Marginal,
+}
+
+impl EdgeVerdict {
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeVerdict::CloudSuffices => "cloud suffices",
+            EdgeVerdict::EdgeWouldHelp => "edge would help",
+            EdgeVerdict::Marginal => "marginal",
+        }
+    }
+}
+
+/// One continent's median RTT decomposition and edge feasibility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeVsCloudRow {
+    pub continent: Continent,
+    /// Median end-to-end RTT.
+    pub total_ms: f64,
+    /// Median wireless/home last-mile RTT (USR→ISP).
+    pub lastmile_ms: f64,
+    /// What a first-hop edge server could remove at best:
+    /// `max(total - lastmile, 0)`.
+    pub removable_ms: f64,
+    /// Is the best-case edge RTT (the last mile alone) within MTP?
+    pub mtp_with_edge: bool,
+    /// Is the cloud RTT already within HPL, no edge needed?
+    pub hpl_without_edge: bool,
+    pub verdict: EdgeVerdict,
+}
+
+/// Decompose per-continent median latency into last mile vs. removable
+/// rest-of-path (the `edge_vs_cloud` example's analysis). Traces without
+/// an inferable last mile or a responding destination are skipped;
+/// errors only if *no* trace is usable.
+pub fn edge_vs_cloud(
+    traces: &[TracerouteRecord],
+    resolver: &Resolver,
+) -> Result<Vec<EdgeVsCloudRow>, AnalysisError> {
+    let per_continent = decompose(traces, resolver)?;
+    let mut rows = Vec::with_capacity(per_continent.len());
+    for (continent, (lastmile_ms, total_ms)) in per_continent {
+        let lm = stats::median(&lastmile_ms)
+            .ok_or_else(|| AnalysisError::data("empty last-mile distribution"))?;
+        let tot = stats::median(&total_ms)
+            .ok_or_else(|| AnalysisError::data("empty total-RTT distribution"))?;
+        let removable = (tot - lm).max(0.0);
+        let hpl_without_edge = tot <= HPL_MS;
+        let verdict = if hpl_without_edge && removable < tot * 0.5 {
+            EdgeVerdict::CloudSuffices
+        } else if !hpl_without_edge && removable > tot * 0.5 {
+            EdgeVerdict::EdgeWouldHelp
+        } else {
+            EdgeVerdict::Marginal
+        };
+        rows.push(EdgeVsCloudRow {
+            continent,
+            total_ms: tot,
+            lastmile_ms: lm,
+            removable_ms: removable,
+            // Best case with an edge server at the last-mile hop: the
+            // wireless segment remains.
+            mtp_with_edge: lm <= MTP_MS,
+            hpl_without_edge,
+            verdict,
+        });
+    }
+    Ok(rows)
+}
+
+/// The forward-looking last-mile scenarios of the `future_lastmile`
+/// example, in table order.
+pub fn scenarios() -> [(&'static str, AccessProfile); 4] {
+    [
+        ("LTE (as measured)", AccessProfile::baseline(AccessType::Cellular)),
+        ("early 5G [64,65]", AccessProfile::baseline(AccessType::Cellular5g)),
+        ("mature 5G (1-2 ms)", AccessProfile::hypothetical_mature_5g()),
+        ("wired (Atlas-like)", AccessProfile::baseline(AccessType::Wired)),
+    ]
+}
+
+/// One (continent, scenario) row of the future-last-mile analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastmileScenarioRow {
+    pub continent: Continent,
+    /// Measured median rest-of-path (total minus last mile).
+    pub rest_of_path_ms: f64,
+    /// Scenario label from [`scenarios`].
+    pub scenario: &'static str,
+    /// Median of the scenario's sampled last-mile process.
+    pub lastmile_ms: f64,
+    /// `lastmile + rest_of_path`.
+    pub cloud_rtt_ms: f64,
+    pub cloud_mtp: bool,
+    pub cloud_hpl: bool,
+    /// Edge at the first hop removes the rest of the path.
+    pub edge_mtp: bool,
+}
+
+/// Swap each continent's measured last mile for the scenario processes,
+/// keeping the measured rest-of-path (the `future_lastmile` example's
+/// analysis). Scenario medians are sampled deterministically: the flow id
+/// depends only on the continent, so rows are reproducible bit-for-bit.
+pub fn lastmile_scenarios(
+    traces: &[TracerouteRecord],
+    resolver: &Resolver,
+) -> Result<Vec<LastmileScenarioRow>, AnalysisError> {
+    let per_continent = decompose(traces, resolver)?;
+    let mut rows = Vec::with_capacity(per_continent.len() * 4);
+    for (continent, (lastmile_ms, total_ms)) in per_continent {
+        let rest: Vec<f64> = lastmile_ms
+            .iter()
+            .zip(&total_ms)
+            .map(|(lm, tot)| (tot - lm).max(0.0))
+            .collect();
+        let rest_med = stats::median(&rest)
+            .ok_or_else(|| AnalysisError::data("empty rest-of-path distribution"))?;
+        for (name, profile) in scenarios() {
+            // Median of the scenario's last-mile process, sampled.
+            let mut rng = FlowRng::new(7, continent as u64 + 1);
+            let samples: Vec<f64> = (0..20_000)
+                .map(|_| {
+                    let (w, u) = profile.sample_segments(&mut rng);
+                    w + u
+                })
+                .collect();
+            let lm_med = stats::median(&samples)
+                .ok_or_else(|| AnalysisError::data("empty scenario sample"))?;
+            let cloud = lm_med + rest_med;
+            rows.push(LastmileScenarioRow {
+                continent,
+                rest_of_path_ms: rest_med,
+                scenario: name,
+                lastmile_ms: lm_med,
+                cloud_rtt_ms: cloud,
+                cloud_mtp: cloud <= MTP_MS,
+                cloud_hpl: cloud <= HPL_MS,
+                edge_mtp: lm_med <= MTP_MS,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Per-continent paired samples: index i of both vectors came from the
+/// same trace.
+type PairedSamples = BTreeMap<Continent, (Vec<f64>, Vec<f64>)>;
+
+/// Shared front half: per continent, the paired (last-mile, total)
+/// samples of every trace with an inferable decomposition.
+fn decompose(
+    traces: &[TracerouteRecord],
+    resolver: &Resolver,
+) -> Result<PairedSamples, AnalysisError> {
+    let mut per_continent: PairedSamples = BTreeMap::new();
+    for t in traces {
+        let Some(lm) = lastmile::infer(t, resolver) else { continue };
+        let Some(total) = lm.total_ms else { continue };
+        let (lms, tots) = per_continent.entry(t.continent).or_default();
+        lms.push(lm.usr_isp_ms);
+        tots.push(total);
+    }
+    if per_continent.is_empty() {
+        return Err(AnalysisError::data(
+            "no traceroute had both an inferable last mile and a responding destination",
+        ));
+    }
+    Ok(per_continent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudy_cloud::{Provider, RegionId};
+    use cloudy_geo::CountryCode;
+    use cloudy_measure::HopRecord;
+    use cloudy_netsim::Protocol;
+    use cloudy_probes::{Platform, ProbeId};
+    use cloudy_topology::{Asn, IpPrefix, PrefixTable};
+    use std::net::Ipv4Addr;
+
+    fn table() -> PrefixTable {
+        let mut t = PrefixTable::new();
+        t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(10));
+        t.announce(IpPrefix::new(Ipv4Addr::new(13, 0, 0, 0), 16), Asn(15169));
+        t
+    }
+
+    fn trace(continent: Continent, lm_ms: f64, total_ms: f64) -> TracerouteRecord {
+        let hops: Vec<HopRecord> = [
+            (Ipv4Addr::new(192, 168, 0, 1), lm_ms * 0.5),
+            (Ipv4Addr::new(11, 0, 0, 1), lm_ms),
+            (Ipv4Addr::new(13, 0, 0, 1), total_ms),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, (ip, rtt))| HopRecord {
+            ttl: (i + 1) as u8,
+            ip: Some(*ip),
+            rtt_ms: Some(*rtt),
+        })
+        .collect();
+        let outcome = cloudy_measure::outcome_for_hops(&hops);
+        TracerouteRecord {
+            probe: ProbeId(1),
+            platform: Platform::Speedchecker,
+            country: CountryCode::new("DE"),
+            continent,
+            city: "Munich".into(),
+            isp: Asn(10),
+            access: cloudy_lastmile::AccessType::WifiHome,
+            region: RegionId(0),
+            provider: Provider::Google,
+            proto: Protocol::Icmp,
+            src_ip: Ipv4Addr::new(11, 0, 0, 2),
+            hops,
+            outcome,
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn decomposes_medians_per_continent() {
+        let t = table();
+        let r = Resolver::new(&t);
+        let traces = vec![
+            trace(Continent::Europe, 20.0, 35.0),
+            trace(Continent::Europe, 30.0, 45.0),
+            trace(Continent::Africa, 40.0, 160.0),
+        ];
+        let rows = edge_vs_cloud(&traces, &r).expect("usable traces");
+        assert_eq!(rows.len(), 2);
+        // BTreeMap order: Africa before Europe.
+        assert_eq!(rows[0].continent, Continent::Africa);
+        assert_eq!(rows[0].total_ms, 160.0);
+        assert_eq!(rows[0].lastmile_ms, 40.0);
+        assert_eq!(rows[0].removable_ms, 120.0);
+        assert_eq!(rows[0].verdict, EdgeVerdict::EdgeWouldHelp);
+        let eu = &rows[1];
+        assert_eq!(eu.continent, Continent::Europe);
+        // Cdf::median is the upper-rank element for even n.
+        assert_eq!(eu.lastmile_ms, 30.0);
+        assert_eq!(eu.total_ms, 45.0);
+        assert!(eu.hpl_without_edge);
+        assert_eq!(eu.verdict, EdgeVerdict::CloudSuffices);
+    }
+
+    #[test]
+    fn unusable_input_is_a_typed_error_not_a_panic() {
+        let t = table();
+        let r = Resolver::new(&t);
+        assert!(matches!(edge_vs_cloud(&[], &r), Err(AnalysisError::Data(_))));
+        // A trace with no responding hop decomposes nothing.
+        let mut tr = trace(Continent::Europe, 20.0, 35.0);
+        for hop in &mut tr.hops {
+            hop.ip = None;
+            hop.rtt_ms = None;
+        }
+        tr.outcome = cloudy_measure::outcome_for_hops(&tr.hops);
+        assert!(matches!(edge_vs_cloud(&[tr], &r), Err(AnalysisError::Data(_))));
+    }
+
+    #[test]
+    fn scenario_rows_are_deterministic_and_ordered() {
+        let t = table();
+        let r = Resolver::new(&t);
+        let traces = vec![trace(Continent::Europe, 20.0, 35.0)];
+        let a = lastmile_scenarios(&traces, &r).expect("usable");
+        let b = lastmile_scenarios(&traces, &r).expect("usable");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let labels: Vec<&str> = a.iter().map(|row| row.scenario).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "LTE (as measured)",
+                "early 5G [64,65]",
+                "mature 5G (1-2 ms)",
+                "wired (Atlas-like)"
+            ]
+        );
+        for row in &a {
+            assert_eq!(row.rest_of_path_ms, 15.0);
+            assert_eq!(row.cloud_rtt_ms, row.lastmile_ms + row.rest_of_path_ms);
+            assert_eq!(row.edge_mtp, row.lastmile_ms <= MTP_MS);
+        }
+        // The mature-5G radio beats the LTE one.
+        assert!(a[2].lastmile_ms < a[0].lastmile_ms);
+    }
+}

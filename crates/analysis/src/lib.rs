@@ -20,6 +20,8 @@
 //! * [`pervasiveness`] — Fig. 11's cloud-ownership ratio.
 //! * [`lastmile`] — §5's home/cellular inference and last-mile latency
 //!   extraction from traceroutes.
+//! * [`edge`] — §7's edge-vs-cloud decomposition and the forward-looking
+//!   last-mile scenario analysis (the examples render these).
 //! * [`latency_groups`] — the MTP/HPL/HRT thresholds and Fig. 3's country
 //!   latency bands.
 //! * [`nearest`] — "closest datacenter" estimation (lowest mean latency
@@ -45,6 +47,7 @@
 pub mod asmap;
 pub mod compare;
 pub mod confidence;
+pub mod edge;
 pub mod error;
 pub mod geoip;
 pub mod lastmile;
@@ -58,6 +61,8 @@ pub mod report;
 pub mod stats;
 
 pub use asmap::{Resolution, Resolver};
+pub use edge::{EdgeVerdict, EdgeVsCloudRow, LastmileScenarioRow};
+pub use error::AnalysisError;
 pub use lastmile::{InferredAccess, LastMile};
 pub use latency_groups::{LatencyBand, HPL_MS, HRT_MS, MTP_MS};
 pub use paths::AsLevelPath;

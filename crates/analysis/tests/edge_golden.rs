@@ -1,0 +1,150 @@
+//! Golden shape test for the §7 edge-vs-cloud decomposition and the
+//! forward-looking last-mile scenarios: row shapes are pinned to *exact
+//! f64 bits* over a fixed synthetic trace set, so any change to last-mile
+//! inference, the median convention, the scenario sampling processes, or
+//! the MTP/HPL thresholds shows up as a reviewed golden diff.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! CLOUDY_BLESS=1 cargo test -p cloudy-analysis --test edge_golden
+//! ```
+
+use cloudy_analysis::edge::{edge_vs_cloud, lastmile_scenarios};
+use cloudy_analysis::Resolver;
+use cloudy_cloud::{Provider, RegionId};
+use cloudy_geo::{Continent, CountryCode};
+use cloudy_lastmile::AccessType;
+use cloudy_measure::{HopRecord, TracerouteRecord};
+use cloudy_netsim::rng::mix;
+use cloudy_netsim::Protocol;
+use cloudy_probes::{Platform, ProbeId};
+use cloudy_topology::{Asn, IpPrefix, PrefixTable};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
+}
+
+fn check(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("CLOUDY_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, got).expect("write blessed golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{} unreadable ({e}); run with CLOUDY_BLESS=1 to create it", path.display())
+    });
+    assert_eq!(got, want, "golden mismatch in {name}; bless only if the change is intentional");
+}
+
+fn table() -> PrefixTable {
+    let mut t = PrefixTable::new();
+    t.announce(IpPrefix::new(Ipv4Addr::new(11, 0, 0, 0), 16), Asn(10));
+    t.announce(IpPrefix::new(Ipv4Addr::new(13, 0, 0, 0), 16), Asn(15169));
+    t
+}
+
+fn trace(continent: Continent, lm_ms: f64, total_ms: f64) -> TracerouteRecord {
+    let hops: Vec<HopRecord> = [
+        (Ipv4Addr::new(192, 168, 0, 1), lm_ms * 0.5),
+        (Ipv4Addr::new(11, 0, 0, 1), lm_ms),
+        (Ipv4Addr::new(13, 0, 0, 1), total_ms),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (ip, rtt))| HopRecord {
+        ttl: (i + 1) as u8,
+        ip: Some(*ip),
+        rtt_ms: Some(*rtt),
+    })
+    .collect();
+    let outcome = cloudy_measure::outcome_for_hops(&hops);
+    TracerouteRecord {
+        probe: ProbeId(1),
+        platform: Platform::Speedchecker,
+        country: CountryCode::new("DE"),
+        continent,
+        city: "Munich".into(),
+        isp: Asn(10),
+        access: AccessType::WifiHome,
+        region: RegionId(0),
+        provider: Provider::Google,
+        proto: Protocol::Icmp,
+        src_ip: Ipv4Addr::new(11, 0, 0, 2),
+        hops,
+        outcome,
+        hour: 0,
+    }
+}
+
+/// A deterministic unit draw from the repo's standard mixer.
+fn unit(parts: &[u64]) -> f64 {
+    (mix(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A fixed, seed-derived trace set over three continents. Pure function
+/// of the constant seed — no I/O, no clock.
+fn traces() -> Vec<TracerouteRecord> {
+    let mut out = Vec::new();
+    for (ci, continent) in
+        [Continent::Europe, Continent::Africa, Continent::SouthAmerica].iter().enumerate()
+    {
+        for i in 0..40u64 {
+            let lm = 8.0 + unit(&[11, ci as u64, i, 0]) * 40.0;
+            let rest = 10.0 + unit(&[11, ci as u64, i, 1]) * 120.0;
+            out.push(trace(*continent, lm, lm + rest));
+        }
+    }
+    out
+}
+
+#[test]
+fn edge_vs_cloud_shape_is_pinned_to_exact_bits() {
+    let t = table();
+    let resolver = Resolver::new(&t);
+    let rows = edge_vs_cloud(&traces(), &resolver).expect("usable traces");
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{} total {} lastmile {} removable {} mtp_edge {} hpl_cloud {} {}\n",
+            r.continent.code(),
+            bits(r.total_ms),
+            bits(r.lastmile_ms),
+            bits(r.removable_ms),
+            r.mtp_with_edge,
+            r.hpl_without_edge,
+            r.verdict.label()
+        ));
+    }
+    check("edge_vs_cloud.golden", &out);
+}
+
+#[test]
+fn lastmile_scenarios_shape_is_pinned_to_exact_bits() {
+    let t = table();
+    let resolver = Resolver::new(&t);
+    let rows = lastmile_scenarios(&traces(), &resolver).expect("usable traces");
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{} rest {} scenario {:?} lastmile {} cloud {} mtp {} hpl {} edge_mtp {}\n",
+            r.continent.code(),
+            bits(r.rest_of_path_ms),
+            r.scenario,
+            bits(r.lastmile_ms),
+            bits(r.cloud_rtt_ms),
+            r.cloud_mtp,
+            r.cloud_hpl,
+            r.edge_mtp
+        ));
+    }
+    check("lastmile_scenarios.golden", &out);
+}

@@ -31,8 +31,19 @@
 //! campaign or serve run with metrics and tracing fully enabled must be
 //! byte-identical to the uninstrumented reference — observability reads
 //! the wall clock, so a single leaked byte would destroy reproducibility.
+//!
+//! The inter-cloud plane joins last: the region↔region campaign streams
+//! [`cloudy_measure::CloudPingRecord`]s through the same block executor,
+//! so its store bytes — and the latency-gap matrix folded from them —
+//! must be identical across thread counts and with the per-block path
+//! cache on or off. The placement optimizer sits downstream of the
+//! store-backed grouped query; its picks and objective bits must not
+//! depend on which campaign leg produced the store it reads.
 
 use crate::finding::{AuditReport, Severity};
+use cloudy_intercloud::{
+    choose, latency_matrix, median_gap_ms, run_into, stats_from_store, IntercloudConfig,
+};
 use cloudy_lastmile::ArtifactConfig;
 use cloudy_measure::plan::PlanConfig;
 use cloudy_measure::{run_campaign_into, CampaignConfig, Dataset, TeeSink};
@@ -41,7 +52,7 @@ use cloudy_netsim::{FaultProfile, Simulator};
 use cloudy_obs::Obs;
 use cloudy_probes::{speedchecker, Platform};
 use cloudy_serve::{ServeConfig, Service};
-use cloudy_store::{Writer, WriterOptions};
+use cloudy_store::{Reader, Writer, WriterOptions};
 
 /// Configuration for the race check.
 #[derive(Debug, Clone, Copy)]
@@ -335,7 +346,122 @@ pub fn race_check(cfg: &RaceConfig) -> AuditReport {
     // skips, in-scan aggregation) must reproduce the legacy full-decode
     // scan byte for byte, at one thread and N.
     query_legs(&mut report, &serial_store, cfg.threads);
+    // Inter-cloud legs: the region↔region campaign and the placement
+    // optimizer downstream of the user stores.
+    intercloud_legs(&mut report, cfg, &serial_store, &parallel_store);
     report
+}
+
+/// Run the small inter-cloud campaign at `threads` workers and return its
+/// store bytes plus a lossless (raw f64 bits) render of the latency-gap
+/// matrix folded from them — the two observable outputs of the plane.
+fn intercloud_outputs(seed: u64, threads: usize, path_cache: bool) -> (Vec<u8>, String) {
+    let cfg = IntercloudConfig {
+        seed,
+        regions_per_provider: 1,
+        hours: 2,
+        samples_per_hour: 2,
+        threads,
+        path_cache,
+        ..IntercloudConfig::default()
+    };
+    // Small chunks again, so block drains cross flush boundaries.
+    let mut writer =
+        Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions { chunk_rows: 256 })
+            .expect("chunk_rows is positive"); // audit:allow(expect)
+    run_into(&cfg, &mut writer).expect("the small inter-cloud campaign always runs"); // audit:allow(expect)
+    let (bytes, _) = writer.finish().expect("Vec-backed store writer cannot fail"); // audit:allow(expect)
+    let reader = Reader::from_bytes(bytes.clone()).expect("a just-written store parses"); // audit:allow(expect)
+    let rows = latency_matrix(&reader).expect("the campaign covers every roster pair"); // audit:allow(expect)
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{:?}|{:?}|{:016x}|{:016x}|{:016x}|{}|{}\n",
+            r.src,
+            r.dst,
+            r.private_p50_ms.to_bits(),
+            r.public_p50_ms.to_bits(),
+            r.gap_ms.to_bits(),
+            r.private_count,
+            r.public_count,
+        ));
+    }
+    let gap = median_gap_ms(&rows).expect("the matrix is non-empty"); // audit:allow(expect)
+    out.push_str(&format!("median_gap|{:016x}\n", gap.to_bits()));
+    (bytes, out)
+}
+
+/// Render the placement optimizer's output over one user-campaign store,
+/// losslessly: shortlist size, picks, and the objective's raw f64 bits.
+fn placement_render(store_bytes: &[u8]) -> String {
+    let reader =
+        Reader::from_bytes(store_bytes.to_vec()).expect("a just-written store parses"); // audit:allow(expect)
+    let mut stats = stats_from_store(&reader).expect("the race campaign delivers pings"); // audit:allow(expect)
+    stats.restrict_to_top(12);
+    let p = choose(&stats, 3).expect("the shortlist is non-degenerate"); // audit:allow(expect)
+    let picks: Vec<String> = p.regions.iter().map(|r| r.0.to_string()).collect();
+    format!("shortlist {}|regions [{}]|p95 {:016x}", stats.candidates.len(), picks.join(","), p.p95_ms.to_bits())
+}
+
+/// The inter-cloud legs of the matrix: campaign store bytes and the
+/// derived gap matrix across thread counts × path-cache settings, plus
+/// the placement optimizer over both user-campaign stores.
+fn intercloud_legs(
+    report: &mut AuditReport,
+    cfg: &RaceConfig,
+    serial_store: &[u8],
+    parallel_store: &[u8],
+) {
+    report.checks_run += 1;
+    let (ref_store, ref_matrix) = intercloud_outputs(cfg.seed, 1, true);
+    if ref_store.is_empty() {
+        report.push(
+            Severity::Error,
+            "race",
+            "the inter-cloud reference campaign wrote no store bytes".into(),
+        );
+    }
+    for (label, threads, path_cache) in [
+        ("N-thread cached", cfg.threads, true),
+        ("1-thread uncached", 1, false),
+        ("N-thread uncached", cfg.threads, false),
+    ] {
+        report.checks_run += 1;
+        let (store, matrix) = intercloud_outputs(cfg.seed, threads, path_cache);
+        if store != ref_store || matrix != ref_matrix {
+            report.push(
+                Severity::Error,
+                "race",
+                format!(
+                    "{label} inter-cloud campaign diverges from the reference (store fnv1a \
+                     {:016x} vs {:016x}, matrix fnv1a {:016x} vs {:016x}) — the inter-cloud \
+                     stream depends on execution order",
+                    fnv1a(&store),
+                    fnv1a(&ref_store),
+                    fnv1a(matrix.as_bytes()),
+                    fnv1a(ref_matrix.as_bytes()),
+                ),
+            );
+        }
+    }
+    // Optimizer leg: the same picks and objective bits no matter which
+    // campaign leg produced the store the optimizer reads, and across
+    // repeated runs over the same bytes (its fold and search must hold no
+    // order-sensitive state).
+    report.checks_run += 1;
+    let (ps, pp) = (placement_render(serial_store), placement_render(parallel_store));
+    if ps != pp || ps != placement_render(serial_store) {
+        report.push(
+            Severity::Error,
+            "race",
+            format!(
+                "placement optimizer output diverges across campaign legs (fnv1a {:016x} vs \
+                 {:016x}: `{ps}` vs `{pp}`) — placement depends on execution order",
+                fnv1a(ps.as_bytes()),
+                fnv1a(pp.as_bytes()),
+            ),
+        );
+    }
 }
 
 /// Render the RTT projection losslessly (f64 as raw bits) so byte equality
@@ -429,6 +555,9 @@ fn query_legs(report: &mut AuditReport, store_bytes: &[u8], threads: usize) {
                 }
             }
         }
+        // The race world's user campaign produces no inter-cloud rows;
+        // the inter-cloud legs check those stores separately.
+        ChunkRows::CloudPings(_) => {}
     });
     if let Err(e) = full_decode {
         report.push(Severity::Error, "race", format!("query leg reference scan failed: {e}"));

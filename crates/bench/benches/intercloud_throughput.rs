@@ -1,0 +1,119 @@
+//! Inter-cloud plane throughput: how many cloud-ping records per
+//! wall-clock second the region↔region campaign sustains end to end
+//! (plan → block executor → store writer), and how long the placement
+//! optimizer takes from store bytes to picks.
+//!
+//! Three legs:
+//!
+//! * a **campaign** leg timing the full inter-cloud run into a columnar
+//!   store and reporting records/s;
+//! * a **determinism canary** re-running the campaign and asserting
+//!   byte-identical store output (the cheap stand-in for the audit race
+//!   matrix's inter-cloud legs);
+//! * an **optimizer** leg timing `stats_from_store` + shortlist +
+//!   branch-and-bound `choose` over a real user-campaign store.
+//!
+//! Writes `BENCH_intercloud.json` at the workspace root. Set
+//! `CLOUDY_BENCH_SMOKE=1` (as CI does) for a small pass over the same
+//! code paths.
+
+use cloudy_intercloud::{choose, run_into, stats_from_store, IntercloudConfig};
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_measure::plan::PlanConfig;
+use cloudy_measure::{run_campaign_into, CampaignConfig};
+use cloudy_netsim::build::{build, WorldConfig};
+use cloudy_netsim::Simulator;
+use cloudy_probes::{speedchecker, Platform};
+use cloudy_store::{Reader, Writer, WriterOptions};
+use std::time::Instant;
+
+/// One full inter-cloud campaign; returns (records, store bytes, wall s).
+fn campaign_leg(cfg: &IntercloudConfig) -> (u64, Vec<u8>, f64) {
+    let t0 = Instant::now();
+    let mut w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())
+        .expect("vec writer");
+    let stats = run_into(cfg, &mut w).expect("inter-cloud campaign runs");
+    let (bytes, _) = w.finish().expect("vec writer finishes");
+    (stats.delivered + stats.lost, bytes, t0.elapsed().as_secs_f64())
+}
+
+/// A user campaign over the small 4-country world — the optimizer's
+/// store-backed input.
+fn user_store(days: u32) -> Reader {
+    let world = build(&WorldConfig {
+        seed: 1,
+        isps_per_country: 2,
+        countries: Some(
+            ["DE", "JP", "BR", "KE"].iter().map(|c| cloudy_geo::CountryCode::new(c)).collect(),
+        ),
+    });
+    let pop = speedchecker::population(&world, 0.02, 1);
+    let sim = Simulator::new(world.net);
+    let cfg = CampaignConfig {
+        plan: PlanConfig { seed: 1, duration_days: days, ..PlanConfig::default() },
+        artifacts: ArtifactConfig::realistic(),
+        threads: 4,
+        ..CampaignConfig::default()
+    };
+    let mut w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())
+        .expect("vec writer");
+    run_campaign_into(&cfg, &sim, &pop, &mut w).expect("user campaign runs");
+    let (bytes, _) = w.finish().expect("vec writer finishes");
+    Reader::from_bytes(bytes).expect("store parses")
+}
+
+fn main() {
+    let smoke = std::env::var("CLOUDY_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let cfg = if smoke {
+        IntercloudConfig { seed: 1, regions_per_provider: 1, hours: 4, threads: 4, ..IntercloudConfig::default() }
+    } else {
+        IntercloudConfig { seed: 1, regions_per_provider: 2, hours: 24, threads: 8, ..IntercloudConfig::default() }
+    };
+    eprintln!(
+        "intercloud bench: {} regions/provider, {} hours, {} threads (smoke={smoke})",
+        cfg.regions_per_provider, cfg.hours, cfg.threads
+    );
+
+    // Warm-up pays one-time costs (region tables, allocator growth).
+    let _ = campaign_leg(&IntercloudConfig { hours: 1, ..cfg.clone() });
+
+    let (records, bytes, secs) = campaign_leg(&cfg);
+    assert!(records > 0, "campaign produced no records");
+    let records_s = records as f64 / secs;
+
+    // Determinism canary: same config, same bytes.
+    let (_, bytes2, _) = campaign_leg(&cfg);
+    assert_eq!(bytes, bytes2, "inter-cloud store output is not reproducible");
+
+    // Optimizer leg: aggregate fold + shortlist + exact k-choice, timed
+    // separately from the user campaign that feeds it.
+    let reader = user_store(if smoke { 1 } else { 2 });
+    let t0 = Instant::now();
+    let mut stats = stats_from_store(&reader).expect("user campaign delivers pings");
+    let fold_s = t0.elapsed().as_secs_f64();
+    let candidates = stats.candidates.len();
+    let t1 = Instant::now();
+    stats.restrict_to_top(16);
+    let k = 3;
+    let placement = choose(&stats, k).expect("shortlist is non-degenerate");
+    let optimize_s = t1.elapsed().as_secs_f64();
+    assert_eq!(placement.regions.len(), k, "optimizer returned a wrong-sized set");
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"regions_per_provider\": {},\n  \"hours\": {},\n  \
+         \"threads\": {},\n  \"records\": {records},\n  \"store_bytes\": {},\n  \
+         \"wall_s\": {secs:.3},\n  \"records_s\": {records_s:.0},\n  \
+         \"optimizer_candidates\": {candidates},\n  \"optimizer_k\": {k},\n  \
+         \"optimizer_fold_s\": {fold_s:.4},\n  \"optimizer_choose_s\": {optimize_s:.4}\n}}\n",
+        cfg.regions_per_provider,
+        cfg.hours,
+        cfg.threads,
+        bytes.len(),
+    );
+    print!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_intercloud.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e} (continuing)"),
+    }
+}

@@ -179,6 +179,8 @@ fn main() {
                         }
                     }
                 }
+                // Synthetic workload is user-plane only; no inter-cloud rows.
+                ChunkRows::CloudPings(_) => {}
             })
             .expect("naive scan succeeds");
         assert_eq!(vals.len(), provider_rows);

@@ -26,7 +26,7 @@ pub mod provider;
 pub mod region;
 pub mod wan;
 
-pub use peering::{InterconnectPolicy, PeeringKind};
+pub use peering::{cloud_interconnect, InterconnectPolicy, PeeringKind, RouteClass};
 pub use pop::{PopSite, PopSet};
 pub use provider::{Backbone, Provider};
 pub use region::{CloudRegion, RegionId};

@@ -19,7 +19,7 @@
 //! per-ISP overrides reproduce the named exceptions visible in Figs. 12a/13a
 //! and the Bahrain matrix in Fig. 18a.
 
-use crate::provider::Provider;
+use crate::provider::{Backbone, Provider};
 use crate::wan::WanFootprint;
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_topology::{known, Asn};
@@ -43,6 +43,90 @@ impl PeeringKind {
             PeeringKind::PrivateTransit => "1 AS",
             PeeringKind::Public => "2+ AS",
         }
+    }
+}
+
+/// Which plane carries a cloud-to-cloud (region↔region) measurement.
+///
+/// The inter-cloud campaigns probe every region pair twice: once over the
+/// provider private WAN(s) and once over the ordinary public Internet, so the
+/// private-vs-public latency gap — the quantity CloudCast measures between
+/// real provider regions — is a computed column, not an assumption.
+///
+/// Not serde-derived on purpose: the on-disk shape is owned by the manual
+/// `CloudPingRecord` serializer in `cloudy-measure` (wire-frozen), which
+/// round-trips through [`RouteClass::label`] / [`RouteClass::from_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RouteClass {
+    /// Ride the provider backbone(s); hand-off per [`cloud_interconnect`].
+    PrivateWan,
+    /// Ordinary hierarchical transit end to end, hub detours included.
+    PublicTransit,
+}
+
+impl RouteClass {
+    /// Both planes, private first — the order records are emitted per task.
+    pub const ALL: [RouteClass; 2] = [RouteClass::PrivateWan, RouteClass::PublicTransit];
+
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteClass::PrivateWan => "private",
+            RouteClass::PublicTransit => "public",
+        }
+    }
+
+    /// Inverse of [`RouteClass::label`].
+    pub fn from_label(s: &str) -> Option<RouteClass> {
+        match s {
+            "private" => Some(RouteClass::PrivateWan),
+            "public" => Some(RouteClass::PublicTransit),
+            _ => None,
+        }
+    }
+}
+
+/// How two cloud regions interconnect when traffic is *asked* to stay on the
+/// private plane ([`RouteClass::PrivateWan`]).
+///
+/// Policy, in order:
+///
+/// * Either side on a Public backbone (Vultr, Linode) → [`PeeringKind::Public`].
+///   There is no private plane to ride; this is the explicit peering-policy
+///   exception under which private RTT may equal (never beat) public RTT.
+/// * Same provider with the WAN spanning both continents → [`PeeringKind::Direct`]
+///   (pure backbone, the CloudCast intra-provider case).
+/// * Same provider across a WAN gap (e.g. Alibaba's non-Asian "islands",
+///   §6.1) → [`PeeringKind::PrivateTransit`]: one carrier bridges the gap.
+/// * Cross-provider with both WANs covering their own region's continent and
+///   a hypergiant on at least one side → [`PeeringKind::Direct`] (PNI at a
+///   shared colo; hypergiants peer with everyone, Fig. 10).
+/// * Anything else → [`PeeringKind::PrivateTransit`].
+///
+/// Pure function of the endpoints — no seed — so route construction is
+/// trivially deterministic.
+pub fn cloud_interconnect(
+    src: Provider,
+    src_continent: Continent,
+    dst: Provider,
+    dst_continent: Continent,
+) -> PeeringKind {
+    if src.backbone() == Backbone::Public || dst.backbone() == Backbone::Public {
+        return PeeringKind::Public;
+    }
+    if src == dst {
+        return if WanFootprint::new(src).wan_connects(src_continent, dst_continent) {
+            PeeringKind::Direct
+        } else {
+            PeeringKind::PrivateTransit
+        };
+    }
+    let covered = WanFootprint::new(src).spans(src_continent)
+        && WanFootprint::new(dst).spans(dst_continent);
+    if covered && (src.is_hypergiant() || dst.is_hypergiant()) {
+        PeeringKind::Direct
+    } else {
+        PeeringKind::PrivateTransit
     }
 }
 
@@ -383,6 +467,70 @@ mod tests {
         let c = p.transit_carrier(Provider::Oracle, Asn(200_123), de, CountryCode::new("GB"));
         assert!(
             [known::TELIA, known::GTT, known::LUMEN, known::SPARKLE, known::ZAYO].contains(&c)
+        );
+    }
+
+    #[test]
+    fn route_class_labels_round_trip() {
+        for rc in RouteClass::ALL {
+            assert_eq!(RouteClass::from_label(rc.label()), Some(rc));
+        }
+        assert_eq!(RouteClass::from_label("wat"), None);
+    }
+
+    #[test]
+    fn public_backbones_have_no_private_plane() {
+        use Continent::*;
+        for p in [Provider::Vultr, Provider::Linode] {
+            assert_eq!(
+                cloud_interconnect(p, Europe, Provider::Google, Europe),
+                PeeringKind::Public
+            );
+            assert_eq!(
+                cloud_interconnect(Provider::AmazonEc2, Asia, p, NorthAmerica),
+                PeeringKind::Public
+            );
+        }
+    }
+
+    #[test]
+    fn same_provider_rides_the_wan() {
+        use Continent::*;
+        assert_eq!(
+            cloud_interconnect(Provider::Google, Europe, Provider::Google, Asia),
+            PeeringKind::Direct
+        );
+        // Alibaba islands: Europe↔Asia is a WAN gap bridged by one carrier.
+        assert_eq!(
+            cloud_interconnect(Provider::Alibaba, Europe, Provider::Alibaba, Asia),
+            PeeringKind::PrivateTransit
+        );
+        assert_eq!(
+            cloud_interconnect(Provider::Alibaba, Asia, Provider::Alibaba, Asia),
+            PeeringKind::Direct
+        );
+    }
+
+    #[test]
+    fn cross_provider_hypergiants_direct_when_covered() {
+        use Continent::*;
+        assert_eq!(
+            cloud_interconnect(Provider::Google, Europe, Provider::Microsoft, NorthAmerica),
+            PeeringKind::Direct
+        );
+        assert_eq!(
+            cloud_interconnect(Provider::Ibm, Europe, Provider::AmazonEc2, Europe),
+            PeeringKind::Direct
+        );
+        // DigitalOcean in Asia is outside its own footprint → carrier haul.
+        assert_eq!(
+            cloud_interconnect(Provider::DigitalOcean, Asia, Provider::Google, Asia),
+            PeeringKind::PrivateTransit
+        );
+        // Two semis, both covered: private transit, not direct.
+        assert_eq!(
+            cloud_interconnect(Provider::Ibm, Europe, Provider::DigitalOcean, Europe),
+            PeeringKind::PrivateTransit
         );
     }
 

@@ -1,0 +1,74 @@
+//! Typed errors for the inter-cloud plane.
+
+use cloudy_measure::MeasureError;
+use cloudy_store::StoreError;
+use std::fmt;
+
+/// Why an inter-cloud campaign, matrix, or placement run failed.
+#[derive(Debug)]
+pub enum IntercloudError {
+    /// A configuration field failed validation.
+    Config {
+        field: &'static str,
+        reason: String,
+    },
+    /// The record sink (or the campaign machinery behind it) failed.
+    Measure(MeasureError),
+    /// A store scan behind the matrix or optimizer failed.
+    Store(StoreError),
+    /// The scan succeeded but the data cannot support the computation
+    /// (no cloud rows, no user coverage, empty candidate set).
+    Data(String),
+}
+
+impl IntercloudError {
+    pub fn config(field: &'static str, reason: impl Into<String>) -> IntercloudError {
+        IntercloudError::Config { field, reason: reason.into() }
+    }
+
+    pub fn data(reason: impl Into<String>) -> IntercloudError {
+        IntercloudError::Data(reason.into())
+    }
+}
+
+impl fmt::Display for IntercloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntercloudError::Config { field, reason } => {
+                write!(f, "invalid intercloud config: {field}: {reason}")
+            }
+            IntercloudError::Measure(e) => write!(f, "intercloud campaign: {e}"),
+            IntercloudError::Store(e) => write!(f, "intercloud store scan: {e}"),
+            IntercloudError::Data(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IntercloudError {}
+
+impl From<MeasureError> for IntercloudError {
+    fn from(e: MeasureError) -> IntercloudError {
+        IntercloudError::Measure(e)
+    }
+}
+
+impl From<StoreError> for IntercloudError {
+    fn from(e: StoreError) -> IntercloudError {
+        IntercloudError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_class() {
+        let c = IntercloudError::config("k", "must be positive");
+        assert_eq!(c.to_string(), "invalid intercloud config: k: must be positive");
+        let d = IntercloudError::data("no cloud rows in store");
+        assert_eq!(d.to_string(), "no cloud rows in store");
+        let m: IntercloudError = MeasureError::sink("full").into();
+        assert!(m.to_string().contains("full"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The provider latency-gap matrix: for every ordered provider pair, the
+//! median inter-cloud RTT over the private WAN vs the public internet,
+//! and the gap between them — the CloudCast headline quantity.
+//!
+//! Built entirely from store-backed [`Query`] group-bys over
+//! [`GroupKey::RouteProviderPair`] with exact quantiles: chunk pruning
+//! and projection pushdown apply, and iteration order is the `BTreeMap`
+//! group order, so the matrix is deterministic in the store bytes alone.
+
+use crate::error::IntercloudError;
+use cloudy_cloud::Provider;
+use cloudy_store::{Agg, GroupId, GroupKey, Query, Reader, RecordKind};
+use std::collections::BTreeMap;
+
+/// One ordered provider pair's medians and gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapRow {
+    pub src: Provider,
+    pub dst: Provider,
+    /// Exact median RTT over the private WAN (delivered samples).
+    pub private_p50_ms: f64,
+    /// Exact median RTT over public transit (delivered samples).
+    pub public_p50_ms: f64,
+    /// `public - private`; ~0 for pairs with no private plane.
+    pub gap_ms: f64,
+    /// Delivered private/public sample counts behind the medians.
+    pub private_count: u64,
+    pub public_count: u64,
+}
+
+/// Exact lower-rank median of a sorted-by-`total_cmp` value vector.
+fn exact_median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    Some(v[(v.len() - 1) / 2])
+}
+
+/// Compute the gap matrix from a store holding inter-cloud rows. Rows are
+/// ordered by (src, dst) provider; pairs where either route class has no
+/// delivered sample are dropped (the gap is undefined there).
+pub fn latency_matrix(reader: &Reader) -> Result<Vec<GapRow>, IntercloudError> {
+    let (table, _) = Query::rtts()
+        .kind(RecordKind::CloudPing)
+        .group_by(GroupKey::RouteProviderPair)
+        .aggregate(Agg::ExactQuantiles)
+        .grouped(reader)?;
+    if table.is_empty() {
+        return Err(IntercloudError::data("no delivered inter-cloud rows in store"));
+    }
+
+    // Fold (route, src, dst) groups into per-(src, dst) rows; each slot
+    // is the (median, count) of one route class — private then public.
+    type ClassSlots = [Option<(f64, u64)>; 2];
+    let mut pairs: BTreeMap<(Provider, Provider), ClassSlots> = BTreeMap::new();
+    for (id, row) in table {
+        let GroupId::RoutePair(route, src, dst) = id else {
+            return Err(IntercloudError::data(format!("unexpected group id {id:?}")));
+        };
+        let med = row
+            .values
+            .as_deref()
+            .and_then(exact_median)
+            .ok_or_else(|| IntercloudError::data("grouped query returned an empty group"))?;
+        let slot = match route {
+            cloudy_cloud::RouteClass::PrivateWan => 0,
+            cloudy_cloud::RouteClass::PublicTransit => 1,
+        };
+        pairs.entry((src, dst)).or_default()[slot] = Some((med, row.count));
+    }
+
+    Ok(pairs
+        .into_iter()
+        .filter_map(|((src, dst), [pri, pub_])| {
+            let (private_p50_ms, private_count) = pri?;
+            let (public_p50_ms, public_count) = pub_?;
+            Some(GapRow {
+                src,
+                dst,
+                private_p50_ms,
+                public_p50_ms,
+                gap_ms: public_p50_ms - private_p50_ms,
+                private_count,
+                public_count,
+            })
+        })
+        .collect())
+}
+
+/// The median gap across all matrix rows — the single-number summary the
+/// golden shape tests pin to exact bits.
+pub fn median_gap_ms(rows: &[GapRow]) -> Option<f64> {
+    exact_median(&rows.iter().map(|r| r.gap_ms).collect::<Vec<f64>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_into;
+    use crate::plan::IntercloudConfig;
+    use cloudy_probes::Platform;
+    use cloudy_store::{Writer, WriterOptions};
+
+    fn store() -> Reader {
+        let cfg = IntercloudConfig {
+            seed: 5,
+            regions_per_provider: 1,
+            hours: 4,
+            samples_per_hour: 2,
+            threads: 2,
+            ..IntercloudConfig::default()
+        };
+        let mut w =
+            Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default()).unwrap();
+        run_into(&cfg, &mut w).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        Reader::from_bytes(bytes).unwrap()
+    }
+
+    #[test]
+    fn matrix_covers_ordered_pairs_and_gap_is_nonnegative() {
+        let rows = latency_matrix(&store()).unwrap();
+        assert!(!rows.is_empty());
+        // Gap can only be negative if private medians beat public — which
+        // the pointwise private ≤ public sample invariant forbids.
+        for r in &rows {
+            assert!(r.gap_ms >= -1e-9, "{:?}->{:?} gap {}", r.src, r.dst, r.gap_ms);
+            assert!(r.private_count > 0 && r.public_count > 0);
+        }
+        // Deterministic ordering by (src, dst).
+        let keys: Vec<(Provider, Provider)> = rows.iter().map(|r| (r.src, r.dst)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(median_gap_ms(&rows).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_store_is_a_data_error() {
+        let w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default()).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        let reader = Reader::from_bytes(bytes).unwrap();
+        assert!(matches!(latency_matrix(&reader), Err(IntercloudError::Data(_))));
+    }
+}

@@ -1,0 +1,367 @@
+//! The multi-cloud placement optimizer: choose `k` regions minimizing the
+//! global weighted p95 user latency.
+//!
+//! The optimizer never sees a measurement row. Its whole input is
+//! [`PlacementStats`] — per-(country, region) p95 aggregates and
+//! per-country sample weights folded from one store-backed grouped
+//! [`Query`] ([`GroupKey::CountryRegion`], aggregation pushdown) — so it
+//! scales with (countries × regions), not with campaign size.
+//!
+//! The objective is the weighted nearest-rank p95 over countries of each
+//! country's best (lowest-p95) chosen region; a country no chosen region
+//! covers contributes `+∞`, which keeps the objective monotone
+//! non-increasing in set inclusion — the property the branch-and-bound
+//! pruning relies on. Ties break toward the lexicographically smallest
+//! region set, so the answer is deterministic and the brute-force twin
+//! ([`brute_force`]) is an exact oracle for it.
+
+use crate::error::IntercloudError;
+use cloudy_cloud::RegionId;
+use cloudy_geo::CountryCode;
+use cloudy_store::{Agg, GroupId, GroupKey, Query, Reader, RecordKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One country's view of the candidate regions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CountryStat {
+    /// Delivered user samples from this country (the country's weight in
+    /// the global objective).
+    pub weight: u64,
+    /// p95 user RTT from this country to each region it has coverage for.
+    pub p95_by_region: BTreeMap<RegionId, f64>,
+}
+
+/// The optimizer's entire input: store aggregates, never rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlacementStats {
+    pub countries: BTreeMap<CountryCode, CountryStat>,
+    /// All regions any country has coverage for, sorted — the candidate
+    /// set and the lex order ties break toward.
+    pub candidates: Vec<RegionId>,
+}
+
+/// A chosen region set and its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Chosen regions, in candidate (sorted) order.
+    pub regions: Vec<RegionId>,
+    /// Weighted nearest-rank p95 across countries of each country's best
+    /// chosen region. `+∞` when uncovered countries carry the tail rank
+    /// (more than 5% of the weight has no coverage in the set).
+    pub p95_ms: f64,
+}
+
+/// Fold user-plane ping aggregates into optimizer input. Uses P²
+/// quantile pushdown — the store scan keeps O(countries × regions)
+/// state and materializes no row vector.
+pub fn stats_from_store(reader: &Reader) -> Result<PlacementStats, IntercloudError> {
+    let (table, _) = Query::rtts()
+        .kind(RecordKind::Ping)
+        .group_by(GroupKey::CountryRegion)
+        .aggregate(Agg::Moments | Agg::P2Quantiles)
+        .grouped(reader)?;
+    let mut countries: BTreeMap<CountryCode, CountryStat> = BTreeMap::new();
+    let mut candidates: BTreeSet<RegionId> = BTreeSet::new();
+    for (id, row) in table {
+        let GroupId::CountryRegion(cc, region) = id else {
+            return Err(IntercloudError::data(format!("unexpected group id {id:?}")));
+        };
+        let p95 = row
+            .p95
+            .ok_or_else(|| IntercloudError::data("grouped query returned no p95 estimate"))?;
+        let stat = countries.entry(cc).or_default();
+        stat.weight += row.count;
+        stat.p95_by_region.insert(region, p95);
+        candidates.insert(region);
+    }
+    if countries.is_empty() {
+        return Err(IntercloudError::data("no delivered user ping rows in store"));
+    }
+    Ok(PlacementStats { countries, candidates: candidates.into_iter().collect() })
+}
+
+impl PlacementStats {
+    /// Shrink the candidate set to `n` regions picked greedily: each step
+    /// keeps the candidate that most improves the objective of the kept
+    /// set (ties by newly covered weight, then by region id). Greedy
+    /// keeps *complementary* regions — a region that alone is mediocre
+    /// but covers otherwise-unreachable weight survives. [`choose`] is
+    /// exact but exponential in the candidate count, so large stores
+    /// restrict before optimizing. Deterministic: the ranking is a pure
+    /// function of the aggregates.
+    pub fn restrict_to_top(&mut self, n: usize) {
+        if self.candidates.len() <= n {
+            return;
+        }
+        let mut kept: Vec<RegionId> = Vec::with_capacity(n);
+        let mut remaining = self.candidates.clone();
+        while kept.len() < n && !remaining.is_empty() {
+            let mut best: Option<(f64, u64, RegionId)> = None;
+            for &c in &remaining {
+                kept.push(c);
+                let obj = objective(self, &kept);
+                let covered: u64 = self
+                    .countries
+                    .values()
+                    .filter(|st| kept.iter().any(|r| st.p95_by_region.contains_key(r)))
+                    .map(|st| st.weight)
+                    .sum();
+                kept.pop();
+                // Smaller objective wins; then larger coverage; then the
+                // smaller region id.
+                let better = match &best {
+                    None => true,
+                    Some((bo, bc, br)) => {
+                        obj.total_cmp(bo).then(bc.cmp(&covered)).then(c.cmp(br))
+                            == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    best = Some((obj, covered, c));
+                }
+            }
+            let Some((_, _, pick)) = best else { break };
+            kept.push(pick);
+            remaining.retain(|&r| r != pick);
+        }
+        kept.sort();
+        self.candidates = kept;
+    }
+}
+
+/// The global objective for one chosen set: weighted nearest-rank p95
+/// over countries of each country's best chosen region.
+pub fn objective(stats: &PlacementStats, chosen: &[RegionId]) -> f64 {
+    let mut entries: Vec<(f64, u64)> = Vec::with_capacity(stats.countries.len());
+    let mut total: u64 = 0;
+    for stat in stats.countries.values() {
+        let best = chosen
+            .iter()
+            .filter_map(|r| stat.p95_by_region.get(r))
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        entries.push((best, stat.weight));
+        total += stat.weight;
+    }
+    if total == 0 {
+        return f64::INFINITY;
+    }
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Nearest-rank: the smallest latency with ≥95% of the weight at or
+    // below it. Integer arithmetic so the rank itself is exact.
+    let rank = (total * 95).div_ceil(100).max(1);
+    let mut cum: u64 = 0;
+    for (lat, w) in entries {
+        cum += w;
+        if cum >= rank {
+            return lat;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Choose `k` regions minimizing [`objective`], by branch-and-bound over
+/// k-combinations of the candidate set in lexicographic order.
+///
+/// Pruning is sound because the objective is monotone non-increasing in
+/// set inclusion: `objective(chosen ∪ all-remaining)` lower-bounds every
+/// completion of `chosen`. Pruning on `bound >= best` (and replacing only
+/// on strict improvement) is tie-safe: the lex-first optimum is found
+/// before any tied set could prune it.
+pub fn choose(stats: &PlacementStats, k: usize) -> Result<Placement, IntercloudError> {
+    if k == 0 {
+        return Err(IntercloudError::config("k", "must be positive"));
+    }
+    if stats.countries.is_empty() || stats.candidates.is_empty() {
+        return Err(IntercloudError::data("placement stats hold no coverage"));
+    }
+    let cands = &stats.candidates;
+    if k >= cands.len() {
+        return Ok(Placement { regions: cands.clone(), p95_ms: objective(stats, cands) });
+    }
+    let mut best: Option<Placement> = None;
+    let mut chosen: Vec<RegionId> = Vec::with_capacity(k);
+    search(stats, cands, k, 0, &mut chosen, &mut best);
+    best.ok_or_else(|| IntercloudError::data("search space was empty"))
+}
+
+fn search(
+    stats: &PlacementStats,
+    cands: &[RegionId],
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<RegionId>,
+    best: &mut Option<Placement>,
+) {
+    if chosen.len() == k {
+        let obj = objective(stats, chosen);
+        if best.as_ref().is_none_or(|b| obj < b.p95_ms) {
+            *best = Some(Placement { regions: chosen.clone(), p95_ms: obj });
+        }
+        return;
+    }
+    if let Some(b) = best.as_ref() {
+        // Optimistic completion: take *every* remaining candidate.
+        let mut optimistic = chosen.clone();
+        optimistic.extend_from_slice(&cands[start..]);
+        if objective(stats, &optimistic) >= b.p95_ms {
+            return;
+        }
+    }
+    let remaining = k - chosen.len();
+    for i in start..=cands.len() - remaining {
+        chosen.push(cands[i]);
+        search(stats, cands, k, i + 1, chosen, best);
+        chosen.pop();
+    }
+}
+
+/// Exhaustive oracle with the identical objective and tie rule. Only
+/// tractable on small instances — it exists so proptest can certify
+/// [`choose`].
+pub fn brute_force(stats: &PlacementStats, k: usize) -> Result<Placement, IntercloudError> {
+    if k == 0 {
+        return Err(IntercloudError::config("k", "must be positive"));
+    }
+    if stats.countries.is_empty() || stats.candidates.is_empty() {
+        return Err(IntercloudError::data("placement stats hold no coverage"));
+    }
+    let cands = &stats.candidates;
+    if k >= cands.len() {
+        return Ok(Placement { regions: cands.clone(), p95_ms: objective(stats, cands) });
+    }
+    let mut best: Option<Placement> = None;
+    let mut chosen: Vec<RegionId> = Vec::with_capacity(k);
+    enumerate(stats, cands, k, 0, &mut chosen, &mut best);
+    best.ok_or_else(|| IntercloudError::data("search space was empty"))
+}
+
+fn enumerate(
+    stats: &PlacementStats,
+    cands: &[RegionId],
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<RegionId>,
+    best: &mut Option<Placement>,
+) {
+    if chosen.len() == k {
+        let obj = objective(stats, chosen);
+        if best.as_ref().is_none_or(|b| obj < b.p95_ms) {
+            *best = Some(Placement { regions: chosen.clone(), p95_ms: obj });
+        }
+        return;
+    }
+    let remaining = k - chosen.len();
+    for i in start..=cands.len() - remaining {
+        chosen.push(cands[i]);
+        enumerate(stats, cands, k, i + 1, chosen, best);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built stats: two countries, three regions. DE (weight 90)
+    /// loves region 1; JP (weight 10) only reaches region 3. JP's 10% of
+    /// the weight straddles the 95th-rank tail, so ignoring JP is never
+    /// free.
+    fn toy() -> PlacementStats {
+        let mut countries = BTreeMap::new();
+        countries.insert(
+            CountryCode::new("DE"),
+            CountryStat {
+                weight: 90,
+                p95_by_region: BTreeMap::from([
+                    (RegionId(1), 10.0),
+                    (RegionId(2), 30.0),
+                ]),
+            },
+        );
+        countries.insert(
+            CountryCode::new("JP"),
+            CountryStat {
+                weight: 10,
+                p95_by_region: BTreeMap::from([(RegionId(3), 40.0)]),
+            },
+        );
+        PlacementStats {
+            countries,
+            candidates: vec![RegionId(1), RegionId(2), RegionId(3)],
+        }
+    }
+
+    #[test]
+    fn objective_is_the_weighted_tail_over_best_regions() {
+        let s = toy();
+        // rank = ceil(0.95 * 100) = 95: DE's entry covers weight 90, so
+        // the tail rank lands on JP's best (40.0).
+        assert_eq!(objective(&s, &[RegionId(1), RegionId(3)]), 40.0);
+        // JP uncovered and carrying the tail → infinity.
+        assert_eq!(objective(&s, &[RegionId(1)]), f64::INFINITY);
+        // A worse DE region stays below the tail entry.
+        assert_eq!(objective(&s, &[RegionId(2), RegionId(3)]), 40.0);
+    }
+
+    #[test]
+    fn choose_matches_brute_force_on_the_toy() {
+        let s = toy();
+        for k in 1..=3 {
+            let a = choose(&s, k).expect("choose");
+            let b = brute_force(&s, k).expect("brute force");
+            assert_eq!(a, b, "k={k}");
+        }
+        // {1,3} and {2,3} tie at 40.0; the lex-smaller set wins.
+        let best = choose(&s, 2).expect("choose");
+        assert_eq!(best.regions, vec![RegionId(1), RegionId(3)]);
+        assert_eq!(best.p95_ms, 40.0);
+    }
+
+    #[test]
+    fn k_zero_and_empty_stats_are_typed_errors() {
+        assert!(matches!(choose(&toy(), 0), Err(IntercloudError::Config { field: "k", .. })));
+        assert!(matches!(choose(&PlacementStats::default(), 1), Err(IntercloudError::Data(_))));
+    }
+
+    #[test]
+    fn k_at_least_candidates_takes_everything() {
+        let s = toy();
+        let p = choose(&s, 9).expect("choose");
+        assert_eq!(p.regions, s.candidates);
+        assert_eq!(p.p95_ms, 40.0);
+    }
+
+    #[test]
+    fn restrict_keeps_the_strongest_candidates() {
+        let mut s = toy();
+        let full = s.clone();
+        s.restrict_to_top(2);
+        // Greedy step 1: all solo objectives are +∞ (no region covers
+        // 95% alone); coverage picks a DE region, id tie → region 1.
+        // Step 2: only region 3 completes the coverage, so it survives
+        // even though region 2 has far more weight behind it.
+        assert_eq!(s.candidates, vec![RegionId(1), RegionId(3)]);
+        // Restriction preserved the optimum of the full instance.
+        assert_eq!(choose(&s, 2).expect("choose"), choose(&full, 2).expect("choose"));
+        // A no-op when the set is already small enough.
+        let mut t = toy();
+        t.restrict_to_top(10);
+        assert_eq!(t.candidates, toy().candidates);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lex_smallest_set() {
+        // Two regions identical for the only country: the smaller id wins.
+        let mut countries = BTreeMap::new();
+        countries.insert(
+            CountryCode::new("DE"),
+            CountryStat {
+                weight: 1,
+                p95_by_region: BTreeMap::from([(RegionId(4), 5.0), (RegionId(9), 5.0)]),
+            },
+        );
+        let s = PlacementStats { countries, candidates: vec![RegionId(4), RegionId(9)] };
+        assert_eq!(choose(&s, 1).expect("choose").regions, vec![RegionId(4)]);
+        assert_eq!(brute_force(&s, 1).expect("brute").regions, vec![RegionId(4)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden shape tests for the inter-cloud plane: the latency-gap matrix
+//! and the placement optimizer are pinned to *exact f64 bits* under a
+//! pinned seed, so any change to path synthesis, sampling, store codecs,
+//! query aggregation, or optimizer tie-breaking shows up as a golden
+//! diff — reviewed, never silent.
+//!
+//! Regenerate after an intentional shape change with:
+//!
+//! ```text
+//! CLOUDY_BLESS=1 cargo test -p cloudy-intercloud --test golden_shapes
+//! ```
+
+use cloudy_intercloud::{
+    choose, latency_matrix, median_gap_ms, run_into, stats_from_store, IntercloudConfig,
+};
+use cloudy_lastmile::ArtifactConfig;
+use cloudy_measure::plan::PlanConfig;
+use cloudy_measure::{run_campaign_into, CampaignConfig};
+use cloudy_netsim::build::{build, WorldConfig};
+use cloudy_netsim::Simulator;
+use cloudy_probes::{speedchecker, Platform};
+use cloudy_store::{Reader, Writer, WriterOptions};
+use std::path::PathBuf;
+
+/// Exact bit pattern of an f64 — the goldens pin these, not decimal
+/// renderings, so `0.1 + 0.2`-style drift cannot hide.
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden").join(name)
+}
+
+fn check(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("CLOUDY_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, got).expect("write blessed golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{} unreadable ({e}); run with CLOUDY_BLESS=1 to create it", path.display())
+    });
+    assert_eq!(got, want, "golden mismatch in {name}; bless only if the change is intentional");
+}
+
+/// The pinned inter-cloud campaign every matrix golden derives from.
+fn intercloud_store() -> Reader {
+    let cfg = IntercloudConfig {
+        seed: 5,
+        regions_per_provider: 1,
+        hours: 4,
+        samples_per_hour: 2,
+        threads: 2,
+        ..IntercloudConfig::default()
+    };
+    let mut w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())
+        .expect("vec writer");
+    run_into(&cfg, &mut w).expect("campaign runs");
+    let (bytes, _) = w.finish().expect("vec writer finishes");
+    Reader::from_bytes(bytes).expect("store parses")
+}
+
+/// The pinned user campaign the placement golden derives from: the audit
+/// race matrix's 4-country small world.
+fn user_store() -> Reader {
+    let world = build(&WorldConfig {
+        seed: 1,
+        isps_per_country: 2,
+        countries: Some(
+            ["DE", "JP", "BR", "KE"].iter().map(|c| cloudy_geo::CountryCode::new(c)).collect(),
+        ),
+    });
+    let pop = speedchecker::population(&world, 0.02, 1);
+    let sim = Simulator::new(world.net);
+    let cfg = CampaignConfig {
+        plan: PlanConfig { seed: 1, duration_days: 2, ..PlanConfig::default() },
+        artifacts: ArtifactConfig::realistic(),
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let mut w = Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())
+        .expect("vec writer");
+    run_campaign_into(&cfg, &sim, &pop, &mut w).expect("campaign runs");
+    let (bytes, _) = w.finish().expect("vec writer finishes");
+    Reader::from_bytes(bytes).expect("store parses")
+}
+
+#[test]
+fn latency_matrix_shape_is_pinned_to_exact_bits() {
+    let rows = latency_matrix(&intercloud_store()).expect("matrix");
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&format!(
+            "{} {} {} {} {} {} {}\n",
+            r.src.abbrev(),
+            r.dst.abbrev(),
+            bits(r.private_p50_ms),
+            bits(r.public_p50_ms),
+            bits(r.gap_ms),
+            r.private_count,
+            r.public_count
+        ));
+    }
+    out.push_str(&format!(
+        "median_gap {}\n",
+        bits(median_gap_ms(&rows).expect("matrix is non-empty"))
+    ));
+    check("matrix.golden", &out);
+}
+
+#[test]
+fn placement_picks_and_p95_are_pinned_to_exact_bits() {
+    let mut stats = stats_from_store(&user_store()).expect("aggregates");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "countries {} candidates {}\n",
+        stats.countries.len(),
+        stats.candidates.len()
+    ));
+    stats.restrict_to_top(12);
+    out.push_str(&format!("shortlist {}\n", stats.candidates.len()));
+    for k in [1, 2, 3, 4] {
+        let p = choose(&stats, k).expect("choose");
+        let picks: Vec<String> = p.regions.iter().map(|r| r.0.to_string()).collect();
+        out.push_str(&format!("k={k} regions [{}] p95 {}\n", picks.join(","), bits(p.p95_ms)));
+    }
+    check("placement.golden", &out);
+}

@@ -1,0 +1,134 @@
+//! Property tests for the inter-cloud plane.
+//!
+//! Two certificates:
+//!
+//! 1. The branch-and-bound placement optimizer equals the exhaustive
+//!    brute force (same picks, same objective bits, same tie rule) on
+//!    every small random instance — ≤8 candidate regions, k ≤ 3.
+//! 2. The private-vs-public sample invariant: whenever both route
+//!    classes of one (pair, seq, hour) deliver, the private-WAN RTT is
+//!    never above the public one — and on peering-policy exceptions
+//!    (public backbone either side, [`CloudPath::exception`]) the two
+//!    are bit-identical, because the "private" plane *is* the public
+//!    internet there.
+
+use cloudy_cloud::{region, RegionId};
+use cloudy_geo::CountryCode;
+use cloudy_intercloud::{brute_force, choose, objective, CountryStat, PlacementStats};
+use cloudy_netsim::intercloud::{cloud_path_pair, cloud_ping_at, CloudPath};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::BTreeMap;
+
+/// A random small placement instance: 1..=4 countries, 2..=8 candidate
+/// regions, sparse coverage with small-integer p95s (ties are common on
+/// purpose — the tie rule is part of the contract).
+fn arb_stats() -> impl Strategy<Value = PlacementStats> {
+    (
+        2usize..=8,
+        prop::collection::vec(
+            (
+                1u64..=50,                                     // country weight
+                prop::collection::vec(any::<bool>(), 8..9),    // coverage mask
+                prop::collection::vec(1u32..=12, 8..9),        // p95 buckets
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(n_regions, specs)| {
+            let codes = ["DE", "JP", "BR", "KE"];
+            let mut countries = BTreeMap::new();
+            for (ci, (weight, mask, buckets)) in specs.into_iter().enumerate() {
+                let mut p95_by_region = BTreeMap::new();
+                for r in 0..n_regions {
+                    // Guarantee at least one covered region per country
+                    // so instances are rarely degenerate.
+                    if mask[r] || r == ci % n_regions {
+                        p95_by_region
+                            .insert(RegionId(r as u16), f64::from(buckets[r]) * 5.0);
+                    }
+                }
+                countries
+                    .insert(CountryCode::new(codes[ci]), CountryStat { weight, p95_by_region });
+            }
+            let candidates: Vec<RegionId> = (0..n_regions).map(|r| RegionId(r as u16)).collect();
+            PlacementStats { countries, candidates }
+        })
+}
+
+proptest! {
+    #[test]
+    fn optimizer_equals_brute_force_on_small_instances(
+        stats in arb_stats(),
+        k in 1usize..=3,
+    ) {
+        let fast = choose(&stats, k).expect("non-degenerate instance");
+        let slow = brute_force(&stats, k).expect("non-degenerate instance");
+        // Same set, same tie rule, and the exact same objective bits.
+        prop_assert_eq!(&fast.regions, &slow.regions);
+        prop_assert_eq!(fast.p95_ms.to_bits(), slow.p95_ms.to_bits());
+        // The reported objective is the objective of the reported set.
+        prop_assert_eq!(fast.p95_ms.to_bits(), objective(&stats, &fast.regions).to_bits());
+    }
+
+    #[test]
+    fn private_rtt_never_beats_public_without_a_peering_exception(
+        seed in 0u64..1_000,
+        src_ix in 0usize..1_000,
+        dst_ix in 0usize..1_000,
+        seq in 0u64..50,
+        hour in 0u64..24,
+    ) {
+        let all: Vec<RegionId> = region::all().map(|(id, _)| id).collect();
+        let src = all[src_ix % all.len()];
+        let dst = all[dst_ix % all.len()];
+        if src == dst {
+            return Ok(());
+        }
+        let Some([pri, pub_]) = cloud_path_pair(src, dst) else {
+            return Err(TestCaseError("every distinct real pair has paths".into()));
+        };
+        let p = cloud_ping_at(seed, &pri, seq, hour);
+        let q = cloud_ping_at(seed, &pub_, seq, hour);
+        match (p, q) {
+            (Some(a), Some(b)) => {
+                if pri.exception {
+                    // Public-backbone carve-out: both planes are the same
+                    // wire, bit for bit.
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                } else {
+                    prop_assert!(a <= b, "private {a} > public {b} on {}->{}", src.0, dst.0);
+                }
+            }
+            // Shared loss draw + ordered loss probabilities: a delivered
+            // private with a lost public is possible off-exception, but a
+            // lost private with a delivered public never is.
+            (Some(_), None) => prop_assert!(!pri.exception, "exception planes share loss"),
+            (None, Some(_)) => {
+                return Err(TestCaseError(
+                    "private lost but public delivered — loss nesting violated".into(),
+                ));
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// The exception flag itself is a pure function of the pair and mirrors
+/// on both planes — checked exhaustively over a sample of pairs here
+/// because `proptest` shrinkage would only re-find what this pins.
+#[test]
+fn exception_flag_is_symmetric_across_planes() {
+    let all: Vec<RegionId> = region::all().map(|(id, _)| id).collect();
+    for (i, &src) in all.iter().enumerate().step_by(7) {
+        for &dst in all.iter().skip(i % 5).step_by(13) {
+            if src == dst {
+                continue;
+            }
+            let Some([pri, pub_]): Option<[CloudPath; 2]> = cloud_path_pair(src, dst) else {
+                panic!("pair {}->{} missing paths", src.0, dst.0);
+            };
+            assert_eq!(pri.exception, pub_.exception, "{}->{}", src.0, dst.0);
+        }
+    }
+}

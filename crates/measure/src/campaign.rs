@@ -345,6 +345,9 @@ fn run_attempts(
     let (kind_tag, proto) = match t.kind {
         TaskKind::Ping(p) => (0xD1A1u64, p),
         TaskKind::Traceroute(p) => (0x7124CEu64, p),
+        // Inter-cloud tasks run in cloudy-intercloud's executor and are
+        // filtered out before the probe retry loop (see `run_block`).
+        TaskKind::CloudPing => unreachable!("CloudPing tasks never enter run_attempts"),
     };
     let mut attempt = 0u32;
     let (outcome, hops) = loop {
@@ -384,6 +387,7 @@ fn run_attempts(
                         (outcome_for_hops(&hops), hops)
                     }
                 }
+                TaskKind::CloudPing => unreachable!("CloudPing tasks never enter run_attempts"),
             },
         };
         if !result.0.is_retryable() || attempt >= profile.max_retries {
@@ -437,6 +441,13 @@ fn run_block(
     }
     let mut fresh: Option<(ClientCtx, RoutePath)> = None;
     for t in tasks {
+        if t.kind == TaskKind::CloudPing {
+            // Inter-cloud tasks belong to cloudy-intercloud's executor; a
+            // user-campaign plan never contains them. Skip defensively so a
+            // mixed task list cannot index the probe population with a
+            // region-roster index.
+            continue;
+        }
         let probe = &pop.probes[t.probe_ix as usize];
         let (client, path): (&ClientCtx, &RoutePath) = if route_cache {
             (&clients[&t.probe_ix], &routes[&(t.probe_ix, t.region)])
@@ -483,6 +494,7 @@ fn run_block(
                     outcome,
                     hour: t.hour,
                 }),
+                TaskKind::CloudPing => unreachable!("filtered at loop top"),
             }
             continue;
         }
@@ -535,6 +547,7 @@ fn run_block(
                     hour: t.hour,
                 });
             }
+            TaskKind::CloudPing => unreachable!("filtered at loop top"),
         }
     }
     if shard.is_enabled() {
@@ -620,8 +633,6 @@ pub fn execute_tasks_into(
     tasks: &[plan::Task],
     sink: &mut impl RecordSink,
 ) -> Result<FailureStats, MeasureError> {
-    let threads = cfg.threads.max(1);
-    let blocks: Vec<&[plan::Task]> = tasks.chunks(BLOCK_TASKS).collect();
     let fault_ctx = (!cfg.faults.is_none()).then(|| FaultCtx {
         model: FaultModel::new(sim.net.seed, cfg.faults),
         avail: Availability::new(cfg.plan.seed),
@@ -629,39 +640,17 @@ pub fn execute_tasks_into(
     let mut totals = FailureStats::default();
     cfg.obs.add("campaign.tasks.planned", tasks.len() as u64);
 
-    for round in blocks.chunks(threads) {
-        let results: Vec<(Vec<PingRecord>, Vec<TracerouteRecord>, FailureStats, LocalShard)> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = round
-                    .iter()
-                    .enumerate()
-                    .map(|(lane, tasks)| {
-                        let artifacts = cfg.artifacts;
-                        let route_cache = cfg.route_cache;
-                        let fc = fault_ctx;
-                        let shard = cfg.obs.local();
-                        s.spawn(move |_| {
-                            run_block(
-                                sim,
-                                pop,
-                                &artifacts,
-                                tasks,
-                                route_cache,
-                                fc.as_ref(),
-                                lane as u32,
-                                shard,
-                            )
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect() // audit:allow(expect)
-            })
-            .expect("crossbeam scope"); // audit:allow(expect)
-
-        // Drain in block order: the record stream, the stats totals, and
-        // the merged metric shards are all invariant under the thread
-        // count.
-        for (pings, traces, stats, shard) in results {
+    let artifacts = cfg.artifacts;
+    let route_cache = cfg.route_cache;
+    let obs = &cfg.obs;
+    run_blocked(
+        cfg.threads,
+        BLOCK_TASKS,
+        tasks,
+        |lane, block| {
+            run_block(sim, pop, &artifacts, block, route_cache, fault_ctx.as_ref(), lane, obs.local())
+        },
+        |(pings, traces, stats, shard)| {
             for p in pings {
                 sink.sink_ping(p)?;
             }
@@ -670,12 +659,58 @@ pub fn execute_tasks_into(
             }
             totals.merge(&stats);
             cfg.obs.merge(shard);
-        }
-    }
+            Ok(())
+        },
+    )?;
     if cfg.obs.is_enabled() && cfg.route_cache {
         sim.route_cache().stats().export_into(&cfg.obs);
     }
     Ok(totals)
+}
+
+/// The deterministic block-executor round loop, factored out of
+/// [`execute_tasks_into`] so other planes (the inter-cloud campaign, the
+/// service scheduler) can reuse it with their own task and result types.
+///
+/// `tasks` is cut into `block_tasks`-sized blocks; each round runs up to
+/// `threads` blocks on crossbeam scoped threads, calling
+/// `run(lane, block)` on a worker, then drains the round's results into
+/// `drain` **in block order**. The drain sequence is therefore a pure
+/// function of the task sequence — invariant under `threads` — and at
+/// most `threads` results are ever buffered.
+///
+/// `run` must itself be deterministic in `(block)` alone; the `lane`
+/// argument is a within-round worker index for trace/span labeling only
+/// and must not influence the result value.
+pub fn run_blocked<T, R, E>(
+    threads: usize,
+    block_tasks: usize,
+    tasks: &[T],
+    run: impl Fn(u32, &[T]) -> R + Sync,
+    mut drain: impl FnMut(R) -> Result<(), E>,
+) -> Result<(), E>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = threads.max(1);
+    let blocks: Vec<&[T]> = tasks.chunks(block_tasks.max(1)).collect();
+    let run = &run;
+    for round in blocks.chunks(threads) {
+        let results: Vec<R> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = round
+                .iter()
+                .enumerate()
+                .map(|(lane, block)| s.spawn(move |_| run(lane as u32, block)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect() // audit:allow(expect)
+        })
+        .expect("crossbeam scope"); // audit:allow(expect)
+        for r in results {
+            drain(r)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -757,6 +792,12 @@ mod tests {
                 Err(MeasureError::sink("sink full"))
             }
             fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), MeasureError> {
+                Err(MeasureError::sink("sink full"))
+            }
+            fn sink_cloud(
+                &mut self,
+                _r: crate::record::CloudPingRecord,
+            ) -> Result<(), MeasureError> {
                 Err(MeasureError::sink("sink full"))
             }
         }
@@ -995,7 +1036,7 @@ mod tests {
         let err = CampaignConfig::builder().quota_per_day(0).build().unwrap_err();
         assert!(matches!(err, MeasureError::Config { field: "quota_per_day", .. }), "{err}");
         let err = CampaignConfig::builder()
-            .kinds(crate::plan::TaskKindSet { pings: false, traceroutes: false })
+            .kinds(crate::plan::TaskKindSet { pings: false, traceroutes: false, cloud_pings: false })
             .build()
             .unwrap_err();
         assert!(matches!(err, MeasureError::Config { field: "kinds", .. }), "{err}");

@@ -32,14 +32,16 @@ pub mod record;
 pub mod sink;
 
 pub use campaign::{
-    execute_into, execute_tasks_into, run_campaign, run_campaign_into, warm_route_cache,
-    CampaignConfig, CampaignConfigBuilder, FailureStats,
+    execute_into, execute_tasks_into, run_blocked, run_campaign, run_campaign_into,
+    warm_route_cache, CampaignConfig, CampaignConfigBuilder, FailureStats, BLOCK_TASKS,
 };
 pub use dataset::Dataset;
 pub use error::MeasureError;
 pub use plan::{MeasurementPlan, Task, TaskKind, TaskKindSet};
-pub use record::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
-pub use sink::{CountingSink, RecordSink, TeeSink};
+pub use record::{
+    outcome_for_hops, CloudPingRecord, HopRecord, PingRecord, TaskOutcome, TracerouteRecord,
+};
+pub use sink::{CloudPingSet, CountingSink, RecordSink, TeeSink};
 
 #[cfg(test)]
 mod proptests;

@@ -7,7 +7,7 @@
 //! analysis crate from the raw RTTs and hop IPs, exactly as the paper
 //! derives them from its dataset.
 
-use cloudy_cloud::{Provider, RegionId};
+use cloudy_cloud::{region, Provider, RegionId, RouteClass};
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_lastmile::AccessType;
 use cloudy_netsim::{Protocol, TraceHop};
@@ -91,6 +91,82 @@ impl PingRecord {
     /// The RTT when the ping delivered; `None` for failed tasks.
     pub fn rtt_ms(&self) -> Option<f64> {
         self.outcome.rtt_ms()
+    }
+}
+
+/// One inter-cloud ping: a region↔region measurement over one route plane.
+///
+/// Deliberately minimal — everything a reader might group by (provider,
+/// country, continent) is derivable from the static region table via the
+/// two region ids, so the wire shape stays small and stable. Serialization
+/// is hand-written like [`PingRecord`]: delivered pings write `rtt_ms` and
+/// omit `outcome`; `route` round-trips through [`RouteClass::label`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudPingRecord {
+    /// Probing region.
+    pub src: RegionId,
+    /// Probed region.
+    pub dst: RegionId,
+    /// Which plane carried the probe.
+    pub route: RouteClass,
+    /// How the task resolved; [`TaskOutcome::Ok`] carries the RTT.
+    pub outcome: TaskOutcome,
+    /// Campaign hour of the measurement.
+    pub hour: u64,
+}
+
+impl CloudPingRecord {
+    /// The RTT when the ping delivered; `None` for failed tasks.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        self.outcome.rtt_ms()
+    }
+
+    /// Provider of the probing region (from the static region table).
+    pub fn src_provider(&self) -> Option<Provider> {
+        region::by_id(self.src).map(|r| r.provider)
+    }
+
+    /// Provider of the probed region.
+    pub fn dst_provider(&self) -> Option<Provider> {
+        region::by_id(self.dst).map(|r| r.provider)
+    }
+}
+
+impl Serialize for CloudPingRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("src".to_string(), self.src.to_value()),
+            ("dst".to_string(), self.dst.to_value()),
+            ("route".to_string(), self.route.label().to_string().to_value()),
+        ];
+        match self.outcome {
+            TaskOutcome::Ok(rtt) => fields.push(("rtt_ms".to_string(), rtt.to_value())),
+            ref failed => fields.push(("outcome".to_string(), failed.to_value())),
+        }
+        fields.push(("hour".to_string(), self.hour.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> Deserialize<'de> for CloudPingRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let label: String = serde::object_field(v, "route")?;
+        let route = RouteClass::from_label(&label)
+            .ok_or_else(|| serde::Error::custom(format!("unknown route class `{label}`")))?;
+        let outcome = match v.get("rtt_ms") {
+            Some(rtt) => TaskOutcome::Ok(
+                f64::from_value(rtt)
+                    .map_err(|e| serde::Error::custom(format!("field `rtt_ms`: {e}")))?,
+            ),
+            None => serde::object_field::<TaskOutcome>(v, "outcome")?,
+        };
+        Ok(CloudPingRecord {
+            src: serde::object_field(v, "src")?,
+            dst: serde::object_field(v, "dst")?,
+            route,
+            outcome,
+            hour: serde::object_field(v, "hour")?,
+        })
     }
 }
 
@@ -382,6 +458,51 @@ mod tests {
     #[test]
     fn empty_trace_has_no_latency() {
         assert_eq!(trace(vec![]).end_to_end_ms(), None);
+    }
+
+    fn cloud_ping(outcome: TaskOutcome) -> CloudPingRecord {
+        CloudPingRecord {
+            src: RegionId(3),
+            dst: RegionId(77),
+            route: RouteClass::PrivateWan,
+            outcome,
+            hour: 9,
+        }
+    }
+
+    #[test]
+    fn cloud_pings_keep_the_ping_wire_discipline() {
+        let json = serde_json::to_string(&cloud_ping(TaskOutcome::Ok(8.25))).unwrap();
+        assert!(json.contains("\"rtt_ms\":8.25"), "{json}");
+        assert!(json.contains("\"route\":\"private\""), "{json}");
+        assert!(!json.contains("outcome"), "{json}");
+        let back: CloudPingRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cloud_ping(TaskOutcome::Ok(8.25)));
+
+        for outcome in [TaskOutcome::Lost, TaskOutcome::Timeout(800.0)] {
+            let r = CloudPingRecord { route: RouteClass::PublicTransit, ..cloud_ping(outcome) };
+            let json = serde_json::to_string(&r).unwrap();
+            assert!(json.contains("outcome"), "{json}");
+            assert!(json.contains("\"route\":\"public\""), "{json}");
+            assert!(!json.contains("rtt_ms"), "{json}");
+            let back: CloudPingRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn cloud_ping_rejects_unknown_route_labels() {
+        let json = r#"{"src":1,"dst":2,"route":"scenic","rtt_ms":1.0,"hour":0}"#;
+        assert!(serde_json::from_str::<CloudPingRecord>(json).is_err());
+    }
+
+    #[test]
+    fn cloud_ping_providers_resolve_from_region_table() {
+        let r = cloud_ping(TaskOutcome::Ok(1.0));
+        assert!(r.src_provider().is_some());
+        assert!(r.dst_provider().is_some());
+        let bad = CloudPingRecord { src: RegionId(u16::MAX), ..r };
+        assert_eq!(bad.src_provider(), None);
     }
 
     #[test]

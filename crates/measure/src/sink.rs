@@ -7,7 +7,7 @@
 
 use crate::dataset::Dataset;
 use crate::error::MeasureError;
-use crate::record::{PingRecord, TracerouteRecord};
+use crate::record::{CloudPingRecord, PingRecord, TracerouteRecord};
 
 /// A destination for campaign records, fed in deterministic plan order.
 ///
@@ -15,9 +15,14 @@ use crate::record::{PingRecord, TracerouteRecord};
 /// first error. Implementations must be order-sensitive-safe: the executor
 /// guarantees the record sequence is identical for every thread count, so
 /// a deterministic sink yields byte-identical output across thread counts.
+///
+/// `sink_cloud` has no default on purpose: every sink must decide what an
+/// inter-cloud row means for it (store it, count it, or reject it), rather
+/// than silently dropping a record kind it predates.
 pub trait RecordSink {
     fn sink_ping(&mut self, r: PingRecord) -> Result<(), MeasureError>;
     fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError>;
+    fn sink_cloud(&mut self, r: CloudPingRecord) -> Result<(), MeasureError>;
 }
 
 impl RecordSink for Dataset {
@@ -28,6 +33,35 @@ impl RecordSink for Dataset {
 
     fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError> {
         self.traces.push(r);
+        Ok(())
+    }
+
+    fn sink_cloud(&mut self, _r: CloudPingRecord) -> Result<(), MeasureError> {
+        // The jsonl/binary dataset codecs predate the inter-cloud plane and
+        // their shapes are pinned by exported files; inter-cloud campaigns
+        // stream to the columnar store (or a CloudPingSet) instead.
+        Err(MeasureError::sink("Dataset does not accept inter-cloud records"))
+    }
+}
+
+/// In-memory collection sink for inter-cloud rows (the `Dataset` analog for
+/// the inter-cloud plane, without touching `Dataset`'s pinned codecs).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CloudPingSet {
+    pub pings: Vec<CloudPingRecord>,
+}
+
+impl RecordSink for CloudPingSet {
+    fn sink_ping(&mut self, _r: PingRecord) -> Result<(), MeasureError> {
+        Err(MeasureError::sink("CloudPingSet only accepts inter-cloud records"))
+    }
+
+    fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), MeasureError> {
+        Err(MeasureError::sink("CloudPingSet only accepts inter-cloud records"))
+    }
+
+    fn sink_cloud(&mut self, r: CloudPingRecord) -> Result<(), MeasureError> {
+        self.pings.push(r);
         Ok(())
     }
 }
@@ -55,6 +89,11 @@ impl<A: RecordSink, B: RecordSink> RecordSink for TeeSink<'_, A, B> {
         self.a.sink_trace(r.clone())?;
         self.b.sink_trace(r)
     }
+
+    fn sink_cloud(&mut self, r: CloudPingRecord) -> Result<(), MeasureError> {
+        self.a.sink_cloud(r)?;
+        self.b.sink_cloud(r)
+    }
 }
 
 /// A sink that only counts, for sizing runs without storing anything.
@@ -62,6 +101,7 @@ impl<A: RecordSink, B: RecordSink> RecordSink for TeeSink<'_, A, B> {
 pub struct CountingSink {
     pub pings: u64,
     pub traces: u64,
+    pub cloud_pings: u64,
 }
 
 impl RecordSink for CountingSink {
@@ -72,6 +112,11 @@ impl RecordSink for CountingSink {
 
     fn sink_trace(&mut self, _r: TracerouteRecord) -> Result<(), MeasureError> {
         self.traces += 1;
+        Ok(())
+    }
+
+    fn sink_cloud(&mut self, _r: CloudPingRecord) -> Result<(), MeasureError> {
+        self.cloud_pings += 1;
         Ok(())
     }
 }

@@ -42,6 +42,7 @@ pub mod client;
 pub mod faults;
 pub mod hop;
 pub mod hubs;
+pub mod intercloud;
 pub mod latency;
 pub mod network;
 pub mod path;
@@ -52,6 +53,7 @@ pub use cache::{CacheStats, RouteCache, RouteKey};
 pub use client::ClientCtx;
 pub use faults::{FaultDraw, FaultModel, FaultProfile};
 pub use hop::{Hop, HopKind};
+pub use intercloud::{cloud_path, cloud_path_pair, cloud_ping_at, CloudPath};
 pub use network::{Network, RegionEndpoint};
 pub use path::RoutePath;
 pub use rng::FlowRng;

@@ -132,6 +132,12 @@ impl RecordSink for ServiceSink<'_> {
         self.agg.observe_trace(&r);
         self.writer.sink_trace(r)
     }
+
+    fn sink_cloud(&mut self, r: cloudy_measure::CloudPingRecord) -> Result<(), MeasureError> {
+        // Tenants plan user-plane tasks only; the service never produces
+        // inter-cloud rows, but the store accepts them, so pass through.
+        self.writer.sink_cloud(r)
+    }
 }
 
 /// The standing measurement service over one simulated world.

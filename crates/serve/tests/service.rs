@@ -56,10 +56,7 @@ fn service_exercises_every_admission_outcome() {
     let mut rows = 0u64;
     reader
         .for_each(&cloudy_store::ScanFilter::default(), |c| {
-            rows += match c {
-                cloudy_store::ChunkRows::Pings(p) => p.len() as u64,
-                cloudy_store::ChunkRows::Traces(t) => t.len() as u64,
-            }
+            rows += c.len() as u64
         })
         .expect("store scans");
     assert_eq!(rows, report.records);

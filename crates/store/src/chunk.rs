@@ -15,6 +15,10 @@
 //! | hop ip / hop rtt  | presence bitmap + packed present values    |
 //! | outcome           | trailing optional block: one tag per row + f64 budget per `Timeout` row |
 //!
+//! Inter-cloud chunks are narrower: src/dst region (delta), route class
+//! (raw u8), rtt, hour, and the same optional trailing outcome block —
+//! probe metadata columns do not exist on that plane.
+//!
 //! The outcome block is appended at the very end of the chunk body and
 //! *only when at least one row failed*; the rtt column then holds just the
 //! delivered (`Ok`) rows' values. All-`Ok` chunks are byte-identical to the
@@ -28,11 +32,14 @@ use crate::codec::{
 };
 use crate::schema::{
     access_from_tag, access_tag, continent_from_tag, continent_tag, outcome_from_tag,
-    outcome_tag, proto_from_tag, proto_tag, RecordKind, OUTCOME_OK, OUTCOME_TIMEOUT,
+    outcome_tag, proto_from_tag, proto_tag, route_from_tag, route_tag, RecordKind, OUTCOME_OK,
+    OUTCOME_TIMEOUT,
 };
-use cloudy_cloud::{Provider, RegionId};
+use cloudy_cloud::{region, Provider, RegionId, RouteClass};
 use cloudy_geo::CountryCode;
-use cloudy_measure::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
+use cloudy_measure::{
+    outcome_for_hops, CloudPingRecord, HopRecord, PingRecord, TaskOutcome, TracerouteRecord,
+};
 use cloudy_probes::{Platform, ProbeId};
 use cloudy_topology::Asn;
 use std::net::Ipv4Addr;
@@ -346,6 +353,106 @@ pub fn encode_traces(rows: &[TracerouteRecord], provider: Provider) -> (Vec<u8>,
     (out, footer)
 }
 
+/// Source-region countries of an inter-cloud chunk, for footer pruning
+/// (`from_rows` sorts and dedups). Regions missing from the region table
+/// contribute nothing: such a row has no country, so a country-filtered
+/// scan cannot match it either.
+fn cloud_countries(rows: &[CloudPingRecord]) -> Vec<CountryCode> {
+    rows.iter().filter_map(|r| region::by_id(r.src).map(|reg| reg.country())).collect()
+}
+
+/// Encode one inter-cloud ping chunk; returns (body, footer). Column
+/// layout: src region (delta), dst region (delta), route class (raw u8),
+/// rtt (delivered rows only), hour (delta), then the optional trailing
+/// outcome block shared with the ping format. The partition provider is
+/// the *destination* provider — the writer's partition key.
+pub fn encode_cloud_pings(rows: &[CloudPingRecord], provider: Provider) -> (Vec<u8>, ChunkFooter) {
+    let mut out = Vec::new();
+
+    let mut src = Vec::new();
+    put_delta_u64(&mut src, rows.iter().map(|r| u64::from(r.src.0)));
+    put_block(&mut out, &src);
+
+    let mut dst = Vec::new();
+    put_delta_u64(&mut dst, rows.iter().map(|r| u64::from(r.dst.0)));
+    put_block(&mut out, &dst);
+
+    let route: Vec<u8> = rows.iter().map(|r| route_tag(r.route)).collect();
+    put_block(&mut out, &route);
+
+    let rtt_vals: Vec<f64> = rows.iter().filter_map(|r| r.rtt_ms()).collect();
+    let mut rtt = Vec::new();
+    put_rtts(&mut rtt, &rtt_vals);
+    put_block(&mut out, &rtt);
+
+    let mut hour = Vec::new();
+    put_delta_u64(&mut hour, rows.iter().map(|r| r.hour));
+    put_block(&mut out, &hour);
+
+    put_outcomes(&mut out, rows.iter().map(|r| &r.outcome));
+
+    let hours: Vec<u64> = rows.iter().map(|r| r.hour).collect();
+    let footer = ChunkFooter::from_rows(
+        RecordKind::CloudPing,
+        provider,
+        rows.len() as u64,
+        rows.iter().map(|r| r.rtt_ms()),
+        &hours,
+        &cloud_countries(rows),
+    );
+    (out, footer)
+}
+
+/// Decode an inter-cloud chunk body into full records. No platform
+/// parameter: both endpoints are cloud regions, so the record type carries
+/// none.
+pub fn decode_cloud_pings(
+    body: &[u8],
+    rows: usize,
+    _provider: Provider,
+) -> Result<Vec<CloudPingRecord>, StoreError> {
+    let mut cur = Cursor::new(body);
+    let mut src_blk = get_block(&mut cur)?;
+    let src = get_delta_u64(&mut src_blk, rows)?;
+    let mut dst_blk = get_block(&mut cur)?;
+    let dst = get_delta_u64(&mut dst_blk, rows)?;
+    let route_raw = get_block(&mut cur)?.bytes(rows)?.to_vec();
+    let route = route_raw.into_iter().map(route_from_tag).collect::<Result<Vec<_>, _>>()?;
+    let mut rtt_blk = get_block(&mut cur)?;
+    let mut hour_blk = get_block(&mut cur)?;
+    let hour = get_delta_u64(&mut hour_blk, rows)?;
+    let outcomes = get_outcomes(&mut cur, rows)?;
+    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
+
+    let mut out = Vec::with_capacity(rows);
+    let mut rtt_ix = 0usize;
+    let mut budget_ix = 0usize;
+    for i in 0..rows {
+        let tag = outcomes.as_ref().map_or(OUTCOME_OK, |(tags, _)| tags[i]);
+        let payload = match tag {
+            OUTCOME_OK => {
+                let v = rtt[rtt_ix];
+                rtt_ix += 1;
+                v
+            }
+            OUTCOME_TIMEOUT => {
+                let b = outcomes.as_ref().map_or(0.0, |(_, budgets)| budgets[budget_ix]);
+                budget_ix += 1;
+                b
+            }
+            _ => 0.0,
+        };
+        out.push(CloudPingRecord {
+            src: region_of(src[i])?,
+            dst: region_of(dst[i])?,
+            route: route[i],
+            outcome: outcome_from_tag(tag, payload)?,
+            hour: hour[i],
+        });
+    }
+    Ok(out)
+}
+
 struct MetaDecoded {
     probe: Vec<u64>,
     country: Vec<CountryCode>,
@@ -605,6 +712,10 @@ pub struct RowPred {
     pub max_rtt_ms: Option<f64>,
     pub min_hour: Option<u64>,
     pub max_hour: Option<u64>,
+    /// Route-class filter; only inter-cloud rows carry a route, so the
+    /// ping/trace kernels ignore it (the query layer restricts a routed
+    /// query to cloud chunks before the kernels run).
+    pub route: Option<RouteClass>,
 }
 
 impl RowPred {
@@ -631,13 +742,17 @@ pub struct ProjSpec {
     pub region: bool,
     pub isp: bool,
     pub hour: bool,
+    /// Decode the inter-cloud route-class column (cloud chunks only).
+    pub route: bool,
+    /// Resolve the inter-cloud source provider (cloud chunks only).
+    pub src_provider: bool,
 }
 
 impl ProjSpec {
     /// The projection behind the legacy [`RttRow`] scans: country, region,
     /// and hour decoded, ISP skipped.
     pub fn rtt_row() -> ProjSpec {
-        ProjSpec { country: true, region: true, isp: false, hour: true }
+        ProjSpec { country: true, region: true, hour: true, ..ProjSpec::default() }
     }
 }
 
@@ -653,6 +768,13 @@ pub struct ProjRow {
     pub isp: Asn,
     pub hour: u64,
     pub rtt_ms: f64,
+    /// Inter-cloud route class; `None` for ping/trace rows (and when the
+    /// route column was not in the [`ProjSpec`]).
+    pub route: Option<RouteClass>,
+    /// Inter-cloud source-region provider; `None` for ping/trace rows (and
+    /// when unrequested). `provider` itself is the destination provider —
+    /// the chunk partition key — for every row kind.
+    pub src_provider: Option<Provider>,
 }
 
 impl ProjRow {
@@ -800,6 +922,8 @@ impl MetaScan {
             },
             hour,
             rtt_ms,
+            route: None,
+            src_provider: None,
         })
     }
 }
@@ -929,6 +1053,92 @@ pub fn scan_trace_chunk(
     Ok(ChunkScan::Scanned { matched })
 }
 
+/// Pushdown projection scan of an inter-cloud chunk; see
+/// [`scan_ping_chunk`]. Row semantics for the shared [`ProjRow`] shape:
+/// `provider` is the destination provider (the partition key), `region`
+/// the destination region, `country` the *source* region's country, and
+/// `isp` the source provider's ASN — so country/ISP predicates ask "probes
+/// homed at this source" just as they do for user rows. Rows whose source
+/// region is missing from the region table never match a country or ISP
+/// predicate.
+pub fn scan_cloud_chunk(
+    body: &[u8],
+    rows: usize,
+    provider: Provider,
+    pred: &RowPred,
+    proj: ProjSpec,
+    emit: &mut impl FnMut(ProjRow),
+) -> Result<ChunkScan, StoreError> {
+    let mut cur = Cursor::new(body);
+    let need_src =
+        proj.country || proj.isp || proj.src_provider || pred.country.is_some() || pred.isp.is_some();
+    let src = if need_src {
+        let mut blk = get_block(&mut cur)?;
+        get_delta_u64(&mut blk, rows)?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+    let dst = if proj.region {
+        let mut blk = get_block(&mut cur)?;
+        get_delta_u64(&mut blk, rows)?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+    let route = if proj.route || pred.route.is_some() {
+        let raw = get_block(&mut cur)?.bytes(rows)?.to_vec();
+        raw.into_iter().map(route_from_tag).collect::<Result<Vec<_>, _>>()?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+    let mut rtt_blk = get_block(&mut cur)?;
+    let hour = if proj.hour || pred.needs_hour() {
+        let mut hour_blk = get_block(&mut cur)?;
+        get_delta_u64(&mut hour_blk, rows)?
+    } else {
+        skip_block(&mut cur)?;
+        Vec::new()
+    };
+    let outcomes = get_outcomes(&mut cur, rows)?;
+    let rtt = get_rtts(&mut rtt_blk, ok_count(&outcomes, rows))?;
+
+    let mut matched = 0u64;
+    let mut rtt_ix = 0usize;
+    for i in 0..rows {
+        if outcomes.as_ref().is_some_and(|(tags, _)| tags[i] != OUTCOME_OK) {
+            continue;
+        }
+        let v = rtt[rtt_ix];
+        rtt_ix += 1;
+        let h = if hour.is_empty() { 0 } else { hour[i] };
+        let rc = if route.is_empty() { None } else { Some(route[i]) };
+        let src_region = if src.is_empty() { None } else { region::by_id(region_of(src[i])?) };
+        if !pred.rtt_in_bounds(v)
+            || !pred.hour_in_bounds(h)
+            || pred.route.is_some_and(|want| rc != Some(want))
+            || pred.country.is_some_and(|want| src_region.map(|r| r.country()) != Some(want))
+            || pred.isp.is_some_and(|want| src_region.map(|r| r.provider.asn()) != Some(want))
+        {
+            continue;
+        }
+        matched += 1;
+        emit(ProjRow {
+            kind: RecordKind::CloudPing,
+            provider,
+            country: src_region.map_or(CountryCode::new("ZZ"), |r| r.country()),
+            region: if dst.is_empty() { RegionId(0) } else { region_of(dst[i])? },
+            isp: src_region.map_or(Asn(0), |r| r.provider.asn()),
+            hour: h,
+            rtt_ms: v,
+            route: rc,
+            src_provider: src_region.map(|r| r.provider),
+        });
+    }
+    Ok(ChunkScan::Scanned { matched })
+}
+
 /// Projection decode of a ping chunk: country, region, rtt, hour only.
 /// Thin wrapper over [`scan_ping_chunk`] with no predicate.
 pub fn decode_ping_rtts(
@@ -1051,7 +1261,8 @@ pub fn get_chunk_meta(cur: &mut Cursor<'_>) -> Result<ChunkMeta, StoreError> {
 mod tests {
     use super::*;
     use crate::testutil::{
-        sample_failed_ping, sample_ping as ping, sample_trace as trace, trace_with_outcome,
+        sample_cloud_ping, sample_failed_ping, sample_ping as ping, sample_trace as trace,
+        trace_with_outcome,
     };
 
     fn mixed_pings() -> Vec<PingRecord> {
@@ -1260,5 +1471,176 @@ mod tests {
         }
         // Row-count lies are also errors.
         assert!(decode_pings(&body, 11, Platform::Speedchecker, Provider::Google).is_err());
+    }
+
+    fn mixed_cloud_pings() -> Vec<CloudPingRecord> {
+        (0..50)
+            .map(|i| {
+                let mut r = sample_cloud_ping(i, 12.0 + i as f64 * 0.5);
+                r.outcome = match i % 5 {
+                    0 => TaskOutcome::Lost,
+                    1 => TaskOutcome::Timeout(900.0 + i as f64),
+                    2 => TaskOutcome::ProbeOffline,
+                    _ => r.outcome,
+                };
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cloud_chunk_round_trips() {
+        let rows: Vec<CloudPingRecord> =
+            (0..80).map(|i| sample_cloud_ping(i, 8.0 + i as f64 * 0.25)).collect();
+        let (body, footer) = encode_cloud_pings(&rows, Provider::Google);
+        assert_eq!(footer.kind, RecordKind::CloudPing);
+        assert_eq!(footer.rows, 80);
+        // Footer countries are the *source* regions' countries, deduped.
+        let mut want: Vec<CountryCode> =
+            rows.iter().filter_map(|r| region::by_id(r.src).map(|reg| reg.country())).collect();
+        want.sort();
+        want.dedup();
+        assert_eq!(footer.countries, want);
+        let back = decode_cloud_pings(&body, 80, Provider::Google).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn faulted_cloud_chunk_round_trips() {
+        let rows = mixed_cloud_pings();
+        let (body, footer) = encode_cloud_pings(&rows, Provider::Google);
+        // Failure payloads (timeout budgets) must not leak into the footer
+        // RTT bounds.
+        let (lo, hi) = footer.rtt_ms.unwrap();
+        assert!(lo >= 12.0 && hi < 40.0, "failure payloads leaked into footer: {lo}..{hi}");
+        let back = decode_cloud_pings(&body, rows.len(), Provider::Google).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn cloud_scan_projects_source_and_destination() {
+        let rows = mixed_cloud_pings();
+        let (body, _) = encode_cloud_pings(&rows, Provider::Google);
+        let proj = ProjSpec {
+            country: true,
+            region: true,
+            isp: true,
+            hour: true,
+            route: true,
+            src_provider: true,
+        };
+        let mut got = Vec::new();
+        let scan = scan_cloud_chunk(&body, rows.len(), Provider::Google, &RowPred::default(), proj, &mut |r| {
+            got.push(r)
+        })
+        .unwrap();
+        let ok: Vec<&CloudPingRecord> = rows.iter().filter(|r| r.outcome.is_ok()).collect();
+        assert_eq!(scan, ChunkScan::Scanned { matched: ok.len() as u64 });
+        assert_eq!(got.len(), ok.len());
+        for (p, r) in got.iter().zip(&ok) {
+            let src = region::by_id(r.src).unwrap();
+            assert_eq!(p.kind, RecordKind::CloudPing);
+            assert_eq!(p.provider, Provider::Google, "provider is the destination partition");
+            assert_eq!(p.region, r.dst, "region is the destination region");
+            assert_eq!(p.country, src.country(), "country resolves from the source region");
+            assert_eq!(p.isp, src.provider.asn(), "isp is the source provider's ASN");
+            assert_eq!(p.route, Some(r.route));
+            assert_eq!(p.src_provider, Some(src.provider));
+            assert_eq!(Some(p.rtt_ms), r.rtt_ms());
+            assert_eq!(p.hour, r.hour);
+        }
+    }
+
+    #[test]
+    fn cloud_scan_skips_unrequested_columns() {
+        let rows = mixed_cloud_pings();
+        let (body, _) = encode_cloud_pings(&rows, Provider::Google);
+        let mut got = Vec::new();
+        scan_cloud_chunk(
+            &body,
+            rows.len(),
+            Provider::Google,
+            &RowPred::default(),
+            ProjSpec::default(),
+            &mut |r| got.push(r),
+        )
+        .unwrap();
+        let ok: Vec<&CloudPingRecord> = rows.iter().filter(|r| r.outcome.is_ok()).collect();
+        assert_eq!(got.len(), ok.len());
+        // Unrequested columns hold the documented placeholders, and the
+        // RTT column still decodes correctly around the skipped blocks.
+        for (p, r) in got.iter().zip(&ok) {
+            assert_eq!(p.country, CountryCode::new("ZZ"));
+            assert_eq!(p.region, RegionId(0));
+            assert_eq!(p.isp, Asn(0));
+            assert_eq!(p.hour, 0);
+            assert_eq!(p.route, None);
+            assert_eq!(p.src_provider, None);
+            assert_eq!(Some(p.rtt_ms), r.rtt_ms());
+        }
+    }
+
+    #[test]
+    fn cloud_scan_filters_route_country_and_bounds() {
+        let rows = mixed_cloud_pings();
+        let (body, _) = encode_cloud_pings(&rows, Provider::Google);
+        let ok: Vec<&CloudPingRecord> = rows.iter().filter(|r| r.outcome.is_ok()).collect();
+
+        // Route filter, with the route column *not* projected: the
+        // predicate alone must force the decode.
+        let pred = RowPred { route: Some(RouteClass::PrivateWan), ..RowPred::default() };
+        let mut n = 0u64;
+        scan_cloud_chunk(&body, rows.len(), Provider::Google, &pred, ProjSpec::default(), &mut |_| {
+            n += 1
+        })
+        .unwrap();
+        assert_eq!(n, ok.iter().filter(|r| r.route == RouteClass::PrivateWan).count() as u64);
+
+        // Country filter matches against the source region's country.
+        let want = region::by_id(ok[0].src).unwrap().country();
+        let pred = RowPred { country: Some(want), ..RowPred::default() };
+        let mut n = 0u64;
+        scan_cloud_chunk(&body, rows.len(), Provider::Google, &pred, ProjSpec::default(), &mut |_| {
+            n += 1
+        })
+        .unwrap();
+        let expect = ok
+            .iter()
+            .filter(|r| region::by_id(r.src).map(|reg| reg.country()) == Some(want))
+            .count() as u64;
+        assert!(n > 0);
+        assert_eq!(n, expect);
+
+        // RTT and hour bounds behave as for user rows.
+        let pred = RowPred { min_rtt_ms: Some(20.0), min_hour: Some(3), ..RowPred::default() };
+        let mut n = 0u64;
+        scan_cloud_chunk(&body, rows.len(), Provider::Google, &pred, ProjSpec::default(), &mut |_| {
+            n += 1
+        })
+        .unwrap();
+        let expect =
+            ok.iter().filter(|r| r.rtt_ms().unwrap_or(0.0) >= 20.0 && r.hour >= 3).count() as u64;
+        assert_eq!(n, expect);
+    }
+
+    #[test]
+    fn corrupt_cloud_chunk_is_an_error_not_a_panic() {
+        let rows = mixed_cloud_pings();
+        let (body, _) = encode_cloud_pings(&rows, Provider::Google);
+        for cut in 0..body.len() {
+            assert!(decode_cloud_pings(&body[..cut], rows.len(), Provider::Google).is_err());
+        }
+        // Row-count lies and bogus route tags are errors too.
+        assert!(decode_cloud_pings(&body, rows.len() + 1, Provider::Google).is_err());
+        let mut bad = body.clone();
+        // Route block: after the two region delta blocks, one raw byte per
+        // row. Corrupt its first payload byte to an undefined route tag.
+        let mut cur = Cursor::new(&body);
+        crate::codec::skip_block(&mut cur).unwrap();
+        crate::codec::skip_block(&mut cur).unwrap();
+        crate::codec::skip_block(&mut cur).unwrap();
+        let route_payload = body.len() - cur.remaining() - rows.len();
+        bad[route_payload] = 7;
+        assert!(decode_cloud_pings(&bad, rows.len(), Provider::Google).is_err());
     }
 }

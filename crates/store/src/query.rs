@@ -30,14 +30,15 @@
 
 use crate::agg::{Moments, P2Quantile};
 use crate::chunk::{
-    scan_ping_chunk, scan_trace_chunk, ChunkMeta, ChunkScan, ProjRow, ProjSpec, RowPred, RttRow,
+    scan_cloud_chunk, scan_ping_chunk, scan_trace_chunk, ChunkMeta, ChunkScan, ProjRow, ProjSpec,
+    RowPred, RttRow,
 };
 use crate::error::StoreError;
 use crate::reader::{effective_workers, ChunkRows, Reader, ScanFilter, ScanStats};
 use crate::schema::RecordKind;
-use cloudy_cloud::{Provider, RegionId};
+use cloudy_cloud::{region, Provider, RegionId, RouteClass};
 use cloudy_geo::CountryCode;
-use cloudy_measure::Dataset;
+use cloudy_measure::{CloudPingRecord, Dataset};
 use cloudy_obs::LocalShard;
 use cloudy_topology::Asn;
 use std::collections::BTreeMap;
@@ -52,6 +53,10 @@ pub enum GroupKey {
     Isp,
     CountryProvider,
     CountryRegion,
+    /// Inter-cloud rows by (route class, source provider, destination
+    /// provider). Only meaningful over cloud chunks; grouped terminals
+    /// reject it unless the query is restricted to [`RecordKind::CloudPing`].
+    RouteProviderPair,
 }
 
 /// One group's identity in a grouped result. Ordered (and `BTreeMap`-keyed)
@@ -64,6 +69,8 @@ pub enum GroupId {
     Isp(Asn),
     CountryProvider(CountryCode, Provider),
     CountryRegion(CountryCode, RegionId),
+    /// (route class, source provider, destination provider).
+    RoutePair(RouteClass, Provider, Provider),
 }
 
 /// One aggregate a grouped query can compute. Combine with `|`:
@@ -211,7 +218,9 @@ impl GroupAccum {
 pub struct Query {
     ping: bool,
     trace: bool,
+    cloud: bool,
     provider: Option<Provider>,
+    route: Option<RouteClass>,
     country: Option<CountryCode>,
     isp: Option<Asn>,
     min_rtt_ms: Option<f64>,
@@ -235,7 +244,9 @@ impl Query {
         Query {
             ping: true,
             trace: true,
+            cloud: true,
             provider: None,
+            route: None,
             country: None,
             isp: None,
             min_rtt_ms: None,
@@ -267,6 +278,7 @@ impl Query {
     pub fn kind(mut self, kind: RecordKind) -> Query {
         self.ping = kind == RecordKind::Ping;
         self.trace = kind == RecordKind::Trace;
+        self.cloud = kind == RecordKind::CloudPing;
         self
     }
 
@@ -274,6 +286,18 @@ impl Query {
     pub fn kinds(mut self, kinds: &[RecordKind]) -> Query {
         self.ping = kinds.contains(&RecordKind::Ping);
         self.trace = kinds.contains(&RecordKind::Trace);
+        self.cloud = kinds.contains(&RecordKind::CloudPing);
+        self
+    }
+
+    /// Filter inter-cloud rows to one route class. Only cloud rows carry a
+    /// route, so this also restricts the query to
+    /// [`RecordKind::CloudPing`] chunks.
+    pub fn route(mut self, route: RouteClass) -> Query {
+        self.route = Some(route);
+        self.ping = false;
+        self.trace = false;
+        self.cloud = true;
         self
     }
 
@@ -334,9 +358,10 @@ impl Query {
     /// no ISP set, so ISP pruning happens at the dictionary instead).
     fn scan_filter(&self) -> ScanFilter {
         ScanFilter {
-            kind: match (self.ping, self.trace) {
-                (true, false) => Some(RecordKind::Ping),
-                (false, true) => Some(RecordKind::Trace),
+            kind: match (self.ping, self.trace, self.cloud) {
+                (true, false, false) => Some(RecordKind::Ping),
+                (false, true, false) => Some(RecordKind::Trace),
+                (false, false, true) => Some(RecordKind::CloudPing),
                 _ => None,
             },
             provider: self.provider,
@@ -357,6 +382,7 @@ impl Query {
             max_rtt_ms: self.max_rtt_ms,
             min_hour: self.min_hour,
             max_hour: self.max_hour,
+            route: self.route,
         }
     }
 
@@ -364,6 +390,7 @@ impl Query {
         match kind {
             RecordKind::Ping => self.ping,
             RecordKind::Trace => self.trace,
+            RecordKind::CloudPing => self.cloud,
         }
     }
 
@@ -466,6 +493,12 @@ impl Query {
         let Some(key) = self.group_by else {
             return Err(StoreError::invalid_options("grouped() requires group_by".to_string()));
         };
+        if key == GroupKey::RouteProviderPair && (self.ping || self.trace) {
+            return Err(StoreError::invalid_options(
+                "RouteProviderPair groups inter-cloud rows only; restrict the query with \
+                 .kind(RecordKind::CloudPing) or .route(..)",
+            ));
+        }
         let agg = self.agg;
         let (survivors, stats, workers) = self.plan(reader);
         let pred = self.row_pred();
@@ -555,8 +588,14 @@ impl Query {
     /// chunks decode whole and records are then filtered exactly. RTT
     /// bounds match against the record's primary RTT (`None` fails any
     /// bound), mirroring the projection scans, which drop RTT-less rows.
+    ///
+    /// `Dataset` predates the inter-cloud plane and cannot hold cloud
+    /// rows, so this terminal never decodes cloud chunks; use
+    /// [`Query::cloud_records`] for those.
     pub fn records(&self, reader: &Reader) -> Result<(Dataset, ScanStats), StoreError> {
-        let (survivors, mut stats, _) = self.plan(reader);
+        let mut q = self.clone();
+        q.cloud = false;
+        let (survivors, mut stats, _) = q.plan(reader);
         let span = reader.obs_handle().now();
         let mut ds = Dataset::new(reader.platform());
         let unfiltered = self.is_unfiltered();
@@ -582,11 +621,68 @@ impl Query {
                         }
                     }
                 }
+                // Cloud chunks were excluded from the plan above.
+                ChunkRows::CloudPings(_) => {}
             }
         }
         reader.obs_handle().record_span("store.scan", span, 0);
         reader.export_scan_stats(&stats);
         Ok((ds, stats))
+    }
+
+    /// Decode the matching inter-cloud records in full, in directory
+    /// order. The cloud analog of [`Query::records`]: chunk pruning
+    /// applies, surviving cloud chunks decode whole, and rows are filtered
+    /// exactly (country/ISP predicates resolve against the *source*
+    /// region, mirroring [`scan_cloud_chunk`]'s row semantics). Ping and
+    /// trace chunks are never decoded by this terminal.
+    pub fn cloud_records(
+        &self,
+        reader: &Reader,
+    ) -> Result<(Vec<CloudPingRecord>, ScanStats), StoreError> {
+        let mut q = self.clone();
+        q.ping = false;
+        q.trace = false;
+        q.cloud = true;
+        let (survivors, mut stats, _) = q.plan(reader);
+        let span = reader.obs_handle().now();
+        let mut out = Vec::new();
+        for m in &survivors {
+            stats.chunks_scanned += 1;
+            stats.rows_decoded += m.footer.rows;
+            let ChunkRows::CloudPings(rows) = reader.decode_chunk(m)? else {
+                continue;
+            };
+            for r in rows {
+                let src = region::by_id(r.src);
+                let country = src.map(|reg| reg.country());
+                let isp = src.map(|reg| reg.provider.asn());
+                if self.route.is_some_and(|rc| rc != r.route)
+                    || self.country.is_some_and(|c| country != Some(c))
+                    || self.isp.is_some_and(|a| isp != Some(a))
+                {
+                    continue;
+                }
+                if self.min_hour.is_some_and(|min| r.hour < min)
+                    || self.max_hour.is_some_and(|max| r.hour > max)
+                {
+                    continue;
+                }
+                if self.min_rtt_ms.is_some() || self.max_rtt_ms.is_some() {
+                    let Some(v) = r.rtt_ms() else { continue };
+                    if self.min_rtt_ms.is_some_and(|min| v < min)
+                        || self.max_rtt_ms.is_some_and(|max| v > max)
+                    {
+                        continue;
+                    }
+                }
+                stats.rows_matched += 1;
+                out.push(r);
+            }
+        }
+        reader.obs_handle().record_span("store.scan", span, 0);
+        reader.export_scan_stats(&stats);
+        Ok((out, stats))
     }
 
     /// No row-level term set: every record of a surviving chunk matches.
@@ -641,6 +737,10 @@ fn group_proj(key: GroupKey) -> ProjSpec {
             proj.country = true;
             proj.region = true;
         }
+        GroupKey::RouteProviderPair => {
+            proj.route = true;
+            proj.src_provider = true;
+        }
     }
     proj
 }
@@ -653,6 +753,14 @@ fn group_id(key: GroupKey, row: &ProjRow) -> GroupId {
         GroupKey::Isp => GroupId::Isp(row.isp),
         GroupKey::CountryProvider => GroupId::CountryProvider(row.country, row.provider),
         GroupKey::CountryRegion => GroupId::CountryRegion(row.country, row.region),
+        // Ping/trace rows carry no route or source provider; grouped()
+        // rejects this key unless the query is cloud-only, so these
+        // fallbacks never reach a result.
+        GroupKey::RouteProviderPair => GroupId::RoutePair(
+            row.route.unwrap_or(RouteClass::PrivateWan),
+            row.src_provider.unwrap_or(row.provider),
+            row.provider,
+        ),
     }
 }
 
@@ -669,6 +777,7 @@ fn scan_chunk(
     match m.footer.kind {
         RecordKind::Ping => scan_ping_chunk(body, rows, m.footer.provider, pred, proj, emit),
         RecordKind::Trace => scan_trace_chunk(body, rows, m.footer.provider, pred, proj, emit),
+        RecordKind::CloudPing => scan_cloud_chunk(body, rows, m.footer.provider, pred, proj, emit),
     }
 }
 

@@ -12,14 +12,14 @@
 //! partition is preserved.
 
 use crate::error::StoreError;
-use crate::chunk::{decode_pings, decode_traces, get_chunk_meta, ChunkMeta, RttRow};
+use crate::chunk::{decode_cloud_pings, decode_pings, decode_traces, get_chunk_meta, ChunkMeta, RttRow};
 use crate::codec::Cursor;
 use crate::query::Query;
 use crate::schema::{platform_from_tag, RecordKind};
 use crate::writer::{END_MAGIC, MAGIC};
 use cloudy_cloud::Provider;
 use cloudy_geo::CountryCode;
-use cloudy_measure::{Dataset, PingRecord, TracerouteRecord};
+use cloudy_measure::{CloudPingRecord, Dataset, PingRecord, TracerouteRecord};
 use cloudy_obs::{LocalShard, Obs};
 use cloudy_probes::Platform;
 
@@ -107,6 +107,22 @@ pub struct ScanStats {
 pub enum ChunkRows {
     Pings(Vec<PingRecord>),
     Traces(Vec<TracerouteRecord>),
+    CloudPings(Vec<CloudPingRecord>),
+}
+
+impl ChunkRows {
+    /// Decoded row count, uniform across the three kinds.
+    pub fn len(&self) -> usize {
+        match self {
+            ChunkRows::Pings(p) => p.len(),
+            ChunkRows::Traces(t) => t.len(),
+            ChunkRows::CloudPings(c) => c.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// A store file held in memory with its decoded directory.
@@ -219,6 +235,9 @@ impl Reader {
             }
             RecordKind::Trace => decode_traces(body, rows, self.platform, m.footer.provider)
                 .map(ChunkRows::Traces),
+            RecordKind::CloudPing => {
+                decode_cloud_pings(body, rows, m.footer.provider).map(ChunkRows::CloudPings)
+            }
         }
     }
 
@@ -238,10 +257,7 @@ impl Reader {
             stats.chunks_scanned += 1;
             stats.rows_decoded += m.footer.rows;
             let rows = self.decode_chunk(m)?;
-            stats.rows_matched += match &rows {
-                ChunkRows::Pings(p) => p.len() as u64,
-                ChunkRows::Traces(t) => t.len() as u64,
-            };
+            stats.rows_matched += rows.len() as u64;
             f(&rows);
         }
         self.obs.record_span("store.scan", span, 0);
@@ -292,10 +308,7 @@ impl Reader {
             let mut out = Vec::with_capacity(survivors.len());
             for m in &survivors {
                 let rows = self.decode_chunk(m)?;
-                stats.rows_matched += match &rows {
-                    ChunkRows::Pings(p) => p.len() as u64,
-                    ChunkRows::Traces(t) => t.len() as u64,
-                };
+                stats.rows_matched += rows.len() as u64;
                 out.push(map(m, rows));
             }
             self.obs.record_span("store.scan", span, 0);
@@ -323,10 +336,7 @@ impl Reader {
                                 .iter()
                                 .map(|m| {
                                     self.decode_chunk(m).map(|rows| {
-                                        let n = match &rows {
-                                            ChunkRows::Pings(p) => p.len() as u64,
-                                            ChunkRows::Traces(t) => t.len() as u64,
-                                        };
+                                        let n = rows.len() as u64;
                                         (n, map(m, rows))
                                     })
                                 })

@@ -5,7 +5,7 @@
 //! unknown tag is an error, never a panic: store files are external input.
 
 use crate::error::StoreError;
-use cloudy_cloud::Provider;
+use cloudy_cloud::{Provider, RouteClass};
 use cloudy_geo::Continent;
 use cloudy_lastmile::AccessType;
 use cloudy_measure::TaskOutcome;
@@ -17,6 +17,8 @@ use cloudy_probes::Platform;
 pub enum RecordKind {
     Ping,
     Trace,
+    /// Inter-cloud region↔region ping (the `cloudy-intercloud` plane).
+    CloudPing,
 }
 
 impl RecordKind {
@@ -24,6 +26,7 @@ impl RecordKind {
         match self {
             RecordKind::Ping => 0,
             RecordKind::Trace => 1,
+            RecordKind::CloudPing => 2,
         }
     }
 
@@ -31,6 +34,7 @@ impl RecordKind {
         match t {
             0 => Ok(RecordKind::Ping),
             1 => Ok(RecordKind::Trace),
+            2 => Ok(RecordKind::CloudPing),
             other => Err(StoreError::corrupt(format!("unknown record kind tag {other}"))),
         }
     }
@@ -39,8 +43,22 @@ impl RecordKind {
         match self {
             RecordKind::Ping => "ping",
             RecordKind::Trace => "trace",
+            RecordKind::CloudPing => "cloud_ping",
         }
     }
+}
+
+/// Route-class tag for inter-cloud chunk columns. Indexes
+/// [`RouteClass::ALL`], the type's canonical order.
+pub fn route_tag(r: RouteClass) -> u8 {
+    RouteClass::ALL.iter().position(|x| *x == r).unwrap_or(0) as u8 // audit:allow(as-truncate)
+}
+
+pub fn route_from_tag(t: u8) -> Result<RouteClass, StoreError> {
+    RouteClass::ALL
+        .get(t as usize)
+        .copied()
+        .ok_or_else(|| StoreError::corrupt(format!("unknown route-class tag {t}")))
 }
 
 pub fn platform_tag(p: Platform) -> u8 {
@@ -158,8 +176,11 @@ mod tests {
         for pr in [Protocol::Tcp, Protocol::Icmp] {
             assert_eq!(proto_from_tag(proto_tag(pr)).unwrap(), pr);
         }
-        for k in [RecordKind::Ping, RecordKind::Trace] {
+        for k in [RecordKind::Ping, RecordKind::Trace, RecordKind::CloudPing] {
             assert_eq!(RecordKind::from_tag(k.tag()).unwrap(), k);
+        }
+        for r in RouteClass::ALL {
+            assert_eq!(route_from_tag(route_tag(r)).unwrap(), r);
         }
         for o in [
             TaskOutcome::Ok(12.5),
@@ -184,7 +205,8 @@ mod tests {
         assert!(continent_from_tag(6).is_err());
         assert!(access_from_tag(4).is_err());
         assert!(proto_from_tag(2).is_err());
-        assert!(RecordKind::from_tag(2).is_err());
+        assert!(RecordKind::from_tag(3).is_err());
+        assert!(route_from_tag(2).is_err());
         assert!(outcome_from_tag(5, 0.0).is_err());
     }
 }

@@ -1,9 +1,11 @@
 //! Shared record constructors for unit tests.
 
-use cloudy_cloud::{Provider, RegionId};
+use cloudy_cloud::{region, Provider, RegionId, RouteClass};
 use cloudy_geo::{Continent, CountryCode};
 use cloudy_lastmile::AccessType;
-use cloudy_measure::{outcome_for_hops, HopRecord, PingRecord, TaskOutcome, TracerouteRecord};
+use cloudy_measure::{
+    outcome_for_hops, CloudPingRecord, HopRecord, PingRecord, TaskOutcome, TracerouteRecord,
+};
 use cloudy_netsim::Protocol;
 use cloudy_probes::{Platform, ProbeId};
 use cloudy_topology::Asn;
@@ -31,6 +33,21 @@ pub fn sample_failed_ping(i: u64, outcome: TaskOutcome) -> PingRecord {
     let mut p = sample_ping(i, 0.0);
     p.outcome = outcome;
     p
+}
+
+/// An inter-cloud row between two real Google regions (so the source
+/// country/provider resolve through the region table).
+pub fn sample_cloud_ping(i: u64, rtt: f64) -> CloudPingRecord {
+    let regions: Vec<RegionId> =
+        region::of_provider(Provider::Google).map(|(id, _)| id).collect();
+    let n = regions.len() as u64;
+    CloudPingRecord {
+        src: regions[(i % n) as usize],
+        dst: regions[((i + 1) % n) as usize],
+        route: if i.is_multiple_of(2) { RouteClass::PrivateWan } else { RouteClass::PublicTransit },
+        outcome: TaskOutcome::Ok(rtt),
+        hour: i / 4,
+    }
 }
 
 pub fn sample_trace(i: u64, hops: Vec<HopRecord>) -> TracerouteRecord {

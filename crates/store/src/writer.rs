@@ -23,12 +23,14 @@
 //! campaign that is deterministic across thread counts produces
 //! byte-identical store files across thread counts.
 
-use crate::chunk::{encode_pings, encode_traces, put_chunk_meta, ChunkMeta};
+use crate::chunk::{encode_cloud_pings, encode_pings, encode_traces, put_chunk_meta, ChunkMeta};
 use crate::error::StoreError;
 use crate::codec::put_varint;
 use crate::schema::{platform_tag, provider_tag};
 use cloudy_cloud::Provider;
-use cloudy_measure::{Dataset, MeasureError, PingRecord, RecordSink, TracerouteRecord};
+use cloudy_measure::{
+    CloudPingRecord, Dataset, MeasureError, PingRecord, RecordSink, TracerouteRecord,
+};
 use cloudy_obs::Obs;
 use cloudy_probes::Platform;
 use std::io::Write;
@@ -57,6 +59,7 @@ pub struct StoreSummary {
     pub chunks: usize,
     pub ping_rows: u64,
     pub trace_rows: u64,
+    pub cloud_rows: u64,
     /// Total file size in bytes, trailer included.
     pub bytes: u64,
 }
@@ -69,9 +72,11 @@ pub struct Writer<W: Write> {
     chunk_rows: usize,
     ping_slots: Vec<Vec<PingRecord>>,
     trace_slots: Vec<Vec<TracerouteRecord>>,
+    cloud_slots: Vec<Vec<CloudPingRecord>>,
     directory: Vec<ChunkMeta>,
     ping_rows: u64,
     trace_rows: u64,
+    cloud_rows: u64,
     obs: Obs,
 }
 
@@ -91,9 +96,11 @@ impl<W: Write> Writer<W> {
             chunk_rows: options.chunk_rows,
             ping_slots: vec![Vec::new(); n],
             trace_slots: vec![Vec::new(); n],
+            cloud_slots: vec![Vec::new(); n],
             directory: Vec::new(),
             ping_rows: 0,
             trace_rows: 0,
+            cloud_rows: 0,
             obs: Obs::disabled(),
         })
     }
@@ -115,6 +122,7 @@ impl<W: Write> Writer<W> {
     pub fn buffered_rows(&self) -> usize {
         self.ping_slots.iter().map(Vec::len).sum::<usize>()
             + self.trace_slots.iter().map(Vec::len).sum::<usize>()
+            + self.cloud_slots.iter().map(Vec::len).sum::<usize>()
     }
 
     /// Bytes emitted to the sink so far.
@@ -173,6 +181,32 @@ impl<W: Write> Writer<W> {
         Ok(())
     }
 
+    fn flush_cloud_slot(&mut self, slot: usize) -> Result<(), StoreError> {
+        let rows = std::mem::take(&mut self.cloud_slots[slot]);
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let (body, footer) = encode_cloud_pings(&rows, Provider::ALL[slot]);
+        self.emit(body, footer)
+    }
+
+    /// Append one inter-cloud ping, partitioned by *destination* provider.
+    /// No platform check: both endpoints are cloud regions, so the store's
+    /// platform byte does not constrain this plane. A destination region
+    /// missing from the region table cannot be partitioned and is an error.
+    pub fn push_cloud(&mut self, r: CloudPingRecord) -> Result<(), StoreError> {
+        let provider = r.dst_provider().ok_or_else(|| {
+            StoreError::corrupt(format!("cloud ping dst region {} not in region table", r.dst.0))
+        })?;
+        let slot = provider_tag(provider) as usize;
+        self.cloud_slots[slot].push(r);
+        self.cloud_rows += 1;
+        if self.cloud_slots[slot].len() >= self.chunk_rows {
+            self.flush_cloud_slot(slot)?;
+        }
+        Ok(())
+    }
+
     /// Append one traceroute record.
     pub fn push_trace(&mut self, r: TracerouteRecord) -> Result<(), StoreError> {
         self.check_platform(r.platform)?;
@@ -186,13 +220,18 @@ impl<W: Write> Writer<W> {
     }
 
     /// Flush remaining partitions (ping slots in provider order, then trace
-    /// slots), write the directory and trailer, and return the sink.
+    /// slots, then inter-cloud slots), write the directory and trailer,
+    /// and return the sink. The cloud slots flush last so stores without
+    /// inter-cloud rows stay byte-identical to the two-kind format.
     pub fn finish(mut self) -> Result<(W, StoreSummary), StoreError> {
         for slot in 0..Provider::ALL.len() {
             self.flush_ping_slot(slot)?;
         }
         for slot in 0..Provider::ALL.len() {
             self.flush_trace_slot(slot)?;
+        }
+        for slot in 0..Provider::ALL.len() {
+            self.flush_cloud_slot(slot)?;
         }
         let mut dir = Vec::new();
         put_varint(&mut dir, self.directory.len() as u64);
@@ -212,11 +251,13 @@ impl<W: Write> Writer<W> {
             chunks: self.directory.len(),
             ping_rows: self.ping_rows,
             trace_rows: self.trace_rows,
+            cloud_rows: self.cloud_rows,
             bytes,
         };
         if self.obs.is_enabled() {
             self.obs.add("store.rows.ping", summary.ping_rows);
             self.obs.add("store.rows.trace", summary.trace_rows);
+            self.obs.add("store.rows.cloud", summary.cloud_rows);
             // Header + directory + trailer bytes, so the counter's final
             // value equals the file size exactly.
             self.obs.add("store.bytes_written", bytes - dir_offset + (MAGIC.len() + 1) as u64);
@@ -232,6 +273,10 @@ impl<W: Write> RecordSink for Writer<W> {
 
     fn sink_trace(&mut self, r: TracerouteRecord) -> Result<(), MeasureError> {
         Ok(self.push_trace(r)?)
+    }
+
+    fn sink_cloud(&mut self, r: CloudPingRecord) -> Result<(), MeasureError> {
+        Ok(self.push_cloud(r)?)
     }
 }
 

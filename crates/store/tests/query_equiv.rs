@@ -187,6 +187,9 @@ fn truth_rows(reader: &Reader) -> Vec<(RttRow, Asn)> {
                     }
                 }
             }
+            // The fixture stores here are user-plane only; the cloud
+            // kernel has its own equivalence coverage in chunk tests.
+            ChunkRows::CloudPings(_) => {}
         })
         .unwrap();
     rows

@@ -1,22 +1,19 @@
 //! The paper's §7 discussion, quantified: *which networks can live without
 //! the edge?*
 //!
-//! For each continent, decompose the median end-to-end RTT into wireless
-//! last mile vs. everything else. An edge server deployed at the last-mile
-//! hop can, at best, remove "everything else" — so the residual last-mile
-//! latency bounds what edge computing can achieve, and the MTP verdict
-//! follows (§7: "MTP-constrained applications are not really feasible").
+//! Thin wrapper over [`cloudy::analysis::edge::edge_vs_cloud`] — the
+//! decomposition itself is tested library code; this example runs a
+//! campaign and renders the rows.
 //!
 //! ```sh
 //! cargo run --release --example edge_vs_cloud
 //! ```
 
-use cloudy::analysis::latency_groups::{HPL_MS, MTP_MS};
+use cloudy::analysis::edge::edge_vs_cloud;
+use cloudy::analysis::latency_groups::MTP_MS;
 use cloudy::analysis::report::{ms, Table};
-use cloudy::analysis::{lastmile, stats, Resolver};
+use cloudy::analysis::Resolver;
 use cloudy::core::{Study, StudyConfig};
-use cloudy::geo::Continent;
-use std::collections::HashMap;
 
 fn main() {
     let mut cfg = StudyConfig::tiny(42);
@@ -26,14 +23,13 @@ fn main() {
     let study = Study::run(cfg);
     let resolver = Resolver::new(&study.sim.net.prefixes);
 
-    let mut lastmile_ms: HashMap<Continent, Vec<f64>> = HashMap::new();
-    let mut total_ms: HashMap<Continent, Vec<f64>> = HashMap::new();
-    for t in &study.sc.traces {
-        let Some(lm) = lastmile::infer(t, &resolver) else { continue };
-        let Some(total) = lm.total_ms else { continue };
-        lastmile_ms.entry(t.continent).or_default().push(lm.usr_isp_ms);
-        total_ms.entry(t.continent).or_default().push(total);
-    }
+    let rows = match edge_vs_cloud(&study.sc.traces, &resolver) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("edge-vs-cloud analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(vec![
         "Continent",
@@ -45,33 +41,16 @@ fn main() {
         "HPL w/o edge?",
         "verdict",
     ]);
-    let mut conts: Vec<Continent> = lastmile_ms.keys().copied().collect();
-    conts.sort();
-    for c in conts {
-        let lm = stats::median(&lastmile_ms[&c]).expect("samples");
-        let tot = stats::median(&total_ms[&c]).expect("samples");
-        let removable = (tot - lm).max(0.0);
-        // Best case with an edge server at the last-mile hop: the wireless
-        // segment remains.
-        let edge_rtt = lm;
-        let mtp_with_edge = edge_rtt <= MTP_MS;
-        let hpl_without_edge = tot <= HPL_MS;
-        let verdict = if hpl_without_edge && removable < tot * 0.5 {
-            "cloud suffices"
-        } else if !hpl_without_edge && removable > tot * 0.5 {
-            "edge would help"
-        } else {
-            "marginal"
-        };
+    for r in &rows {
         table.add_row(vec![
-            c.code().to_string(),
-            ms(tot),
-            ms(lm),
-            ms(removable),
-            ms(edge_rtt),
-            if mtp_with_edge { "yes" } else { "no" }.to_string(),
-            if hpl_without_edge { "yes" } else { "no" }.to_string(),
-            verdict.to_string(),
+            r.continent.code().to_string(),
+            ms(r.total_ms),
+            ms(r.lastmile_ms),
+            ms(r.removable_ms),
+            ms(r.lastmile_ms),
+            if r.mtp_with_edge { "yes" } else { "no" }.to_string(),
+            if r.hpl_without_edge { "yes" } else { "no" }.to_string(),
+            r.verdict.label().to_string(),
         ]);
     }
     println!("{}", table.render());

@@ -2,25 +2,18 @@
 //! improves, when do MTP-class applications become feasible — and does edge
 //! computing ever beat the cloud?*
 //!
-//! We take the measured non-last-mile component of cloud access per
-//! continent (from a real campaign) and swap the last-mile process: LTE as
-//! measured, early 5G as the paper's cited in-the-wild studies found it
-//! (minimal gain), and the hypothetical mature 5G of the marketing decks
-//! (1–2 ms). For each we report MTP/HPL feasibility against the cloud *and*
-//! against a best-case edge server at the first hop.
+//! Thin wrapper over [`cloudy::analysis::edge::lastmile_scenarios`] — the
+//! scenario analysis is tested library code; this example runs a campaign
+//! and renders the rows.
 //!
 //! ```sh
 //! cargo run --release --example future_lastmile
 //! ```
 
-use cloudy::analysis::latency_groups::{HPL_MS, MTP_MS};
+use cloudy::analysis::edge::lastmile_scenarios;
 use cloudy::analysis::report::Table;
-use cloudy::analysis::{lastmile, stats, Resolver};
+use cloudy::analysis::Resolver;
 use cloudy::core::{Study, StudyConfig};
-use cloudy::geo::Continent;
-use cloudy::lastmile::{AccessProfile, AccessType};
-use cloudy::netsim::FlowRng;
-use std::collections::HashMap;
 
 fn main() {
     let mut cfg = StudyConfig::tiny(42);
@@ -30,20 +23,13 @@ fn main() {
     let study = Study::run(cfg);
     let resolver = Resolver::new(&study.sim.net.prefixes);
 
-    // Measured rest-of-path (total minus last mile) per continent.
-    let mut rest: HashMap<Continent, Vec<f64>> = HashMap::new();
-    for t in &study.sc.traces {
-        let Some(lm) = lastmile::infer(t, &resolver) else { continue };
-        let Some(total) = lm.total_ms else { continue };
-        rest.entry(t.continent).or_default().push((total - lm.usr_isp_ms).max(0.0));
-    }
-
-    let scenarios: [(&str, AccessProfile); 4] = [
-        ("LTE (as measured)", AccessProfile::baseline(AccessType::Cellular)),
-        ("early 5G [64,65]", AccessProfile::baseline(AccessType::Cellular5g)),
-        ("mature 5G (1-2 ms)", AccessProfile::hypothetical_mature_5g()),
-        ("wired (Atlas-like)", AccessProfile::baseline(AccessType::Wired)),
-    ];
+    let rows = match lastmile_scenarios(&study.sc.traces, &resolver) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("last-mile scenario analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(vec![
         "Continent",
@@ -55,33 +41,17 @@ fn main() {
         "cloud HPL?",
         "edge MTP?",
     ]);
-    let mut conts: Vec<Continent> = rest.keys().copied().collect();
-    conts.sort();
-    for c in conts {
-        let rest_med = stats::median(&rest[&c]).expect("samples");
-        for (name, profile) in &scenarios {
-            // Median of the scenario's last-mile process, sampled.
-            let mut rng = FlowRng::new(7, c as u64 + 1);
-            let samples: Vec<f64> = (0..20_000)
-                .map(|_| {
-                    let (w, u) = profile.sample_segments(&mut rng);
-                    w + u
-                })
-                .collect();
-            let lm_med = stats::median(&samples).expect("nonempty");
-            let cloud = lm_med + rest_med;
-            table.add_row(vec![
-                c.code().to_string(),
-                format!("{rest_med:.1}"),
-                name.to_string(),
-                format!("{lm_med:.1}"),
-                format!("{cloud:.1}"),
-                yn(cloud <= MTP_MS),
-                yn(cloud <= HPL_MS),
-                // Edge at the first hop removes the rest of the path.
-                yn(lm_med <= MTP_MS),
-            ]);
-        }
+    for r in &rows {
+        table.add_row(vec![
+            r.continent.code().to_string(),
+            format!("{:.1}", r.rest_of_path_ms),
+            r.scenario.to_string(),
+            format!("{:.1}", r.lastmile_ms),
+            format!("{:.1}", r.cloud_rtt_ms),
+            yn(r.cloud_mtp),
+            yn(r.cloud_hpl),
+            yn(r.edge_mtp),
+        ]);
     }
     println!("{}", table.render());
     println!(

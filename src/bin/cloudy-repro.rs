@@ -56,6 +56,7 @@ fn main() -> ExitCode {
         "all" => all(&args[1..]),
         "store" => store(&args[1..]),
         "serve" => serve(&args[1..]),
+        "intercloud" => intercloud(&args[1..]),
         "obs" => obs_summary(&args[1..]),
         "help" | "--help" | "-h" => {
             usage();
@@ -100,6 +101,14 @@ fn usage() {
          \x20                              token-bucket quotas for H virtual hours;\n\
          \x20                              prints the final service report (exits non-zero\n\
          \x20                              if the report fails to reconcile)\n\
+         \x20 intercloud [--seed N] [--hours H] [--samples N]\n\
+         \x20            [--regions-per-provider N] [--threads N]\n\
+         \x20            [--no-path-cache] [--k N] [--out FILE]\n\
+         \x20                              region-to-region campaign across all nine\n\
+         \x20                              providers, each pair probed over its private\n\
+         \x20                              WAN and the public internet; prints the\n\
+         \x20                              provider latency-gap matrix and a k-region\n\
+         \x20                              placement from user-campaign aggregates\n\
          \x20 obs [opts] [--format text|json] [--trace-out FILE]\n\
          \x20                              run one instrumented campaign + store\n\
          \x20                              round-trip and print the metrics snapshot\n\n\
@@ -792,16 +801,17 @@ fn store_inspect(args: &[String]) -> ExitCode {
         Err(e) => return fail(&e),
     };
     println!("platform: {}", reader.platform().label());
-    let (mut pings, mut traces, mut bytes) = (0u64, 0u64, 0u64);
+    let (mut pings, mut traces, mut clouds, mut bytes) = (0u64, 0u64, 0u64, 0u64);
     for m in reader.chunks() {
         match m.footer.kind {
             cloudy::store::RecordKind::Ping => pings += m.footer.rows,
             cloudy::store::RecordKind::Trace => traces += m.footer.rows,
+            cloudy::store::RecordKind::CloudPing => clouds += m.footer.rows,
         }
         bytes += m.len;
     }
     println!(
-        "chunks: {}  ping rows: {pings}  trace rows: {traces}  chunk bytes: {bytes}",
+        "chunks: {}  ping rows: {pings}  trace rows: {traces}  cloud rows: {clouds}  chunk bytes: {bytes}",
         reader.chunks().len()
     );
     println!("#     kind   provider  rows    rtt_ms           hours       countries");
@@ -956,6 +966,9 @@ fn store_query(args: &[String]) -> ExitCode {
                 GroupId::Isp(a) => format!("AS{}", a.0),
                 GroupId::CountryProvider(c, p) => format!("{} {}", c.as_str(), p.abbrev()),
                 GroupId::CountryRegion(c, r) => format!("{} region {}", c.as_str(), r.0),
+                GroupId::RoutePair(rc, src, dst) => {
+                    format!("{} {}->{}", rc.label(), src.abbrev(), dst.abbrev())
+                }
             };
             println!(
                 "{label:<25} {:<9} {:<9.2} {:<9.2} {:<9.2}",
@@ -1169,6 +1182,167 @@ fn serve(args: &[String]) -> ExitCode {
             eprintln!("reconcile: {p}");
         }
         return fail("service report does not reconcile with its per-tenant tables");
+    }
+    ExitCode::SUCCESS
+}
+
+fn intercloud(args: &[String]) -> ExitCode {
+    use cloudy::cloud::region;
+    use cloudy::core::{Study, StudyConfig};
+    use cloudy::intercloud::{
+        choose, latency_matrix, median_gap_ms, run_into, stats_from_store, IntercloudConfig,
+    };
+    use cloudy::probes::Platform;
+    use cloudy::store::{write_dataset, Reader, Writer, WriterOptions};
+
+    let mut cfg = IntercloudConfig { hours: 6, threads: 4, ..IntercloudConfig::default() };
+    let mut k: usize = 3;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => take("--seed").and_then(|v| {
+                v.parse().map(|n| cfg.seed = n).map_err(|e| format!("--seed: {e}"))
+            }),
+            "--hours" => take("--hours").and_then(|v| {
+                v.parse().map(|n| cfg.hours = n).map_err(|e| format!("--hours: {e}"))
+            }),
+            "--samples" => take("--samples").and_then(|v| {
+                v.parse().map(|n| cfg.samples_per_hour = n).map_err(|e| format!("--samples: {e}"))
+            }),
+            "--regions-per-provider" => take("--regions-per-provider").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.regions_per_provider = n)
+                    .map_err(|e| format!("--regions-per-provider: {e}"))
+            }),
+            "--threads" => take("--threads").and_then(|v| {
+                v.parse().map(|n| cfg.threads = n).map_err(|e| format!("--threads: {e}"))
+            }),
+            "--no-path-cache" => {
+                cfg.path_cache = false;
+                Ok(())
+            }
+            "--k" => {
+                take("--k").and_then(|v| v.parse().map(|n| k = n).map_err(|e| format!("--k: {e}")))
+            }
+            "--out" => take("--out").map(|v| out = Some(v)),
+            other => Err(format!("unknown intercloud option {other:?}")),
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+
+    eprintln!(
+        "inter-cloud campaign: {} providers x {} region(s), {} hours, seed {}, {} threads...",
+        cfg.providers.len(),
+        cfg.regions_per_provider,
+        cfg.hours,
+        cfg.seed,
+        cfg.threads
+    );
+    let mut writer = match Writer::new(Vec::new(), Platform::Speedchecker, WriterOptions::default())
+    {
+        Ok(w) => w,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let stats = match run_into(&cfg, &mut writer) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let (bytes, summary) = match writer.finish() {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!(
+        "{} tasks -> {} records ({} delivered, {} lost), {} store rows in {} bytes",
+        stats.tasks,
+        stats.delivered + stats.lost,
+        stats.delivered,
+        stats.lost,
+        summary.cloud_rows,
+        bytes.len()
+    );
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, &bytes) {
+            return fail(&format!("write {path}: {e}"));
+        }
+        eprintln!("wrote {path} ({} bytes)", bytes.len());
+    }
+
+    let reader = match Reader::from_bytes(bytes) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let rows = match latency_matrix(&reader) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!("\nprovider latency-gap matrix (median RTT, ms):");
+    println!("  src  -> dst     private    public       gap         n");
+    for r in &rows {
+        println!(
+            "  {:<4} -> {:<4} {:>9.2} {:>9.2} {:>9.2} {:>5}/{:<5}",
+            r.src.abbrev(),
+            r.dst.abbrev(),
+            r.private_p50_ms,
+            r.public_p50_ms,
+            r.gap_ms,
+            r.private_count,
+            r.public_count
+        );
+    }
+    if let Some(gap) = median_gap_ms(&rows) {
+        println!("median private-vs-public gap across pairs: {gap:.2} ms");
+    }
+
+    eprintln!("\nrunning user campaign for placement aggregates...");
+    let mut scfg = StudyConfig::tiny(cfg.seed);
+    scfg.sc_fraction = 0.02;
+    scfg.duration_days = 2;
+    let study = Study::run(scfg);
+    let (user_bytes, _) = match write_dataset(&study.sc, WriterOptions::default()) {
+        Ok(v) => v,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let user_reader = match Reader::from_bytes(user_bytes) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut pstats = match stats_from_store(&user_reader) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let all_candidates = pstats.candidates.len();
+    // The exact search is exponential in the candidate count; greedily
+    // keep a complementary shortlist first.
+    pstats.restrict_to_top(k.max(16));
+    let placement = match choose(&pstats, k) {
+        Ok(p) => p,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!(
+        "\nplacement: best {} of {} candidate regions ({} before shortlisting):",
+        placement.regions.len(),
+        pstats.candidates.len(),
+        all_candidates
+    );
+    for id in &placement.regions {
+        match region::by_id(*id) {
+            Some(r) => println!("  {:<4} {} ({})", r.provider.abbrev(), r.name, r.city),
+            None => println!("  region #{}", id.0),
+        }
+    }
+    if placement.p95_ms.is_finite() {
+        println!("global weighted p95: {:.2} ms", placement.p95_ms);
+    } else {
+        println!(
+            "global weighted p95: unbounded — more than 5% of user weight has no\n\
+             measured latency to any chosen region; raise --k for full coverage"
+        );
     }
     ExitCode::SUCCESS
 }

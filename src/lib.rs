@@ -10,6 +10,7 @@ pub use cloudy_audit as audit;
 pub use cloudy_cloud as cloud;
 pub use cloudy_core as core;
 pub use cloudy_geo as geo;
+pub use cloudy_intercloud as intercloud;
 pub use cloudy_lastmile as lastmile;
 pub use cloudy_measure as measure;
 pub use cloudy_netsim as netsim;
